@@ -1,0 +1,55 @@
+//! Criterion view of the synchronization ablation: simulated
+//! consumption idle time under DYAD's multi-protocol sync vs forcing the
+//! KVS wait on every frame. Criterion here measures the harness
+//! wall-clock; the interesting output is the printed simulated-idle
+//! comparison asserted by the bench body.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mdflow::calibration::Calibration;
+use mdflow::prelude::*;
+use mdflow::runner::run_once;
+use mdflow::report::reduce_run;
+
+fn bench_sync_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync_ablation");
+    g.sample_size(10);
+    let cal = Calibration::quiet();
+    let split = Placement::Split { pairs_per_node: 8 };
+    let warm_wf = WorkflowConfig::new(Solution::Dyad, 4, split).with_frames(16);
+    let mut cold_wf = warm_wf.clone();
+    cold_wf.dyad_warm_sync = false;
+
+    // Sanity-check the ablation effect once, outside the timing loop.
+    let warm = reduce_run(&warm_wf, &run_once(&warm_wf, &cal, 1));
+    let cold = reduce_run(&cold_wf, &run_once(&cold_wf, &cal, 1));
+    println!(
+        "simulated consumption idle: multi-protocol {:.3} ms vs KVS-only {:.3} ms",
+        warm.consumption.idle * 1e3,
+        cold.consumption.idle * 1e3
+    );
+    assert!(
+        warm.consumption.idle <= cold.consumption.idle,
+        "multi-protocol sync must not be slower than KVS-only"
+    );
+
+    g.bench_function("multi_protocol", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_once(&warm_wf, &cal, seed).events)
+        })
+    });
+    g.bench_function("kvs_only", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_once(&cold_wf, &cal, seed).events)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sync_ablation);
+criterion_main!(benches);

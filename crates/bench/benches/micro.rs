@@ -1,0 +1,147 @@
+//! Microbenchmarks of the substrates: frame codec, analytics kernels,
+//! the discrete-event engine, the filesystems and the KVS. These measure
+//! *wall-clock* performance of the reproduction's own code (the
+//! simulators), complementing the simulated-time experiment binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use analytics::ContactMatrix;
+use bytes::Bytes;
+use cluster::{Cluster, ClusterSpec, NodeId, NodeSpec, NvmeDevice};
+use localfs::{LocalFs, LocalFsSpec};
+use mdsim::{Frame, FrameTemplate, Model};
+use simcore::resource::SharedBandwidth;
+use simcore::{Sim, SimDuration};
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_codec");
+    for model in [Model::Jac, Model::ApoA1] {
+        let t = FrameTemplate::generate(model, 1);
+        let segs = t.frame_segments(7);
+        let flat = transport::flatten_payload(segs.clone());
+        g.throughput(Throughput::Bytes(model.frame_bytes()));
+        g.bench_with_input(BenchmarkId::new("decode", model.name()), &flat, |b, flat| {
+            b.iter(|| Frame::decode(black_box(flat.clone())).unwrap())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("emit_zero_copy", model.name()),
+            &t,
+            |b, t| b.iter(|| black_box(t.frame_segments(black_box(9)))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_analytics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analytics");
+    let positions: Vec<[f64; 3]> = (0..200)
+        .map(|i| {
+            let x = (i as f64 * 0.37).sin() * 20.0 + 25.0;
+            [x, (i as f64 * 0.11).cos() * 20.0 + 25.0, i as f64 * 0.25]
+        })
+        .collect();
+    g.bench_function("contact_matrix_200", |b| {
+        b.iter(|| ContactMatrix::build(black_box(&positions), [50.0; 3], 5.0))
+    });
+    let cm = ContactMatrix::build(&positions, [50.0; 3], 5.0);
+    g.bench_function("power_iteration_200x50", |b| {
+        b.iter(|| black_box(&cm).largest_eigenvalue(50))
+    });
+    g.finish();
+}
+
+fn bench_des_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore");
+    g.bench_function("timer_events_100k", |b| {
+        b.iter(|| {
+            let sim = Sim::new(0);
+            for i in 0..1_000u64 {
+                let ctx = sim.ctx();
+                sim.spawn(async move {
+                    for k in 0..100 {
+                        ctx.sleep(SimDuration::from_nanos(1 + (i * 37 + k) % 997))
+                            .await;
+                    }
+                });
+            }
+            black_box(sim.run().events_processed)
+        })
+    });
+    g.bench_function("bandwidth_1k_flows", |b| {
+        b.iter(|| {
+            let sim = Sim::new(0);
+            let ctx = sim.ctx();
+            let bw = SharedBandwidth::new(&ctx, 1e9);
+            for i in 0..1_000u64 {
+                let bw = bw.clone();
+                let ctx = ctx.clone();
+                sim.spawn(async move {
+                    ctx.sleep(SimDuration::from_nanos(i * 13 % 10_000)).await;
+                    bw.transfer(1_000 + i).await;
+                });
+            }
+            black_box(sim.run().events_processed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_localfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("localfs");
+    g.bench_function("write_read_1MiB_sim", |b| {
+        let payload = Bytes::from(vec![7u8; 1 << 20]);
+        b.iter(|| {
+            let sim = Sim::new(0);
+            let ctx = sim.ctx();
+            let dev = NvmeDevice::new(&ctx, &NodeSpec::corona());
+            let fs = LocalFs::new(&ctx, dev, LocalFsSpec::default());
+            let p = payload.clone();
+            sim.spawn(async move {
+                let fd = fs.create("/f").await.unwrap();
+                fs.write_bytes(fd, p).await.unwrap();
+                fs.close(fd).await.unwrap();
+                let fd = fs.open("/f").await.unwrap();
+                let _ = fs.read_segments(fd).await.unwrap();
+                fs.close(fd).await.unwrap();
+            });
+            black_box(sim.run().events_processed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_kvs(c: &mut Criterion) {
+    use kvs::{KvsClient, KvsServer, KvsSpec};
+    use transport::{Transport, TransportSpec};
+    let mut g = c.benchmark_group("kvs");
+    g.bench_function("commit_lookup_x100_sim", |b| {
+        b.iter(|| {
+            let sim = Sim::new(0);
+            let ctx = sim.ctx();
+            let cl = Cluster::build(&ctx, &ClusterSpec::corona(2));
+            let tp = Transport::new(&ctx, cl.fabric().clone(), TransportSpec::default());
+            let _srv = KvsServer::start(&ctx, &tp, NodeId(0), KvsSpec::default());
+            let c = KvsClient::new(&ctx, &tp, NodeId(1), NodeId(0), KvsSpec::default());
+            sim.spawn(async move {
+                for i in 0..100 {
+                    let key = format!("k{i}");
+                    c.commit(&key, Bytes::from_static(b"v")).await;
+                    let _ = c.lookup(&key).await;
+                }
+            });
+            black_box(sim.run().events_processed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frame_codec,
+    bench_analytics,
+    bench_des_engine,
+    bench_localfs,
+    bench_kvs
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Wall-clock cost of simulating one workflow repetition per solution —
+//! how fast the reproduction itself runs (simulated seconds per real
+//! second), independent of the simulated-time results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mdflow::calibration::Calibration;
+use mdflow::prelude::*;
+use mdflow::runner::run_once;
+
+fn bench_workflows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workflow_run_once");
+    g.sample_size(10);
+    let cal = Calibration::corona();
+    let cases = [
+        (
+            "dyad_1node_2p",
+            WorkflowConfig::new(Solution::Dyad, 2, Placement::SingleNode).with_frames(16),
+        ),
+        (
+            "xfs_1node_2p",
+            WorkflowConfig::new(Solution::Xfs, 2, Placement::SingleNode).with_frames(16),
+        ),
+        (
+            "dyad_2node_8p",
+            WorkflowConfig::new(Solution::Dyad, 8, Placement::Split { pairs_per_node: 8 })
+                .with_frames(16),
+        ),
+        (
+            "lustre_2node_8p",
+            WorkflowConfig::new(Solution::Lustre, 8, Placement::Split { pairs_per_node: 8 })
+                .with_frames(16),
+        ),
+    ];
+    for (name, wf) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &wf, |b, wf| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(wf, &cal, seed).events)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_workflows);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Run the entire experiment suite (Tables I-II, Figures 5-12, findings,
+//! ablations) by invoking each regenerator binary in sequence. Accepts
+//! the same `MDFLOW_REPS` / `MDFLOW_FRAMES` environment overrides.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9_10", "fig11", "fig12",
+        "ablation", "bursty",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n================================================================");
+        println!("== {bin}");
+        println!("================================================================");
+        let status = Command::new(exe_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failed.push(bin);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall experiments completed; JSON in target/experiments/");
+    } else {
+        eprintln!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

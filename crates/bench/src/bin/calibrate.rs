@@ -1,0 +1,115 @@
+//! Calibration probe: prints the headline ratios of Figures 5, 6 and 8
+//! at reduced scale so the testbed constants can be tuned quickly.
+//! Not part of the paper's experiment set.
+
+use bench::{print_ratio, run, Scale};
+use mdflow::prelude::*;
+
+fn main() {
+    let scale = Scale {
+        reps: std::env::var("MDFLOW_REPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3),
+        frames: std::env::var("MDFLOW_FRAMES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(128),
+    };
+    println!("calibration probe at reps={} frames={}", scale.reps, scale.frames);
+
+    // Fig 5: single node, JAC, DYAD vs XFS, 4 pairs.
+    let dyad1 = run(
+        WorkflowConfig::new(Solution::Dyad, 4, Placement::SingleNode),
+        scale,
+    );
+    let xfs = run(
+        WorkflowConfig::new(Solution::Xfs, 4, Placement::SingleNode),
+        scale,
+    );
+    println!("\n[fig5] single node, JAC, 4 pairs");
+    print_ratio(
+        "DYAD production slower than XFS",
+        "1.4x",
+        dyad1.production_total() / xfs.production_total(),
+    );
+    print_ratio(
+        "DYAD consumption faster than XFS (overall)",
+        "192.9x",
+        xfs.consumption_total() / dyad1.consumption_total(),
+    );
+    println!(
+        "  DYAD prod {:.0}us (move {:.0}us) | XFS prod {:.0}us | DYAD cons {:.2}ms | XFS cons {:.1}ms",
+        dyad1.production_total() * 1e6,
+        dyad1.production_movement.mean * 1e6,
+        xfs.production_total() * 1e6,
+        dyad1.consumption_total() * 1e3,
+        xfs.consumption_total() * 1e3
+    );
+
+    // Fig 6: two nodes, JAC, DYAD vs Lustre, 8 pairs.
+    let split = Placement::Split { pairs_per_node: 8 };
+    let dyad2 = run(WorkflowConfig::new(Solution::Dyad, 8, split), scale);
+    let lustre2 = run(WorkflowConfig::new(Solution::Lustre, 8, split), scale);
+    println!("\n[fig6] two nodes, JAC, 8 pairs");
+    print_ratio(
+        "DYAD production faster than Lustre",
+        "7.5x",
+        lustre2.production_total() / dyad2.production_total(),
+    );
+    print_ratio(
+        "DYAD consumer movement faster than Lustre",
+        "6.9x",
+        lustre2.consumption_movement.mean / dyad2.consumption_movement.mean,
+    );
+    print_ratio(
+        "DYAD overall consumption faster",
+        "197.4x",
+        lustre2.consumption_total() / dyad2.consumption_total(),
+    );
+    println!(
+        "  DYAD prod {:.0}us | Lustre prod {:.0}us | DYAD cons-move {:.2}ms | Lustre cons-move {:.2}ms",
+        dyad2.production_total() * 1e6,
+        lustre2.production_total() * 1e6,
+        dyad2.consumption_movement.mean * 1e3,
+        lustre2.consumption_movement.mean * 1e3
+    );
+
+    // Fig 8 extremes: 2 nodes, 16 pairs, JAC vs STMV.
+    let split16 = Placement::Split {
+        pairs_per_node: 16,
+    };
+    for model in [Model::Jac, Model::Stmv] {
+        let d = run(
+            WorkflowConfig::new(Solution::Dyad, 16, split16).with_model(model),
+            scale,
+        );
+        let l = run(
+            WorkflowConfig::new(Solution::Lustre, 16, split16).with_model(model),
+            scale,
+        );
+        println!("\n[fig8] 2 nodes, 16 pairs, {model}");
+        print_ratio(
+            "DYAD production movement faster",
+            if model == Model::Jac { "2.1x" } else { "6.3x" },
+            l.production_movement.mean / d.production_movement.mean,
+        );
+        print_ratio(
+            "DYAD consumption movement faster",
+            if model == Model::Jac { "1.6x" } else { "6.0x" },
+            l.consumption_movement.mean / d.consumption_movement.mean,
+        );
+        print_ratio(
+            "DYAD overall consumption faster",
+            if model == Model::Jac { "333.8x" } else { "121.0x" },
+            l.consumption_total() / d.consumption_total(),
+        );
+        println!(
+            "  DYAD prod-move {:.2}ms | Lustre prod-move {:.2}ms | DYAD cons-move {:.2}ms | Lustre cons-move {:.2}ms",
+            d.production_movement.mean * 1e3,
+            l.production_movement.mean * 1e3,
+            d.consumption_movement.mean * 1e3,
+            l.consumption_movement.mean * 1e3
+        );
+    }
+}

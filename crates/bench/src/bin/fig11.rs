@@ -1,0 +1,71 @@
+//! Figure 11: frame-generation frequency scaling with JAC — strides of
+//! 1, 5, 10, 50 on two nodes with 16 pairs. DYAD's production is 4.8×
+//! faster than Lustre across strides; idle times grow with the stride
+//! for both, but DYAD's stay far smaller (adaptive synchronization).
+
+use bench::{
+    consumption_chart, print_bar, print_ratio, production_chart, reports_json, run, save_json,
+    Scale,
+};
+use mdflow::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    let split = Placement::Split {
+        pairs_per_node: 16,
+    };
+    println!(
+        "FIGURE 11 — 2 nodes, 16 pairs, JAC, strides 1/5/10/50, {} frames, {} reps",
+        scale.frames, scale.reps
+    );
+    let mut rows = Vec::new();
+    let mut by_stride = Vec::new();
+    for stride in [1u64, 5, 10, 50] {
+        let dyad = run(
+            WorkflowConfig::new(Solution::Dyad, 16, split).with_stride(stride),
+            scale,
+        );
+        let lustre = run(
+            WorkflowConfig::new(Solution::Lustre, 16, split).with_stride(stride),
+            scale,
+        );
+        println!(
+            "\nstride {stride} (period {:.2} ms):",
+            Model::Jac.period_for_stride(stride) * 1e3
+        );
+        print_bar(&format!("DYAD   (stride {stride})"), &dyad);
+        print_bar(&format!("Lustre (stride {stride})"), &lustre);
+        rows.push((format!("dyad-s{stride}"), dyad.clone()));
+        rows.push((format!("lustre-s{stride}"), lustre.clone()));
+        by_stride.push((dyad, lustre));
+    }
+    // Production gap averaged over strides (the paper's 4.8x headline).
+    let mean_gap: f64 = by_stride
+        .iter()
+        .map(|(d, l)| l.production_total() / d.production_total())
+        .sum::<f64>()
+        / by_stride.len() as f64;
+    println!("\nheadline:");
+    print_ratio("DYAD production faster than Lustre (mean)", "4.8x", mean_gap);
+    // Idle grows with stride for both solutions.
+    let first = &by_stride.first().unwrap();
+    let last = &by_stride.last().unwrap();
+    println!(
+        "  idle growth stride 1 → 50: DYAD {:.3} → {:.3} ms | Lustre {:.1} → {:.1} ms",
+        first.0.consumption_idle.mean * 1e3,
+        last.0.consumption_idle.mean * 1e3,
+        first.1.consumption_idle.mean * 1e3,
+        last.1.consumption_idle.mean * 1e3,
+    );
+    let check = mdflow::findings::finding5(&by_stride);
+    println!("\nFinding 5 ({}) holds: {} — {}", check.statement, check.holds, check.evidence);
+
+    println!();
+    print!("{}", production_chart("production time per frame", &rows));
+    println!();
+    print!("{}", consumption_chart("consumption time per frame", &rows));
+
+    let rows_ref: Vec<(String, &StudyReport)> =
+        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    save_json("fig11", &reports_json(&rows_ref));
+}

@@ -1,0 +1,77 @@
+//! Figure 12: frame-generation frequency scaling with STMV — strides of
+//! 1, 5, 10, 50 on two nodes with 16 pairs. DYAD's production is 2.0×
+//! faster; DYAD's movement improves with stride (less network
+//! contention), and overall consumption is 13.0-192.2× faster with the
+//! gap widening as the stride grows.
+
+use bench::{
+    consumption_chart, print_bar, print_ratio, production_chart, reports_json, run, save_json,
+    Scale,
+};
+use mdflow::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    let split = Placement::Split {
+        pairs_per_node: 16,
+    };
+    println!(
+        "FIGURE 12 — 2 nodes, 16 pairs, STMV, strides 1/5/10/50, {} frames, {} reps",
+        scale.frames, scale.reps
+    );
+    let mut rows = Vec::new();
+    let mut by_stride = Vec::new();
+    for stride in [1u64, 5, 10, 50] {
+        let dyad = run(
+            WorkflowConfig::new(Solution::Dyad, 16, split)
+                .with_model(Model::Stmv)
+                .with_stride(stride),
+            scale,
+        );
+        let lustre = run(
+            WorkflowConfig::new(Solution::Lustre, 16, split)
+                .with_model(Model::Stmv)
+                .with_stride(stride),
+            scale,
+        );
+        println!(
+            "\nstride {stride} (period {:.1} ms):",
+            Model::Stmv.period_for_stride(stride) * 1e3
+        );
+        print_bar(&format!("DYAD   (stride {stride})"), &dyad);
+        print_bar(&format!("Lustre (stride {stride})"), &lustre);
+        print_ratio(
+            "  overall consumption gap",
+            "13.0x..192.2x",
+            lustre.consumption_total() / dyad.consumption_total(),
+        );
+        rows.push((format!("dyad-s{stride}"), dyad.clone()));
+        rows.push((format!("lustre-s{stride}"), lustre.clone()));
+        by_stride.push((dyad, lustre));
+    }
+    let mean_gap: f64 = by_stride
+        .iter()
+        .map(|(d, l)| l.production_total() / d.production_total())
+        .sum::<f64>()
+        / by_stride.len() as f64;
+    println!("\nheadline:");
+    print_ratio("DYAD production faster than Lustre (mean)", "2.0x", mean_gap);
+    let move_s1 = by_stride[0].0.consumption_movement.mean;
+    let move_s50 = by_stride[3].0.consumption_movement.mean;
+    print_ratio(
+        "DYAD movement improves stride 1 → 50",
+        "up to 1.4x",
+        move_s1 / move_s50.max(1e-12),
+    );
+    let check = mdflow::findings::finding5(&by_stride);
+    println!("\nFinding 5 ({}) holds: {} — {}", check.statement, check.holds, check.evidence);
+
+    println!();
+    print!("{}", production_chart("production time per frame", &rows));
+    println!();
+    print!("{}", consumption_chart("consumption time per frame", &rows));
+
+    let rows_ref: Vec<(String, &StudyReport)> =
+        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    save_json("fig12", &reports_json(&rows_ref));
+}

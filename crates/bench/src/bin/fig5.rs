@@ -1,0 +1,62 @@
+//! Figure 5: single node, JAC, DYAD vs XFS, ensembles of 1/2/4 pairs.
+//! (a) production time (DYAD 1.4× slower due to namespace management),
+//! (b) consumption time (DYAD 192.9× faster overall thanks to adaptive
+//! synchronization).
+
+use bench::{
+    consumption_chart, print_bar, print_ratio, production_chart, reports_json, run, save_json,
+    Scale,
+};
+use mdflow::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "FIGURE 5 — single node, JAC, stride 880, {} frames, {} reps",
+        scale.frames, scale.reps
+    );
+    let mut rows = Vec::new();
+    let mut last = None;
+    for pairs in [1u32, 2, 4] {
+        let dyad = run(
+            WorkflowConfig::new(Solution::Dyad, pairs, Placement::SingleNode),
+            scale,
+        );
+        let xfs = run(
+            WorkflowConfig::new(Solution::Xfs, pairs, Placement::SingleNode),
+            scale,
+        );
+        println!("\n{pairs} pair(s):");
+        print_bar(&format!("DYAD  ({pairs} pairs)"), &dyad);
+        print_bar(&format!("XFS   ({pairs} pairs)"), &xfs);
+        rows.push((format!("dyad-{pairs}p"), dyad));
+        rows.push((format!("xfs-{pairs}p"), xfs));
+        last = Some(pairs);
+    }
+    let _ = last;
+    // Headline ratios at the largest ensemble (4 pairs).
+    let dyad = &rows[rows.len() - 2].1;
+    let xfs = &rows[rows.len() - 1].1;
+    println!("\nheadline (4 pairs):");
+    print_ratio(
+        "DYAD production slower than XFS",
+        "1.4x",
+        dyad.production_total() / xfs.production_total(),
+    );
+    print_ratio(
+        "DYAD overall consumption faster than XFS",
+        "192.9x",
+        xfs.consumption_total() / dyad.consumption_total(),
+    );
+    let check = mdflow::findings::finding1(dyad, xfs);
+    println!("\nFinding 1 ({}) holds: {} — {}", check.statement, check.holds, check.evidence);
+
+    println!();
+    print!("{}", production_chart("production time per frame", &rows));
+    println!();
+    print!("{}", consumption_chart("consumption time per frame", &rows));
+
+    let rows_ref: Vec<(String, &StudyReport)> =
+        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    save_json("fig5", &reports_json(&rows_ref));
+}

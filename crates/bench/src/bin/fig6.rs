@@ -1,0 +1,64 @@
+//! Figure 6: two nodes (producers on one, consumers on the other), JAC,
+//! DYAD vs Lustre, ensembles of 1/2/4/8 pairs. DYAD's producer movement
+//! is 7.5× faster (node-local storage), consumer movement 6.9× faster,
+//! and overall consumption 197.4× faster.
+
+use bench::{
+    consumption_chart, print_bar, print_ratio, production_chart, reports_json, run, save_json,
+    Scale,
+};
+use mdflow::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    let split = Placement::Split { pairs_per_node: 8 };
+    println!(
+        "FIGURE 6 — two nodes, JAC, stride 880, {} frames, {} reps",
+        scale.frames, scale.reps
+    );
+    let mut rows = Vec::new();
+    for pairs in [1u32, 2, 4, 8] {
+        let dyad = run(WorkflowConfig::new(Solution::Dyad, pairs, split), scale);
+        let lustre = run(WorkflowConfig::new(Solution::Lustre, pairs, split), scale);
+        println!("\n{pairs} pair(s):");
+        print_bar(&format!("DYAD   ({pairs} pairs)"), &dyad);
+        print_bar(&format!("Lustre ({pairs} pairs)"), &lustre);
+        rows.push((format!("dyad-{pairs}p"), dyad));
+        rows.push((format!("lustre-{pairs}p"), lustre));
+    }
+    let dyad = &rows[rows.len() - 2].1;
+    let lustre = &rows[rows.len() - 1].1;
+    println!("\nheadline (8 pairs):");
+    print_ratio(
+        "DYAD production faster than Lustre",
+        "7.5x",
+        lustre.production_total() / dyad.production_total(),
+    );
+    print_ratio(
+        "DYAD consumer data movement faster",
+        "6.9x",
+        lustre.consumption_movement.mean / dyad.consumption_movement.mean,
+    );
+    print_ratio(
+        "DYAD overall consumption faster",
+        "197.4x",
+        lustre.consumption_total() / dyad.consumption_total(),
+    );
+    // Finding 2 needs the single-node DYAD baseline.
+    let dyad_1node = run(
+        WorkflowConfig::new(Solution::Dyad, 4, Placement::SingleNode),
+        scale,
+    );
+    let dyad_2node = run(WorkflowConfig::new(Solution::Dyad, 4, split), scale);
+    let check = mdflow::findings::finding2(&dyad_1node, &dyad_2node);
+    println!("\nFinding 2 ({}) holds: {} — {}", check.statement, check.holds, check.evidence);
+
+    println!();
+    print!("{}", production_chart("production time per frame", &rows));
+    println!();
+    print!("{}", consumption_chart("consumption time per frame", &rows));
+
+    let rows_ref: Vec<(String, &StudyReport)> =
+        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    save_json("fig6", &reports_json(&rows_ref));
+}

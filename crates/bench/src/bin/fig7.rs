@@ -1,0 +1,64 @@
+//! Figure 7: multi-node scaling — 2 to 64 nodes, 8 to 256
+//! producer-consumer pairs (8 per node), JAC, DYAD vs Lustre. DYAD's
+//! producer movement is 5.3× faster, consumer movement 5.8× faster,
+//! overall consumption 192.0× faster; Lustre shows extra variability at
+//! 128/256 pairs from background interference.
+
+use bench::{
+    consumption_chart, print_bar, print_ratio, production_chart, reports_json, run, save_json,
+    Scale,
+};
+use mdflow::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    let split = Placement::Split { pairs_per_node: 8 };
+    println!(
+        "FIGURE 7 — 2..64 nodes, 8..256 pairs, JAC, {} frames, {} reps",
+        scale.frames, scale.reps
+    );
+    let mut rows = Vec::new();
+    for pairs in [8u32, 16, 32, 64, 128, 256] {
+        let dyad = run(WorkflowConfig::new(Solution::Dyad, pairs, split), scale);
+        let lustre = run(WorkflowConfig::new(Solution::Lustre, pairs, split), scale);
+        println!("\n{pairs} pairs ({} nodes):", pairs / 8 * 2);
+        print_bar(&format!("DYAD   ({pairs} pairs)"), &dyad);
+        print_bar(&format!("Lustre ({pairs} pairs)"), &lustre);
+        println!(
+            "  variability (std/mean of production movement): DYAD {:.1}%  Lustre {:.1}%",
+            100.0 * dyad.production_movement.std / dyad.production_movement.mean.max(1e-12),
+            100.0 * lustre.production_movement.std / lustre.production_movement.mean.max(1e-12),
+        );
+        rows.push((format!("dyad-{pairs}p"), dyad));
+        rows.push((format!("lustre-{pairs}p"), lustre));
+    }
+    let dyad = &rows[rows.len() - 2].1;
+    let lustre = &rows[rows.len() - 1].1;
+    println!("\nheadline (256 pairs):");
+    print_ratio(
+        "DYAD producer data movement faster",
+        "5.3x",
+        lustre.production_movement.mean / dyad.production_movement.mean,
+    );
+    print_ratio(
+        "DYAD consumer data movement faster",
+        "5.8x",
+        lustre.consumption_movement.mean / dyad.consumption_movement.mean,
+    );
+    print_ratio(
+        "DYAD overall consumption faster",
+        "192.0x",
+        lustre.consumption_total() / dyad.consumption_total(),
+    );
+    let check = mdflow::findings::finding3(dyad, lustre);
+    println!("\nFinding 3 ({}) holds: {} — {}", check.statement, check.holds, check.evidence);
+
+    println!();
+    print!("{}", production_chart("production time per frame", &rows));
+    println!();
+    print!("{}", consumption_chart("consumption time per frame", &rows));
+
+    let rows_ref: Vec<(String, &StudyReport)> =
+        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    save_json("fig7", &reports_json(&rows_ref));
+}

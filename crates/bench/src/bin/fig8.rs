@@ -1,0 +1,65 @@
+//! Figure 8: molecular-model size scaling — JAC, ApoA1, F1 ATPase, STMV
+//! on two nodes with 16 pairs, strides per Table II (equal frame
+//! cadence). DYAD's producer movement is 2.1-6.3× faster, consumer
+//! movement 1.6-6.0× faster, overall consumption 121.0-333.8× faster.
+
+use bench::{
+    consumption_chart, print_bar, print_ratio, production_chart, reports_json, run, save_json,
+    Scale,
+};
+use mdflow::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    let split = Placement::Split {
+        pairs_per_node: 16,
+    };
+    println!(
+        "FIGURE 8 — 2 nodes, 16 pairs, model scaling, {} frames, {} reps",
+        scale.frames, scale.reps
+    );
+    let mut rows = Vec::new();
+    let mut pairs_by_model = Vec::new();
+    for model in Model::ALL {
+        let dyad = run(
+            WorkflowConfig::new(Solution::Dyad, 16, split).with_model(model),
+            scale,
+        );
+        let lustre = run(
+            WorkflowConfig::new(Solution::Lustre, 16, split).with_model(model),
+            scale,
+        );
+        println!("\n{model} ({} B/frame):", model.frame_bytes());
+        print_bar(&format!("DYAD   ({model})"), &dyad);
+        print_bar(&format!("Lustre ({model})"), &lustre);
+        print_ratio(
+            "  production movement gap",
+            "2.1x..6.3x",
+            lustre.production_movement.mean / dyad.production_movement.mean,
+        );
+        print_ratio(
+            "  consumption movement gap",
+            "1.6x..6.0x",
+            lustre.consumption_movement.mean / dyad.consumption_movement.mean,
+        );
+        print_ratio(
+            "  overall consumption gap",
+            "121.0x..333.8x",
+            lustre.consumption_total() / dyad.consumption_total(),
+        );
+        rows.push((format!("dyad-{}", model.name()), dyad.clone()));
+        rows.push((format!("lustre-{}", model.name()), lustre.clone()));
+        pairs_by_model.push((dyad, lustre));
+    }
+    let check = mdflow::findings::finding4(&pairs_by_model);
+    println!("\nFinding 4 ({}) holds: {} — {}", check.statement, check.holds, check.evidence);
+
+    println!();
+    print!("{}", production_chart("production time per frame", &rows));
+    println!();
+    print!("{}", consumption_chart("consumption time per frame", &rows));
+
+    let rows_ref: Vec<(String, &StudyReport)> =
+        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    save_json("fig8", &reports_json(&rows_ref));
+}

@@ -1,0 +1,155 @@
+//! `mdflow-run` — run a custom workflow configuration from the command
+//! line (the downstream-user entry point for one-off experiments).
+//!
+//! ```text
+//! mdflow-run [--solution dyad|xfs|lustre|dyad-on-pfs]
+//!            [--model jac|apoa1|f1|stmv]
+//!            [--pairs N] [--nodes single|split] [--per-node N]
+//!            [--stride N] [--frames N] [--reps N] [--seed N]
+//!            [--sync coarse|fine|polling] [--no-warm-sync]
+//!            [--quiet-testbed] [--json]
+//! ```
+
+use mdflow::calibration::Calibration;
+use mdflow::prelude::*;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.value(name) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad value for {name}: {v}"))),
+            None => default,
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run with --help for usage");
+    std::process::exit(2)
+}
+
+const HELP: &str = "\
+mdflow-run — run one MD-workflow data-movement experiment
+
+options:
+  --solution dyad|xfs|lustre|dyad-on-pfs   data-management solution [dyad]
+  --model    jac|apoa1|f1|stmv             molecular model [jac]
+  --pairs    N                             producer-consumer pairs [4]
+  --nodes    single|split                  placement [split; xfs forces single]
+  --per-node N                             pairs per node when split [8]
+  --stride   N                             steps between frames [model default]
+  --frames   N                             frames per pair [128]
+  --reps     N                             repetitions [10]
+  --seed     N                             base seed [0xD1AD]
+  --sync     coarse|fine|polling           manual sync protocol [coarse]
+  --no-warm-sync                           disable DYAD's warm fast path
+  --quiet-testbed                          no PFS interference / jitter
+  --json                                   print the full report as JSON
+";
+
+fn main() {
+    let args = Args(std::env::args().skip(1).collect());
+    if args.flag("--help") || args.flag("-h") {
+        print!("{HELP}");
+        return;
+    }
+    let solution = match args.value("--solution").unwrap_or("dyad") {
+        "dyad" => Solution::Dyad,
+        "xfs" => Solution::Xfs,
+        "lustre" => Solution::Lustre,
+        "dyad-on-pfs" => Solution::DyadOnPfs,
+        other => die(&format!("unknown solution {other}")),
+    };
+    let model = match args.value("--model").unwrap_or("jac") {
+        "jac" => Model::Jac,
+        "apoa1" => Model::ApoA1,
+        "f1" => Model::F1Atpase,
+        "stmv" => Model::Stmv,
+        other => die(&format!("unknown model {other}")),
+    };
+    let pairs: u32 = args.num("--pairs", 4);
+    let per_node: u32 = args.num("--per-node", 8);
+    let placement = match args.value("--nodes") {
+        Some("single") => Placement::SingleNode,
+        Some("split") | None if solution != Solution::Xfs => Placement::Split {
+            pairs_per_node: per_node,
+        },
+        Some("split") => die("xfs cannot run split across nodes (paper §III-B)"),
+        None => Placement::SingleNode,
+        Some(other) => die(&format!("unknown placement {other}")),
+    };
+    let mut wf = WorkflowConfig::new(solution, pairs, placement).with_model(model);
+    if let Some(stride) = args.value("--stride") {
+        wf = wf.with_stride(stride.parse().unwrap_or_else(|_| die("bad --stride")));
+    }
+    wf = wf.with_frames(args.num("--frames", 128));
+    wf.manual_sync = match args.value("--sync").unwrap_or("coarse") {
+        "coarse" => ManualSync::Coarse,
+        "fine" => ManualSync::Fine,
+        "polling" => ManualSync::Polling,
+        other => die(&format!("unknown sync protocol {other}")),
+    };
+    wf.dyad_warm_sync = !args.flag("--no-warm-sync");
+
+    let mut study = StudyConfig::paper(wf);
+    study.repetitions = args.num("--reps", 10);
+    study.seed = args.num("--seed", 0xD1ADu64);
+    if args.flag("--quiet-testbed") {
+        study.calibration = Calibration::quiet();
+    }
+
+    eprintln!(
+        "running {} × {} pairs × {} frames × {} reps ({} / stride {})...",
+        study.workflow.solution,
+        study.workflow.pairs,
+        study.workflow.frames,
+        study.repetitions,
+        study.workflow.model,
+        study.workflow.stride,
+    );
+    let report = run_study(&study);
+    if args.flag("--json") {
+        println!("{}", report.to_json());
+        return;
+    }
+    println!(
+        "production:  {:>12} movement + {:>12} idle = {:>12} per frame",
+        fmt(report.production_movement.mean),
+        fmt(report.production_idle.mean),
+        fmt(report.production_total()),
+    );
+    println!(
+        "consumption: {:>12} movement + {:>12} idle = {:>12} per frame",
+        fmt(report.consumption_movement.mean),
+        fmt(report.consumption_idle.mean),
+        fmt(report.consumption_total()),
+    );
+    println!(
+        "makespan:    {:.2} s (±{:.2})",
+        report.makespan.mean, report.makespan.std
+    );
+}
+
+fn fmt(s: f64) -> String {
+    if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}

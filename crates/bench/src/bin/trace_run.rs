@@ -1,0 +1,46 @@
+//! Capture a Chrome/Perfetto trace of one workflow repetition: every
+//! producer and consumer gets a timeline track, every Caliper region a
+//! span. Open the output (`target/experiments/trace_<solution>.json`)
+//! in <https://ui.perfetto.dev> to watch the pipeline breathe.
+//!
+//! ```text
+//! trace_run [dyad|xfs|lustre] [pairs] [frames]
+//! ```
+
+use mdflow::calibration::Calibration;
+use mdflow::prelude::*;
+use mdflow::runner::run_once_traced;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let solution = match args.first().map(|s| s.as_str()) {
+        Some("xfs") => Solution::Xfs,
+        Some("lustre") => Solution::Lustre,
+        _ => Solution::Dyad,
+    };
+    let pairs: u32 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(2);
+    let frames: u64 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(8);
+    let placement = if solution == Solution::Xfs {
+        Placement::SingleNode
+    } else {
+        Placement::Split { pairs_per_node: 8 }
+    };
+    let wf = WorkflowConfig::new(solution, pairs, placement).with_frames(frames);
+    eprintln!(
+        "tracing one repetition: {} × {pairs} pairs × {frames} frames...",
+        solution.label()
+    );
+    let (metrics, tracer) = run_once_traced(&wf, &Calibration::corona(), 7);
+    let json = tracer.to_chrome_json();
+    let dir = std::path::Path::new("target/experiments");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("trace_{}.json", solution.label().to_lowercase()));
+    std::fs::write(&path, &json).expect("write trace");
+    println!(
+        "wrote {path:?}: {} events over {:.2} simulated s ({} discrete events)",
+        tracer.len(),
+        metrics.makespan.as_secs_f64(),
+        metrics.events
+    );
+    println!("open it at https://ui.perfetto.dev or chrome://tracing");
+}

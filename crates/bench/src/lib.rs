@@ -1,0 +1,223 @@
+//! Shared plumbing for the experiment regenerators: one binary per paper
+//! table/figure lives in `src/bin/`, each printing the paper's series
+//! (movement/idle per bar) plus paper-vs-measured headline ratios, and
+//! emitting machine-readable JSON for EXPERIMENTS.md.
+
+use mdflow::prelude::*;
+
+/// Environment-tunable experiment scale so the full suite can run both
+/// at paper fidelity and in quick CI mode.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Repetitions per configuration (paper: 10).
+    pub reps: u32,
+    /// Frames per pair (paper: 128).
+    pub frames: u64,
+}
+
+impl Scale {
+    /// Read `MDFLOW_REPS` / `MDFLOW_FRAMES` from the environment,
+    /// defaulting to the paper's 10 × 128.
+    pub fn from_env() -> Scale {
+        let reps = std::env::var("MDFLOW_REPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        let frames = std::env::var("MDFLOW_FRAMES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(128);
+        Scale { reps, frames }
+    }
+
+    /// Quick mode for tests.
+    pub fn quick() -> Scale {
+        Scale { reps: 2, frames: 16 }
+    }
+}
+
+/// Run one workflow configuration at the given scale.
+pub fn run(wf: WorkflowConfig, scale: Scale) -> StudyReport {
+    let wf = wf.with_frames(scale.frames);
+    let study = StudyConfig::paper(wf).with_repetitions(scale.reps);
+    run_study(&study)
+}
+
+/// Format seconds with an appropriate unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Print one figure bar: label, movement, idle, total.
+pub fn print_bar(label: &str, r: &StudyReport) {
+    println!(
+        "  {label:<28} prod: move {:>11} idle {:>11} | cons: move {:>11} idle {:>11} | cons total {:>11}",
+        fmt_secs(r.production_movement.mean),
+        fmt_secs(r.production_idle.mean),
+        fmt_secs(r.consumption_movement.mean),
+        fmt_secs(r.consumption_idle.mean),
+        fmt_secs(r.consumption_total()),
+    );
+}
+
+/// Print a paper-vs-measured headline ratio row.
+pub fn print_ratio(what: &str, paper: &str, measured: f64) {
+    println!("  {what:<58} paper: {paper:<14} measured: {measured:.1}x");
+}
+
+/// Append a JSON experiment record to `target/experiments/<name>.json`.
+pub fn save_json(name: &str, payload: &str) {
+    let dir = std::path::Path::new("target/experiments");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("{name}.json"));
+    if let Err(e) = std::fs::write(&path, payload) {
+        eprintln!("warning: could not save {path:?}: {e}");
+    } else {
+        println!("  [saved {path:?}]");
+    }
+}
+
+/// Serialize a list of labelled reports.
+pub fn reports_json(rows: &[(String, &StudyReport)]) -> String {
+    let objs: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|(label, r)| {
+            let mut v: serde_json::Value =
+                serde_json::from_str(&r.to_json()).expect("report json");
+            v["label"] = serde_json::Value::String(label.clone());
+            v
+        })
+        .collect();
+    serde_json::to_string_pretty(&objs).expect("json")
+}
+
+/// Render a grouped horizontal bar chart of `(label, movement, idle)`
+/// rows (seconds) as ASCII — the reproduced view of the paper's stacked
+/// red/blue bar figures. Bars are log-scaled when values span more than
+/// two decades so µs-scale movement stays visible next to near-second
+/// idle bars.
+pub fn render_bars(title: &str, rows: &[(String, f64, f64)]) -> String {
+    const WIDTH: f64 = 56.0;
+    let mut out = format!("  {title}
+");
+    let max = rows
+        .iter()
+        .map(|(_, m, i)| m + i)
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let min = rows
+        .iter()
+        .map(|(_, m, i)| (m + i).max(1e-9))
+        .fold(f64::INFINITY, f64::min);
+    let log_scale = max / min > 100.0;
+    let scale = |v: f64| -> usize {
+        if v <= 0.0 {
+            return 0;
+        }
+        let frac = if log_scale {
+            ((v.max(1e-9) / min).ln() / (max / min).ln()).clamp(0.0, 1.0)
+        } else {
+            v / max
+        };
+        (frac * WIDTH).round() as usize
+    };
+    for (label, movement, idle) in rows {
+        let total = movement + idle;
+        let total_w = scale(total).max(1);
+        let move_w = ((movement / total.max(1e-12)) * total_w as f64).round() as usize;
+        let move_w = move_w.min(total_w);
+        out.push_str(&format!(
+            "  {label:<26} |{}{}| {}
+",
+            "#".repeat(move_w),
+            "-".repeat(total_w - move_w),
+            fmt_secs(total)
+        ));
+    }
+    out.push_str(&format!(
+        "  {:<26}  ('#' movement, '-' idle{})
+",
+        "",
+        if log_scale { ", log scale" } else { "" }
+    ));
+    out
+}
+
+/// Convenience: chart rows from labelled reports (consumption view).
+pub fn consumption_chart(title: &str, rows: &[(String, StudyReport)]) -> String {
+    let bars: Vec<(String, f64, f64)> = rows
+        .iter()
+        .map(|(l, r)| {
+            (
+                l.clone(),
+                r.consumption_movement.mean,
+                r.consumption_idle.mean,
+            )
+        })
+        .collect();
+    render_bars(title, &bars)
+}
+
+/// Convenience: chart rows from labelled reports (production view).
+pub fn production_chart(title: &str, rows: &[(String, StudyReport)]) -> String {
+    let bars: Vec<(String, f64, f64)> = rows
+        .iter()
+        .map(|(l, r)| (l.clone(), r.production_movement.mean, r.production_idle.mean))
+        .collect();
+    render_bars(title, &bars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_units() {
+        assert_eq!(fmt_secs(2.5), "2.500 s");
+        assert_eq!(fmt_secs(0.0025), "2.500 ms");
+        assert_eq!(fmt_secs(0.0000025), "2.5 µs");
+    }
+
+    #[test]
+    fn scale_env_defaults() {
+        let s = Scale::from_env();
+        assert!(s.reps >= 1);
+        assert!(s.frames >= 1);
+    }
+
+    #[test]
+    fn bars_render_proportionally() {
+        let rows = vec![
+            ("a".to_string(), 0.001, 0.0),
+            ("b".to_string(), 0.001, 0.001),
+        ];
+        let chart = render_bars("test", &rows);
+        assert!(chart.contains("a"));
+        assert!(chart.contains('#'));
+        // b's bar (2 ms) is longer than a's (1 ms).
+        let lens: Vec<usize> = chart
+            .lines()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.matches(['#', '-']).count())
+            .collect();
+        assert!(lens[1] > lens[0], "{chart}");
+    }
+
+    #[test]
+    fn log_scale_keeps_small_bars_visible() {
+        let rows = vec![
+            ("tiny".to_string(), 1e-6, 0.0),
+            ("huge".to_string(), 0.0, 1.0),
+        ];
+        let chart = render_bars("log", &rows);
+        assert!(chart.contains("log scale"));
+        for line in chart.lines().filter(|l| l.contains('|')) {
+            assert!(line.matches(['#', '-']).count() >= 1, "{chart}");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The interconnect: per-node NICs joined by a non-blocking switch.
+//!
+//! The model is LogGP-flavoured: a message pays a fixed per-message CPU
+//! overhead, a per-hop wire latency, and then streams its payload through
+//! the sender's NIC egress channel and the receiver's NIC ingress channel
+//! simultaneously (the effective rate is the bottleneck of the two,
+//! including contention from other flows on either NIC). RDMA operations
+//! add the request round trip but bypass remote CPU involvement.
+
+use std::rc::Rc;
+
+use simcore::resource::{BwStats, SharedBandwidth};
+use simcore::{Ctx, SimDuration};
+
+use crate::node::NodeId;
+
+/// Static description of the interconnect.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricSpec {
+    /// Per-port bandwidth in each direction, bytes/second.
+    pub link_bw: f64,
+    /// One-way wire latency per hop (node→switch or switch→node).
+    pub hop_latency: SimDuration,
+    /// Fixed per-message software/NIC overhead at the initiator.
+    pub msg_overhead: SimDuration,
+}
+
+impl FabricSpec {
+    /// InfiniBand QDR as on Corona: 4×QDR ≈ 32 Gbit/s ≈ 4 GB/s per port,
+    /// ~1.5 µs hop latency, ~1 µs per-message overhead.
+    pub fn infiniband_qdr() -> Self {
+        FabricSpec {
+            link_bw: 4.0e9,
+            hop_latency: SimDuration::from_nanos(1_500),
+            msg_overhead: SimDuration::from_micros(1),
+        }
+    }
+}
+
+impl Default for FabricSpec {
+    fn default() -> Self {
+        FabricSpec::infiniband_qdr()
+    }
+}
+
+struct Nic {
+    tx: SharedBandwidth,
+    rx: SharedBandwidth,
+}
+
+/// The cluster interconnect.
+#[derive(Clone)]
+pub struct Fabric {
+    ctx: Ctx,
+    spec: FabricSpec,
+    nics: Rc<Vec<Nic>>,
+    mem_bw: f64,
+}
+
+impl Fabric {
+    /// Build a fabric joining `n_nodes` NICs through a non-blocking
+    /// switch. `mem_bw` is the intra-node copy bandwidth used when source
+    /// and destination are the same node.
+    pub fn new(ctx: &Ctx, n_nodes: usize, spec: FabricSpec, mem_bw: f64) -> Self {
+        let nics = (0..n_nodes)
+            .map(|_| Nic {
+                tx: SharedBandwidth::new(ctx, spec.link_bw),
+                rx: SharedBandwidth::new(ctx, spec.link_bw),
+            })
+            .collect();
+        Fabric {
+            ctx: ctx.clone(),
+            spec,
+            nics: Rc::new(nics),
+            mem_bw,
+        }
+    }
+
+    /// Number of attached nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// The fabric's static parameters.
+    pub fn spec(&self) -> FabricSpec {
+        self.spec
+    }
+
+    fn nic(&self, node: NodeId) -> &Nic {
+        &self.nics[node.0 as usize]
+    }
+
+    /// One-way end-to-end message latency excluding payload streaming.
+    pub fn base_latency(&self) -> SimDuration {
+        self.spec.msg_overhead + self.spec.hop_latency * 2
+    }
+
+    /// Move `bytes` from `src` to `dst`, paying overhead, wire latency and
+    /// payload streaming through both NICs (bottleneck of the two).
+    pub async fn send(&self, src: NodeId, dst: NodeId, bytes: u64) {
+        if src == dst {
+            // Intra-node: a memory copy.
+            self.ctx
+                .sleep(SimDuration::from_secs_f64(bytes as f64 / self.mem_bw))
+                .await;
+            return;
+        }
+        self.ctx.sleep(self.base_latency()).await;
+        if bytes == 0 {
+            return;
+        }
+        let tx = self.nic(src).tx.clone();
+        let rx = self.nic(dst).rx.clone();
+        // Stream through both ports concurrently; completion is gated by
+        // the slower (more contended) of the two.
+        let ht = self.ctx.spawn(async move { tx.transfer_counted(bytes).await });
+        let hr = self.ctx.spawn(async move { rx.transfer_counted(bytes).await });
+        ht.await;
+        hr.await;
+    }
+
+    /// RDMA read: the initiator on `initiator` pulls `bytes` from memory
+    /// on `target`. Pays a request one-way latency, then the payload
+    /// streams target→initiator.
+    pub async fn rdma_read(&self, initiator: NodeId, target: NodeId, bytes: u64) {
+        if initiator == target {
+            self.ctx
+                .sleep(SimDuration::from_secs_f64(bytes as f64 / self.mem_bw))
+                .await;
+            return;
+        }
+        // Request message (header only).
+        self.ctx.sleep(self.base_latency()).await;
+        // Data path back.
+        self.send(target, initiator, bytes).await;
+    }
+
+    /// RDMA write: push `bytes` from `initiator` into memory on `target`.
+    pub async fn rdma_write(&self, initiator: NodeId, target: NodeId, bytes: u64) {
+        self.send(initiator, target, bytes).await;
+    }
+
+    /// Egress statistics for a node's NIC.
+    pub fn tx_stats(&self, node: NodeId) -> BwStats {
+        self.nic(node).tx.stats()
+    }
+
+    /// Ingress statistics for a node's NIC.
+    pub fn rx_stats(&self, node: NodeId) -> BwStats {
+        self.nic(node).rx.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Sim;
+
+    fn fabric(sim: &Sim, n: usize) -> Fabric {
+        Fabric::new(&sim.ctx(), n, FabricSpec::infiniband_qdr(), 20.0e9)
+    }
+
+    #[test]
+    fn point_to_point_time_is_latency_plus_streaming() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let f = fabric(&sim, 2);
+        let h = sim.spawn(async move {
+            f.send(NodeId(0), NodeId(1), 4_000_000_000).await; // 1 s at 4 GB/s
+            ctx.now().as_secs_f64()
+        });
+        sim.run();
+        let t = h.try_take().unwrap();
+        // 1 µs overhead + 3 µs wire + 1 s payload.
+        assert!((t - 1.000004).abs() < 1e-6, "took {t}");
+    }
+
+    #[test]
+    fn intra_node_send_uses_memory_bandwidth() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let f = fabric(&sim, 2);
+        let h = sim.spawn(async move {
+            f.send(NodeId(0), NodeId(0), 20_000_000_000).await; // 1 s at 20 GB/s
+            ctx.now().as_secs_f64()
+        });
+        sim.run();
+        assert!((h.try_take().unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn incast_contends_on_receiver_nic() {
+        // 4 senders to one receiver: rx port is the bottleneck, so each
+        // 1 GB flow finishes in ~1 s (4 GB total at 4 GB/s), not 0.25 s.
+        let sim = Sim::new(0);
+        let f = fabric(&sim, 5);
+        let mut hs = Vec::new();
+        for s in 1..5u32 {
+            let f = f.clone();
+            let ctx = sim.ctx();
+            hs.push(sim.spawn(async move {
+                f.send(NodeId(s), NodeId(0), 1_000_000_000).await;
+                ctx.now().as_secs_f64()
+            }));
+        }
+        sim.run();
+        for h in hs {
+            let t = h.try_take().unwrap();
+            assert!((t - 1.000004).abs() < 1e-5, "took {t}");
+        }
+        assert_eq!(f.rx_stats(NodeId(0)).peak_concurrency, 4);
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_contend() {
+        let sim = Sim::new(0);
+        let f = fabric(&sim, 4);
+        let mut hs = Vec::new();
+        for (s, d) in [(0u32, 1u32), (2, 3)] {
+            let f = f.clone();
+            let ctx = sim.ctx();
+            hs.push(sim.spawn(async move {
+                f.send(NodeId(s), NodeId(d), 4_000_000_000).await;
+                ctx.now().as_secs_f64()
+            }));
+        }
+        sim.run();
+        for h in hs {
+            let t = h.try_take().unwrap();
+            assert!((t - 1.000004).abs() < 1e-6, "took {t}");
+        }
+    }
+
+    #[test]
+    fn rdma_read_pays_round_trip() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let f = fabric(&sim, 2);
+        let h = sim.spawn(async move {
+            f.rdma_read(NodeId(0), NodeId(1), 0).await;
+            ctx.now()
+        });
+        sim.run();
+        // Two base latencies: request + response header.
+        assert_eq!(h.try_take().unwrap().nanos(), 2 * (1_000 + 3_000));
+    }
+
+    #[test]
+    fn zero_byte_message_costs_only_latency() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let f = fabric(&sim, 2);
+        let h = sim.spawn(async move {
+            f.send(NodeId(0), NodeId(1), 0).await;
+            ctx.now()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap().nanos(), 4_000);
+    }
+}

@@ -1,0 +1,211 @@
+//! Declarative experiment campaigns: the cross-product of solutions ×
+//! models × ensemble sizes × strides, run and reduced to a comparison
+//! table. This is the downstream-user API for "my workflow looks like
+//! X — which data-management solution should I pick?"
+
+use serde::Serialize;
+
+use crate::calibration::Calibration;
+use crate::config::{Placement, Solution, StudyConfig, WorkflowConfig};
+use crate::report::StudyReport;
+use crate::runner::run_study;
+use mdsim::Model;
+
+/// A sweep specification. Every listed axis is crossed with every other;
+/// omitted strides fall back to each model's Table II default.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Solutions to compare.
+    pub solutions: Vec<Solution>,
+    /// Molecular models to cover.
+    pub models: Vec<Model>,
+    /// Ensemble sizes (producer-consumer pairs).
+    pub pairs: Vec<u32>,
+    /// Stride overrides (`None` = the model's Table II stride).
+    pub strides: Vec<Option<u64>>,
+    /// Process placement for every point.
+    pub placement: Placement,
+    /// Frames per pair.
+    pub frames: u64,
+    /// Repetitions per point.
+    pub repetitions: u32,
+    /// Testbed parameters.
+    pub calibration: Calibration,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Campaign {
+    /// A minimal campaign comparing `solutions` on JAC at one ensemble
+    /// size.
+    pub fn new(solutions: Vec<Solution>, pairs: u32, placement: Placement) -> Campaign {
+        Campaign {
+            solutions,
+            models: vec![Model::Jac],
+            pairs: vec![pairs],
+            strides: vec![None],
+            placement,
+            frames: 32,
+            repetitions: 3,
+            calibration: Calibration::corona(),
+            seed: 0xCA3B,
+        }
+    }
+
+    /// All workflow configurations the campaign will run.
+    pub fn points(&self) -> Vec<WorkflowConfig> {
+        let mut out = Vec::new();
+        for &solution in &self.solutions {
+            for &model in &self.models {
+                for &pairs in &self.pairs {
+                    for &stride in &self.strides {
+                        let mut wf = WorkflowConfig::new(solution, pairs, self.placement)
+                            .with_model(model)
+                            .with_frames(self.frames);
+                        if let Some(s) = stride {
+                            wf = wf.with_stride(s);
+                        }
+                        out.push(wf);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Run every point.
+    pub fn run(&self) -> CampaignResult {
+        let rows = self
+            .points()
+            .into_iter()
+            .map(|wf| {
+                let mut study = StudyConfig::paper(wf);
+                study.repetitions = self.repetitions;
+                study.seed = self.seed;
+                study.calibration = self.calibration.clone();
+                let report = run_study(&study);
+                CampaignRow {
+                    label: row_label(&report.workflow),
+                    report,
+                }
+            })
+            .collect();
+        CampaignResult { rows }
+    }
+}
+
+fn row_label(wf: &WorkflowConfig) -> String {
+    format!(
+        "{} / {} / {}p / stride {}",
+        wf.solution.label(),
+        wf.model.name(),
+        wf.pairs,
+        wf.stride
+    )
+}
+
+/// One campaign point's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignRow {
+    /// Human-readable point label.
+    pub label: String,
+    /// The reduced study.
+    pub report: StudyReport,
+}
+
+/// All campaign outcomes, with comparison helpers.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignResult {
+    /// One row per point, in sweep order.
+    pub rows: Vec<CampaignRow>,
+}
+
+impl CampaignResult {
+    /// Render a fixed-width comparison table.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "{:<38} {:>13} {:>13} {:>13} {:>11}\n",
+            "configuration", "prod/frame", "cons move", "cons idle", "makespan"
+        );
+        for row in &self.rows {
+            let r = &row.report;
+            out.push_str(&format!(
+                "{:<38} {:>10.3} ms {:>10.3} ms {:>10.3} ms {:>9.1} s\n",
+                row.label,
+                r.production_total() * 1e3,
+                r.consumption_movement.mean * 1e3,
+                r.consumption_idle.mean * 1e3,
+                r.makespan.mean,
+            ));
+        }
+        out
+    }
+
+    /// The point with the lowest total consumption time.
+    pub fn best_consumption(&self) -> Option<&CampaignRow> {
+        self.rows.iter().min_by(|a, b| {
+            a.report
+                .consumption_total()
+                .total_cmp(&b.report.consumption_total())
+        })
+    }
+
+    /// The point with the shortest makespan.
+    pub fn best_makespan(&self) -> Option<&CampaignRow> {
+        self.rows
+            .iter()
+            .min_by(|a, b| a.report.makespan.mean.total_cmp(&b.report.makespan.mean))
+    }
+
+    /// JSON for archival.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("campaign serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_cross_all_axes() {
+        let mut c = Campaign::new(
+            vec![Solution::Dyad, Solution::Lustre],
+            4,
+            Placement::Split { pairs_per_node: 8 },
+        );
+        c.models = vec![Model::Jac, Model::Stmv];
+        c.pairs = vec![2, 4];
+        c.strides = vec![None, Some(10)];
+        let pts = c.points();
+        assert_eq!(pts.len(), 2 * 2 * 2 * 2);
+        // Default strides follow the model.
+        assert!(pts
+            .iter()
+            .any(|p| p.model == Model::Stmv && p.stride == Model::Stmv.stride()));
+        assert!(pts.iter().any(|p| p.stride == 10));
+    }
+
+    #[test]
+    fn small_campaign_runs_and_ranks() {
+        let mut c = Campaign::new(
+            vec![Solution::Dyad, Solution::Lustre],
+            2,
+            Placement::Split { pairs_per_node: 8 },
+        );
+        c.frames = 6;
+        c.repetitions = 1;
+        c.calibration = Calibration::quiet();
+        let result = c.run();
+        assert_eq!(result.rows.len(), 2);
+        let table = result.table();
+        assert!(table.contains("DYAD"));
+        assert!(table.contains("Lustre"));
+        // DYAD wins both rankings in this configuration.
+        assert!(result.best_consumption().unwrap().label.contains("DYAD"));
+        assert!(result.best_makespan().unwrap().label.contains("DYAD"));
+        // JSON is valid.
+        let v: serde_json::Value = serde_json::from_str(&result.to_json()).unwrap();
+        assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+    }
+}

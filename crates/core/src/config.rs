@@ -1,0 +1,305 @@
+//! Experiment configuration: which data-management solution, which
+//! molecular model, how many pairs, where they run.
+
+use mdsim::Model;
+use serde::Serialize;
+
+/// The three data-management solutions of the paper, plus the ablation
+/// variant that keeps DYAD's synchronization but stages data through the
+/// shared parallel filesystem instead of node-local storage + RDMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Solution {
+    /// DYAD middleware (node-local staging + KVS sync + RDMA).
+    Dyad,
+    /// Node-local XFS with manual synchronization (single node only).
+    Xfs,
+    /// Lustre-like parallel filesystem with manual synchronization.
+    Lustre,
+    /// Ablation: DYAD synchronization over Lustre storage (isolates the
+    /// synchronization benefit from the node-local-storage benefit).
+    DyadOnPfs,
+}
+
+impl Solution {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Solution::Dyad => "DYAD",
+            Solution::Xfs => "XFS",
+            Solution::Lustre => "Lustre",
+            Solution::DyadOnPfs => "DYAD/PFS",
+        }
+    }
+
+    /// Does this solution need the parallel filesystem service nodes?
+    pub fn needs_pfs(self) -> bool {
+        matches!(self, Solution::Lustre | Solution::DyadOnPfs)
+    }
+
+    /// Does this solution need the KVS broker (DYAD synchronization)?
+    pub fn needs_kvs(self) -> bool {
+        matches!(self, Solution::Dyad | Solution::DyadOnPfs)
+    }
+}
+
+impl std::fmt::Display for Solution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Where producers and consumers are placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Placement {
+    /// Every producer and consumer on one node (the paper's single-node
+    /// DYAD/XFS configuration; pairs ≤ 4 because each pair needs 2 of
+    /// the node's 8 GPUs).
+    SingleNode,
+    /// One process type per node (the paper's multi-node configuration):
+    /// producers fill nodes at `pairs_per_node`, consumers fill an equal
+    /// number of separate nodes.
+    Split {
+        /// Producers (or consumers) per node — 8 on Corona (one per
+        /// GPU); the paper's model-scaling runs use 16 on 2 nodes.
+        pairs_per_node: u32,
+    },
+}
+
+/// Manual synchronization protocol for the XFS/Lustre baselines
+/// (paper §III: MPI primitives, filesystem polling à la Pegasus, or
+/// filesystem locks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ManualSync {
+    /// The paper's coarse-grained barrier: producer and consumer fully
+    /// serialize (the consumer's analytics completes before the next
+    /// frame is computed).
+    Coarse,
+    /// Ablation: release the producer right after the read, overlapping
+    /// analytics with the next frame's computation.
+    Fine,
+    /// Pegasus-style filesystem polling: the producer writes the frame
+    /// plus a `.done` marker and never blocks; the consumer polls the
+    /// marker's existence. Pipelined like DYAD, but every poll costs a
+    /// metadata operation.
+    Polling,
+    /// Filesystem-lock synchronization (Lustre only): the producer
+    /// writes under an exclusive DLM lock; the consumer takes a
+    /// protected-read lock and probes for the frame, retrying until the
+    /// write is visible. Pipelined, but every frame costs lock-service
+    /// round trips.
+    LockBased,
+}
+
+/// One workflow configuration (one bar/point of a figure).
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkflowConfig {
+    /// Data-management solution under test.
+    pub solution: Solution,
+    /// Molecular model.
+    #[serde(serialize_with = "model_serde::serialize")]
+    pub model: Model,
+    /// Producer-consumer pairs.
+    pub pairs: u32,
+    /// Process placement.
+    pub placement: Placement,
+    /// Steps between frames.
+    pub stride: u64,
+    /// Frames per pair (the paper uses 128).
+    pub frames: u64,
+    /// Manual-sync granularity for the traditional baselines.
+    pub manual_sync: ManualSync,
+    /// Warm fast-path enabled for DYAD (ablation knob).
+    pub dyad_warm_sync: bool,
+    /// Optional variable-rate frame schedule (overrides the fixed
+    /// stride-based cadence; see [`crate::schedule::FrameSchedule`]).
+    #[serde(skip)]
+    pub schedule: Option<crate::schedule::FrameSchedule>,
+}
+
+// Model is foreign; serialize via its name.
+mod model_serde {
+    use super::*;
+    use serde::Serializer;
+    pub fn serialize<S: Serializer>(m: &Model, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(m.name())
+    }
+}
+
+impl WorkflowConfig {
+    /// The paper's defaults: JAC at stride 880, 128 frames, coarse sync.
+    pub fn new(solution: Solution, pairs: u32, placement: Placement) -> Self {
+        WorkflowConfig {
+            solution,
+            model: Model::Jac,
+            pairs,
+            placement,
+            stride: Model::Jac.stride(),
+            frames: 128,
+            manual_sync: ManualSync::Coarse,
+            dyad_warm_sync: true,
+            schedule: None,
+        }
+    }
+
+    /// Set the model *and* its Table II stride.
+    pub fn with_model(mut self, model: Model) -> Self {
+        self.model = model;
+        self.stride = model.stride();
+        self
+    }
+
+    /// Override the stride (frequency-scaling experiments).
+    pub fn with_stride(mut self, stride: u64) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Override the frame count.
+    pub fn with_frames(mut self, frames: u64) -> Self {
+        self.frames = frames;
+        self
+    }
+
+    /// Use a variable-rate frame schedule instead of the fixed stride.
+    pub fn with_schedule(mut self, schedule: crate::schedule::FrameSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Mean seconds between frames for this configuration (the
+    /// schedule's long-run mean when one is set).
+    pub fn frame_period_secs(&self) -> f64 {
+        match &self.schedule {
+            Some(s) => s.mean_gap().as_secs_f64(),
+            None => self.model.period_for_stride(self.stride),
+        }
+    }
+
+    /// Number of compute nodes the placement needs, and the node indices
+    /// of each pair's producer and consumer.
+    pub fn placement_plan(&self) -> PlacementPlan {
+        match self.placement {
+            Placement::SingleNode => PlacementPlan {
+                compute_nodes: 1,
+                pair_nodes: (0..self.pairs).map(|_| (0, 0)).collect(),
+            },
+            Placement::Split { pairs_per_node } => {
+                assert!(pairs_per_node >= 1);
+                let per = pairs_per_node;
+                let n_prod_nodes = self.pairs.div_ceil(per);
+                let pair_nodes = (0..self.pairs)
+                    .map(|p| {
+                        let prod = p / per;
+                        let cons = n_prod_nodes + p / per;
+                        (prod, cons)
+                    })
+                    .collect();
+                PlacementPlan {
+                    compute_nodes: (2 * n_prod_nodes) as usize,
+                    pair_nodes,
+                }
+            }
+        }
+    }
+}
+
+/// Concrete placement: node indices are relative to the compute section
+/// of the cluster (service nodes are appended after).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementPlan {
+    /// Compute nodes required.
+    pub compute_nodes: usize,
+    /// `(producer_node, consumer_node)` per pair.
+    pub pair_nodes: Vec<(u32, u32)>,
+}
+
+/// A full study: one workflow configuration, repeated.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// The workflow to run.
+    pub workflow: WorkflowConfig,
+    /// Repetitions (the paper runs every configuration 10 times).
+    pub repetitions: u32,
+    /// Base seed; repetition `r` runs with `seed + r`.
+    pub seed: u64,
+    /// Testbed parameters.
+    pub calibration: crate::calibration::Calibration,
+}
+
+impl StudyConfig {
+    /// Ten repetitions with the Corona calibration.
+    pub fn paper(workflow: WorkflowConfig) -> Self {
+        StudyConfig {
+            workflow,
+            repetitions: 10,
+            seed: 0xD1AD,
+            calibration: crate::calibration::Calibration::corona(),
+        }
+    }
+
+    /// Fewer repetitions (for tests).
+    pub fn with_repetitions(mut self, reps: u32) -> Self {
+        self.repetitions = reps;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_places_everyone_together() {
+        let cfg = WorkflowConfig::new(Solution::Dyad, 4, Placement::SingleNode);
+        let plan = cfg.placement_plan();
+        assert_eq!(plan.compute_nodes, 1);
+        assert!(plan.pair_nodes.iter().all(|&(p, c)| p == 0 && c == 0));
+    }
+
+    #[test]
+    fn split_places_one_type_per_node() {
+        let cfg = WorkflowConfig::new(
+            Solution::Lustre,
+            16,
+            Placement::Split { pairs_per_node: 8 },
+        );
+        let plan = cfg.placement_plan();
+        assert_eq!(plan.compute_nodes, 4); // 2 producer + 2 consumer nodes
+        assert_eq!(plan.pair_nodes[0], (0, 2));
+        assert_eq!(plan.pair_nodes[7], (0, 2));
+        assert_eq!(plan.pair_nodes[8], (1, 3));
+        assert_eq!(plan.pair_nodes[15], (1, 3));
+        // Producers never share a node with consumers.
+        for &(p, c) in &plan.pair_nodes {
+            assert_ne!(p, c);
+        }
+    }
+
+    #[test]
+    fn fig7_largest_config_uses_64_nodes() {
+        let cfg = WorkflowConfig::new(
+            Solution::Dyad,
+            256,
+            Placement::Split { pairs_per_node: 8 },
+        );
+        assert_eq!(cfg.placement_plan().compute_nodes, 64);
+    }
+
+    #[test]
+    fn with_model_updates_stride() {
+        let cfg = WorkflowConfig::new(Solution::Dyad, 1, Placement::SingleNode)
+            .with_model(Model::Stmv);
+        assert_eq!(cfg.stride, 28);
+        assert!((cfg.frame_period_secs() - 0.82).abs() < 0.01);
+    }
+
+    #[test]
+    fn solution_capabilities() {
+        assert!(Solution::Lustre.needs_pfs());
+        assert!(!Solution::Lustre.needs_kvs());
+        assert!(Solution::Dyad.needs_kvs());
+        assert!(!Solution::Dyad.needs_pfs());
+        assert!(Solution::DyadOnPfs.needs_pfs());
+        assert!(Solution::DyadOnPfs.needs_kvs());
+    }
+}

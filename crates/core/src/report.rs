@@ -1,0 +1,206 @@
+//! Reduction of raw profiles into the paper's reporting quantities:
+//! per-frame production and consumption time, each split into **data
+//! movement** and **idle (synchronization)** time, with mean/std across
+//! repetitions — the red-striped and blue-striped bars of Figures 5-8
+//! and 11-12.
+
+use instrument::Profile;
+use serde::Serialize;
+use simcore::stats::OnlineStats;
+
+use crate::config::{Solution, WorkflowConfig};
+use crate::runner::RunMetrics;
+
+/// Movement/idle split, in seconds per frame per process.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct Breakdown {
+    /// Time writing/reading/transferring data.
+    pub movement: f64,
+    /// Time waiting on synchronization.
+    pub idle: f64,
+}
+
+impl Breakdown {
+    /// movement + idle.
+    pub fn total(&self) -> f64 {
+        self.movement + self.idle
+    }
+}
+
+/// One repetition's reduced numbers.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct RunBreakdown {
+    /// Producer-side split.
+    pub production: Breakdown,
+    /// Consumer-side split.
+    pub consumption: Breakdown,
+    /// Simulated makespan of the repetition, seconds.
+    pub makespan: f64,
+}
+
+/// Sum the inclusive seconds of `path` over a merged profile.
+fn secs(profile: &Profile, path: &[&str]) -> f64 {
+    profile.inclusive(path).as_secs_f64()
+}
+
+/// Reduce one run. `per_frame` = pairs × frames, the normalization the
+/// paper applies to its bar charts.
+pub fn reduce_run(wf: &WorkflowConfig, run: &RunMetrics) -> RunBreakdown {
+    let per_frame = (wf.pairs as f64) * (wf.frames as f64);
+    let mut prod = Profile::default();
+    for p in &run.producers {
+        prod.merge(p);
+    }
+    let mut cons = Profile::default();
+    for c in &run.consumers {
+        cons.merge(c);
+    }
+    let production;
+    let consumption;
+    match wf.solution {
+        Solution::Dyad => {
+            production = Breakdown {
+                movement: secs(&prod, &["dyad_produce"]) / per_frame,
+                idle: 0.0,
+            };
+            consumption = Breakdown {
+                movement: (secs(&cons, &["dyad_consume", "dyad_get_data"])
+                    + secs(&cons, &["dyad_consume", "dyad_cons_store"])
+                    + secs(&cons, &["dyad_consume", "read_single_buf"]))
+                    / per_frame,
+                idle: (secs(&cons, &["dyad_consume", "dyad_fetch"])
+                    + secs(&cons, &["dyad_consume", "dyad_sync_flock"]))
+                    / per_frame,
+            };
+        }
+        Solution::DyadOnPfs => {
+            production = Breakdown {
+                movement: secs(&prod, &["dyad_produce"]) / per_frame,
+                idle: 0.0,
+            };
+            consumption = Breakdown {
+                movement: secs(&cons, &["dyad_consume", "read_single_buf"]) / per_frame,
+                idle: secs(&cons, &["dyad_consume", "dyad_fetch"]) / per_frame,
+            };
+        }
+        Solution::Xfs | Solution::Lustre => {
+            production = Breakdown {
+                movement: secs(&prod, &["produce", "write_single_buf"]) / per_frame,
+                idle: secs(&prod, &["produce", "explicit_sync"]) / per_frame,
+            };
+            consumption = Breakdown {
+                movement: secs(&cons, &["consume", "FilesystemReader::read_single_buf"])
+                    / per_frame,
+                idle: secs(&cons, &["consume", "explicit_sync"]) / per_frame,
+            };
+        }
+    }
+    RunBreakdown {
+        production,
+        consumption,
+        makespan: run.makespan.as_secs_f64(),
+    }
+}
+
+/// Mean and sample standard deviation of a quantity across repetitions.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct MeanStd {
+    /// Mean across repetitions.
+    pub mean: f64,
+    /// Sample standard deviation across repetitions.
+    pub std: f64,
+}
+
+impl MeanStd {
+    fn from_samples(xs: impl Iterator<Item = f64>) -> MeanStd {
+        let mut s = OnlineStats::new();
+        for x in xs {
+            s.push(x);
+        }
+        MeanStd {
+            mean: s.mean(),
+            std: s.std_dev(),
+        }
+    }
+}
+
+/// The reduced study: what one bar group of a paper figure reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct StudyReport {
+    /// Configuration the study ran.
+    pub workflow: WorkflowConfig,
+    /// Production data-movement time, s/frame.
+    pub production_movement: MeanStd,
+    /// Production idle time, s/frame.
+    pub production_idle: MeanStd,
+    /// Consumption data-movement time, s/frame.
+    pub consumption_movement: MeanStd,
+    /// Consumption idle time, s/frame.
+    pub consumption_idle: MeanStd,
+    /// Makespan, seconds.
+    pub makespan: MeanStd,
+    /// Per-repetition numbers (for variability plots).
+    pub runs: Vec<RunBreakdown>,
+}
+
+impl StudyReport {
+    /// Reduce a set of repetitions.
+    pub fn from_runs(wf: &WorkflowConfig, runs: &[RunMetrics]) -> StudyReport {
+        let reduced: Vec<RunBreakdown> = runs.iter().map(|r| reduce_run(wf, r)).collect();
+        StudyReport {
+            workflow: wf.clone(),
+            production_movement: MeanStd::from_samples(
+                reduced.iter().map(|r| r.production.movement),
+            ),
+            production_idle: MeanStd::from_samples(reduced.iter().map(|r| r.production.idle)),
+            consumption_movement: MeanStd::from_samples(
+                reduced.iter().map(|r| r.consumption.movement),
+            ),
+            consumption_idle: MeanStd::from_samples(reduced.iter().map(|r| r.consumption.idle)),
+            makespan: MeanStd::from_samples(reduced.iter().map(|r| r.makespan)),
+            runs: reduced,
+        }
+    }
+
+    /// Mean total production time (movement + idle), s/frame.
+    pub fn production_total(&self) -> f64 {
+        self.production_movement.mean + self.production_idle.mean
+    }
+
+    /// Mean total consumption time (movement + idle), s/frame.
+    pub fn consumption_total(&self) -> f64 {
+        self.consumption_movement.mean + self.consumption_idle.mean
+    }
+
+    /// JSON for EXPERIMENTS.md regeneration.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// Paper-style comparison: how many times faster is `a` than `b`.
+pub fn speedup(slower: f64, faster: f64) -> f64 {
+    if faster <= 0.0 {
+        f64::INFINITY
+    } else {
+        slower / faster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basic() {
+        let m = MeanStd::from_samples([1.0, 2.0, 3.0].into_iter());
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.std - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_handles_zero() {
+        assert_eq!(speedup(10.0, 2.0), 5.0);
+        assert!(speedup(1.0, 0.0).is_infinite());
+    }
+}

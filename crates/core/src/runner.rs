@@ -1,0 +1,431 @@
+//! Builds a simulated testbed per run, spawns the ensemble, and collects
+//! per-process profiles.
+
+use std::rc::Rc;
+
+use cluster::{Cluster, ClusterSpec, NodeId};
+use dyad::DyadService;
+use instrument::Profile;
+use kvs::{KvsClient, KvsServer};
+use localfs::LocalFs;
+use mdsim::{FrameTemplate, StepClock};
+use pfs::{LdlmClient, LdlmServer, LdlmSpec, ParallelFs};
+use rayon::prelude::*;
+use simcore::{Sim, SimDuration, SimTime};
+use transport::Transport;
+
+use crate::calibration::Calibration;
+use crate::config::{Solution, StudyConfig, WorkflowConfig};
+use crate::workflow::{
+    consumer_dyad, consumer_dyad_on_pfs, consumer_manual, pair_sync, producer_dyad,
+    producer_dyad_on_pfs, producer_manual, ConsumerArgs, ProducerArgs, Storage,
+};
+
+/// Raw result of one repetition.
+pub struct RunMetrics {
+    /// One profile per producer process.
+    pub producers: Vec<Profile>,
+    /// One profile per consumer process.
+    pub consumers: Vec<Profile>,
+    /// Simulated makespan.
+    pub makespan: SimTime,
+    /// Discrete events processed (simulator health metric).
+    pub events: u64,
+}
+
+/// Spawn a process and record the simulated time at which it finished.
+fn spawn_timed(
+    ctx: &simcore::Ctx,
+    fut: impl std::future::Future<Output = Profile> + 'static,
+) -> simcore::JoinHandle<(Profile, SimTime)> {
+    let ctx2 = ctx.clone();
+    ctx.spawn(async move {
+        let p = fut.await;
+        (p, ctx2.now())
+    })
+}
+
+/// Execute one repetition of `wf` with `seed`.
+pub fn run_once(wf: &WorkflowConfig, cal: &Calibration, seed: u64) -> RunMetrics {
+    run_once_with_tracer(wf, cal, seed, simcore::trace::Tracer::disabled())
+}
+
+/// [`run_once`] with Chrome-trace capture: every producer/consumer
+/// region lands on its own timeline track. Export the returned tracer
+/// with [`simcore::trace::Tracer::to_chrome_json`].
+pub fn run_once_traced(
+    wf: &WorkflowConfig,
+    cal: &Calibration,
+    seed: u64,
+) -> (RunMetrics, simcore::trace::Tracer) {
+    let tracer = simcore::trace::Tracer::enabled();
+    let metrics = run_once_with_tracer(wf, cal, seed, tracer.clone());
+    (metrics, tracer)
+}
+
+fn run_once_with_tracer(
+    wf: &WorkflowConfig,
+    cal: &Calibration,
+    seed: u64,
+    tracer: simcore::trace::Tracer,
+) -> RunMetrics {
+    if wf.solution == Solution::Xfs {
+        assert_eq!(
+            wf.placement,
+            crate::config::Placement::SingleNode,
+            "XFS cannot move data between nodes (paper §III-B)"
+        );
+    }
+    let sim = Sim::new(seed);
+    let ctx = sim.ctx();
+
+    // ---- topology ------------------------------------------------------
+    let plan = wf.placement_plan();
+    let n_compute = plan.compute_nodes;
+    let mut n_total = n_compute;
+    let pfs_nodes = if wf.solution.needs_pfs() {
+        let mds = n_total as u32;
+        let osts: Vec<NodeId> = (0..cal.n_osts as u32)
+            .map(|i| NodeId(n_total as u32 + 1 + i))
+            .collect();
+        n_total += 1 + cal.n_osts;
+        Some((NodeId(mds), osts))
+    } else {
+        None
+    };
+    let cluster = Cluster::build(
+        &ctx,
+        &ClusterSpec::homogeneous(n_total, cal.node, cal.fabric),
+    );
+    let tp = Transport::new(&ctx, cluster.fabric().clone(), cal.transport);
+
+    // ---- substrates ------------------------------------------------------
+    let local_fs: Vec<LocalFs> = (0..n_compute as u32)
+        .map(|i| LocalFs::new(&ctx, cluster.node(NodeId(i)).nvme.clone(), cal.localfs))
+        .collect();
+    let kvs_server = if wf.solution.needs_kvs() {
+        Some(KvsServer::start(&ctx, &tp, NodeId(0), cal.kvs))
+    } else {
+        None
+    };
+    let kvs_client = |node: u32| KvsClient::new(&ctx, &tp, NodeId(node), NodeId(0), cal.kvs);
+    let dyad_services: Vec<Rc<DyadService>> = if wf.solution == Solution::Dyad {
+        (0..n_compute as u32)
+            .map(|i| {
+                let mut spec = cal.dyad.clone();
+                spec.warm_sync = wf.dyad_warm_sync;
+                DyadService::start(&ctx, &tp, NodeId(i), local_fs[i as usize].clone(), kvs_client(i), spec)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let pfs = pfs_nodes.map(|(mds, osts)| ParallelFs::start(&ctx, &tp, mds, osts, cal.pfs));
+    // Lock service (lock-based manual sync only), colocated with the MDS
+    // for Lustre or the KVS broker node otherwise.
+    let ldlm_server: Option<std::rc::Rc<LdlmServer>> =
+        if wf.manual_sync == crate::config::ManualSync::LockBased {
+            let node = pfs
+                .as_ref()
+                .map(|p| p.mds().node())
+                .unwrap_or(NodeId(0));
+            Some(LdlmServer::start(&ctx, &tp, node, LdlmSpec::default()))
+        } else {
+            None
+        };
+    let ldlm_client = |node: u32| {
+        ldlm_server
+            .as_ref()
+            .map(|srv| LdlmClient::new(&ctx, &tp, NodeId(node), srv.node()))
+    };
+
+    // ---- workload --------------------------------------------------------
+    let template = Rc::new(FrameTemplate::generate(wf.model, seed ^ 0x7E3A));
+    let clock = StepClock {
+        ms_per_step: wf.model.ms_per_step(),
+        jitter: cal.md_jitter,
+    };
+    let period = SimDuration::from_secs_f64(wf.frame_period_secs());
+
+    let mut prod_handles = Vec::with_capacity(wf.pairs as usize);
+    let mut cons_handles = Vec::with_capacity(wf.pairs as usize);
+    for (pair, &(pn, cn)) in plan.pair_nodes.iter().enumerate() {
+        let pair = pair as u32;
+        // Low-discrepancy launch stagger across one frame period: real
+        // ensembles never start in lockstep, and phase-locked pairs
+        // would otherwise collide on every shared resource at once.
+        let stagger = period.mul_f64((pair as f64 * 0.618_033_988_75).fract());
+        let pargs = ProducerArgs {
+            ctx: ctx.clone(),
+            pair,
+            frames: wf.frames,
+            stride: wf.stride,
+            clock,
+            template: template.clone(),
+            serialize_cpu: cal.serialize_cpu,
+            start_offset: stagger,
+            tracer: tracer.clone(),
+            schedule: wf.schedule.clone(),
+        };
+        let cargs = ConsumerArgs {
+            ctx: ctx.clone(),
+            pair,
+            frames: wf.frames,
+            analytics: period,
+            jitter: cal.md_jitter,
+            rng_stream: 0xC000 + pair as u64,
+            start_offset: stagger + period.mul_f64(cal.consumer_launch_delay),
+            tracer: tracer.clone(),
+            template: template.clone(),
+            deserialize_cpu: cal.deserialize_cpu,
+        };
+        let rng_stream = 0x9000 + pair as u64;
+        match wf.solution {
+            Solution::Dyad => {
+                let psvc = dyad_services[pn as usize].clone();
+                let csvc = dyad_services[cn as usize].clone();
+                prod_handles.push(spawn_timed(&ctx, producer_dyad(pargs, psvc, rng_stream)));
+                cons_handles.push(spawn_timed(&ctx, consumer_dyad(cargs, csvc)));
+            }
+            Solution::Xfs => {
+                let storage = Storage::Local(local_fs[pn as usize].clone());
+                let s = pair_sync();
+                prod_handles.push(spawn_timed(
+                    &ctx,
+                    producer_manual(
+                        pargs,
+                        storage.clone(),
+                        (s.ready_tx, s.done_rx),
+                        wf.manual_sync,
+                        ldlm_client(pn),
+                        rng_stream,
+                    ),
+                ));
+                cons_handles.push(spawn_timed(
+                    &ctx,
+                    consumer_manual(
+                        cargs,
+                        storage,
+                        (s.ready_rx, s.done_tx),
+                        wf.manual_sync,
+                        ldlm_client(cn),
+                        cal.manual_poll_interval,
+                    ),
+                ));
+            }
+            Solution::Lustre => {
+                let fs = pfs.as_ref().expect("pfs built");
+                let pstore = Storage::Pfs(fs.client(&ctx, NodeId(pn)));
+                let cstore = Storage::Pfs(fs.client(&ctx, NodeId(cn)));
+                let s = pair_sync();
+                prod_handles.push(spawn_timed(
+                    &ctx,
+                    producer_manual(
+                        pargs,
+                        pstore,
+                        (s.ready_tx, s.done_rx),
+                        wf.manual_sync,
+                        ldlm_client(pn),
+                        rng_stream,
+                    ),
+                ));
+                cons_handles.push(spawn_timed(
+                    &ctx,
+                    consumer_manual(
+                        cargs,
+                        cstore,
+                        (s.ready_rx, s.done_tx),
+                        wf.manual_sync,
+                        ldlm_client(cn),
+                        cal.manual_poll_interval,
+                    ),
+                ));
+            }
+            Solution::DyadOnPfs => {
+                let fs = pfs.as_ref().expect("pfs built");
+                let pstore = Storage::Pfs(fs.client(&ctx, NodeId(pn)));
+                let cstore = Storage::Pfs(fs.client(&ctx, NodeId(cn)));
+                prod_handles.push(spawn_timed(
+                    &ctx,
+                    producer_dyad_on_pfs(pargs, pstore, kvs_client(pn), NodeId(pn), rng_stream),
+                ));
+                cons_handles.push(spawn_timed(
+                    &ctx,
+                    consumer_dyad_on_pfs(cargs, cstore, kvs_client(cn), wf.dyad_warm_sync),
+                ));
+            }
+        }
+    }
+
+    // The PFS interference processes never terminate, so advance the
+    // clock in slices and stop as soon as every workload process has
+    // finished (the workload, not the background noise, defines the run).
+    let slice = SimDuration::from_secs_f64(
+        (wf.frames as f64 * period.as_secs_f64()).max(1.0) / 4.0,
+    );
+    let hard_stop = SimTime::from_nanos(
+        ((wf.frames + 16) as f64 * period.as_secs_f64().max(0.001) * 400.0 * 1e9) as u64,
+    );
+    let mut deadline = SimTime::ZERO + slice;
+    let report = loop {
+        let report = sim.run_until(deadline);
+        let done = prod_handles.iter().all(|h| h.is_finished())
+            && cons_handles.iter().all(|h| h.is_finished());
+        if done {
+            break report;
+        }
+        assert!(
+            deadline < hard_stop,
+            "workload failed to finish by the hard stop — deadlock?"
+        );
+        deadline = deadline + slice;
+    };
+    // Makespan = when the workload finished, not when the horizon cut
+    // off the (never-terminating) background-interference processes.
+    let mut makespan = SimTime::ZERO;
+    let mut take = |h: simcore::JoinHandle<(Profile, SimTime)>| {
+        let (p, done) = h.try_take().expect("process finished");
+        makespan = makespan.max(done);
+        p
+    };
+    let producers: Vec<Profile> = prod_handles.into_iter().map(&mut take).collect();
+    let consumers: Vec<Profile> = cons_handles.into_iter().map(&mut take).collect();
+    drop(kvs_server);
+    RunMetrics {
+        producers,
+        consumers,
+        makespan,
+        events: report.events_processed,
+    }
+}
+
+/// Execute a full study (all repetitions, rayon-parallel) and reduce it
+/// to a [`crate::report::StudyReport`].
+pub fn run_study(study: &StudyConfig) -> crate::report::StudyReport {
+    let runs: Vec<RunMetrics> = (0..study.repetitions)
+        .into_par_iter()
+        .map(|rep| run_once(&study.workflow, &study.calibration, study.seed + rep as u64))
+        .collect();
+    crate::report::StudyReport::from_runs(&study.workflow, &runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Placement;
+    use mdsim::Model;
+
+    fn small(solution: Solution, pairs: u32, placement: Placement) -> WorkflowConfig {
+        WorkflowConfig::new(solution, pairs, placement).with_frames(6)
+    }
+
+    #[test]
+    fn dyad_single_node_completes() {
+        let cal = Calibration::quiet();
+        let wf = small(Solution::Dyad, 2, Placement::SingleNode);
+        let m = run_once(&wf, &cal, 1);
+        assert_eq!(m.producers.len(), 2);
+        assert_eq!(m.consumers.len(), 2);
+        // 6 frames at ~0.82 s plus pipeline drain.
+        let t = m.makespan.as_secs_f64();
+        assert!(t > 4.9 && t < 8.0, "makespan {t}");
+    }
+
+    #[test]
+    fn xfs_single_node_completes_serialized() {
+        let cal = Calibration::quiet();
+        let wf = small(Solution::Xfs, 1, Placement::SingleNode);
+        let m = run_once(&wf, &cal, 1);
+        // Coarse sync serializes: ~2 periods per frame.
+        let t = m.makespan.as_secs_f64();
+        assert!(t > 9.0 && t < 12.0, "makespan {t}");
+    }
+
+    #[test]
+    fn lustre_two_nodes_completes() {
+        let cal = Calibration::quiet();
+        let wf = small(
+            Solution::Lustre,
+            2,
+            Placement::Split { pairs_per_node: 8 },
+        );
+        let m = run_once(&wf, &cal, 1);
+        assert_eq!(m.producers.len(), 2);
+        let t = m.makespan.as_secs_f64();
+        assert!(t > 9.0 && t < 13.0, "makespan {t}");
+    }
+
+    #[test]
+    fn dyad_two_nodes_pipelines() {
+        let cal = Calibration::quiet();
+        let wf = small(Solution::Dyad, 2, Placement::Split { pairs_per_node: 8 });
+        let m = run_once(&wf, &cal, 1);
+        // Pipelined: ~1 period per frame (plus one-frame drain).
+        let t = m.makespan.as_secs_f64();
+        assert!(t > 4.9 && t < 8.0, "makespan {t}");
+    }
+
+    #[test]
+    fn dyad_on_pfs_ablation_completes() {
+        let cal = Calibration::quiet();
+        let wf = small(
+            Solution::DyadOnPfs,
+            2,
+            Placement::Split { pairs_per_node: 8 },
+        );
+        let m = run_once(&wf, &cal, 1);
+        let t = m.makespan.as_secs_f64();
+        // DYAD sync pipelines even over PFS storage.
+        assert!(t > 4.9 && t < 8.5, "makespan {t}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cal = Calibration::corona();
+        let wf = small(Solution::Dyad, 2, Placement::Split { pairs_per_node: 8 });
+        let a = run_once(&wf, &cal, 42);
+        let b = run_once(&wf, &cal, 42);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn different_models_work() {
+        let cal = Calibration::quiet();
+        for model in [Model::ApoA1, Model::Stmv] {
+            let wf = small(Solution::Dyad, 1, Placement::Split { pairs_per_node: 8 })
+                .with_model(model)
+                .with_frames(3);
+            let m = run_once(&wf, &cal, 7);
+            assert_eq!(m.producers.len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "XFS cannot move data between nodes")]
+    fn xfs_multi_node_is_rejected() {
+        let cal = Calibration::quiet();
+        let wf = small(Solution::Xfs, 2, Placement::Split { pairs_per_node: 8 });
+        let _ = run_once(&wf, &cal, 1);
+    }
+}
+
+#[cfg(test)]
+mod race_tests {
+    use super::*;
+    use crate::config::Placement;
+
+    #[test]
+    fn seed_sweep_single_node_dyad_never_corrupts() {
+        // Regression for a race where a same-node consumer could observe
+        // a frame file between the producer's create() and its final
+        // write, reading a partial payload. The consumer asserts frame
+        // integrity, so any corruption panics.
+        let cal = Calibration::corona();
+        let wf = WorkflowConfig::new(Solution::Dyad, 2, Placement::SingleNode).with_frames(20);
+        for seed in 0..200 {
+            let m = run_once(&wf, &cal, seed);
+            assert_eq!(m.consumers.len(), 2, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,596 @@
+//! Producer and consumer process bodies — §IV-C's "point-to-point
+//! MD-inspired workflow".
+//!
+//! A producer emulates an MD simulation: it sleeps for one stride of MD
+//! steps (Table II durations, with jitter), serializes a frame, and
+//! writes it through the configured data-management solution. A consumer
+//! reads each frame, deserializes/validates it, and sleeps for its
+//! analytics (the paper sets the analytics duration equal to the frame
+//! period so producer and consumer are rate-matched).
+//!
+//! Region names match the paper's Caliper annotations so the Thicket
+//! layer can reproduce Figures 9 and 10:
+//!
+//! * producers: `md_sim`, then `produce` → { `write_single_buf`,
+//!   `explicit_sync` } for the manual baselines, or DYAD's
+//!   `dyad_produce` tree;
+//! * consumers: `consume` → { `explicit_sync`,
+//!   `FilesystemReader::read_single_buf` } or DYAD's `dyad_consume`
+//!   tree, then `analytics`.
+//!
+//! **Coarse-grained manual sync** (the paper's baseline protocol) fully
+//! serializes each pair: the consumer waits for the write to complete
+//! (its `explicit_sync` ≈ one frame period of idle time) and the
+//! producer does not start the next stride until the consumer finished
+//! its analytics. The producer's wait lives in the `serialized_wait`
+//! region — *outside* `produce` — mirroring how the paper's production
+//! time shows no significant idle while consumption idle dominates
+//! (DESIGN.md §2 discusses this interpretation).
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+use dyad::{DyadConsumer, DyadService, FrameMeta};
+use instrument::{Profile, Recorder};
+use kvs::KvsClient;
+use localfs::LocalFs;
+use mdsim::{FrameHeader, FrameTemplate, StepClock};
+use pfs::{LdlmClient, LockMode, PfsClient};
+use simcore::sync::{channel, Receiver, Sender};
+use simcore::trace::Tracer;
+use simcore::{Ctx, SimDuration};
+use transport::Payload;
+
+use crate::config::ManualSync;
+use crate::schedule::FrameSchedule;
+
+/// Storage backend for the manual (XFS/Lustre) baselines.
+#[derive(Clone)]
+pub enum Storage {
+    /// Node-local XFS-like filesystem.
+    Local(LocalFs),
+    /// Lustre-like parallel filesystem client.
+    Pfs(PfsClient),
+}
+
+impl Storage {
+    /// Write a frame rope to `path` (create, write segments, close).
+    pub async fn write_frame(&self, path: &str, frame: Payload) {
+        match self {
+            Storage::Local(fs) => {
+                let fd = fs.create(path).await.expect("create");
+                for seg in frame {
+                    fs.write_bytes(fd, seg).await.expect("write");
+                }
+                fs.close(fd).await.expect("close");
+            }
+            Storage::Pfs(c) => {
+                let fd = c.create(path).await.expect("create");
+                c.write_segments(fd, frame).await.expect("write");
+                c.close(fd).await.expect("close");
+            }
+        }
+    }
+
+    /// Read the whole frame at `path` as a rope.
+    pub async fn read_frame(&self, path: &str) -> Payload {
+        match self {
+            Storage::Local(fs) => {
+                let fd = fs.open(path).await.expect("open");
+                let data = fs.read_segments(fd).await.expect("read");
+                let _ = fs.close(fd).await;
+                data
+            }
+            Storage::Pfs(c) => {
+                let fd = c.open(path).await.expect("open");
+                let data = c.read_segments(fd).await.expect("read");
+                let _ = c.close(fd).await;
+                data
+            }
+        }
+    }
+
+    /// Make sure the parent directory exists (local fs only; the PFS
+    /// namespace is flat).
+    pub async fn ensure_dir(&self, dir: &str) {
+        if let Storage::Local(fs) = self {
+            let _ = fs.mkdir_p(dir).await;
+        }
+    }
+
+    /// Probe whether `path` exists, charging one metadata operation (a
+    /// `stat`, as a polling workflow manager would issue).
+    pub async fn probe(&self, path: &str) -> bool {
+        match self {
+            Storage::Local(fs) => fs.stat(path).await.is_ok(),
+            Storage::Pfs(c) => c.stat(path).await.is_ok(),
+        }
+    }
+
+    /// Write an empty `.done` marker next to a frame (the Pegasus-style
+    /// completion convention for polling synchronization).
+    pub async fn write_marker(&self, path: &str) {
+        let marker = format!("{path}.done");
+        match self {
+            Storage::Local(fs) => {
+                let fd = fs.create(&marker).await.expect("marker create");
+                fs.close(fd).await.expect("marker close");
+            }
+            Storage::Pfs(c) => {
+                let fd = c.create(&marker).await.expect("marker create");
+                c.close(fd).await.expect("marker close");
+            }
+        }
+    }
+}
+
+/// Per-pair rendezvous used by the manual baselines: `ready` announces a
+/// written frame; `done` releases the producer for the next stride.
+pub struct PairSync {
+    /// Producer side.
+    pub ready_tx: Sender<u64>,
+    /// Producer side.
+    pub done_rx: Receiver<u64>,
+    /// Consumer side.
+    pub ready_rx: Receiver<u64>,
+    /// Consumer side.
+    pub done_tx: Sender<u64>,
+}
+
+/// Build the two channels for one pair.
+pub fn pair_sync() -> PairSync {
+    let (ready_tx, ready_rx) = channel();
+    let (done_tx, done_rx) = channel();
+    PairSync {
+        ready_tx,
+        done_rx,
+        ready_rx,
+        done_tx,
+    }
+}
+
+/// Everything a producer process needs.
+pub struct ProducerArgs {
+    /// Simulation handle.
+    pub ctx: Ctx,
+    /// Pair index (path namespace).
+    pub pair: u32,
+    /// Frames to produce.
+    pub frames: u64,
+    /// MD stride (steps per frame).
+    pub stride: u64,
+    /// Per-step timing.
+    pub clock: StepClock,
+    /// Shared frame template for this run.
+    pub template: Rc<FrameTemplate>,
+    /// CPU cost of serializing a frame.
+    pub serialize_cpu: SimDuration,
+    /// Launch offset (ensembles never start in lockstep; staggering
+    /// reproduces the phase spread a real job launcher produces).
+    pub start_offset: SimDuration,
+    /// Optional Chrome-trace sink (disabled by default).
+    pub tracer: Tracer,
+    /// Optional variable-rate schedule (overrides `stride` × `clock`).
+    pub schedule: Option<FrameSchedule>,
+}
+
+/// The per-frame MD-phase duration: the variable-rate schedule when one
+/// is set, otherwise one jittered stride of Table II steps.
+fn md_phase(args: &ProducerArgs, gen: &mut Option<crate::schedule::ScheduleGen>, rng: &mut rand::rngs::StdRng) -> SimDuration {
+    match gen {
+        Some(g) => g.next_gap(),
+        None => SimDuration::from_secs_f64(args.clock.stride_secs(args.stride, rng)),
+    }
+}
+
+/// Frame path for `(pair, frame)` in a run's namespace.
+pub fn frame_path(pair: u32, frame: u64) -> String {
+    format!("frames/p{pair:04}/f{frame:05}")
+}
+
+/// DLM lock resource name for `(pair, frame)`.
+pub fn lock_path(pair: u32, frame: u64) -> String {
+    format!("locks/p{pair:04}/f{frame:05}")
+}
+
+/// DYAD producer process. Returns its Caliper-style profile.
+pub async fn producer_dyad(args: ProducerArgs, svc: Rc<DyadService>, rng_stream: u64) -> Profile {
+    let rec = Recorder::traced(
+        &args.ctx,
+        args.tracer.clone(),
+        &format!("producer-{:03}", args.pair),
+    );
+    let mut rng = args.ctx.rng(rng_stream);
+    let mut sched = args
+        .schedule
+        .as_ref()
+        .map(|s| s.generator(args.ctx.rng(rng_stream ^ 0x5C4E)));
+    args.ctx.sleep(args.start_offset).await;
+    for frame in 0..args.frames {
+        {
+            let g = rec.region("md_sim");
+            let d = md_phase(&args, &mut sched, &mut rng);
+            args.ctx.sleep(d).await;
+            g.end();
+        }
+        let payload = {
+            let g = rec.region("serialize");
+            args.ctx.sleep(args.serialize_cpu).await;
+            let p = args.template.frame_segments(frame);
+            g.end();
+            p
+        };
+        svc.produce(&rec, &frame_path(args.pair, frame), payload)
+            .await;
+    }
+    rec.finish()
+}
+
+/// Manual-baseline producer process (XFS or Lustre).
+///
+/// `ldlm` must be provided when `mode` is [`ManualSync::LockBased`].
+pub async fn producer_manual(
+    args: ProducerArgs,
+    storage: Storage,
+    sync: (Sender<u64>, Receiver<u64>),
+    mode: ManualSync,
+    ldlm: Option<LdlmClient>,
+    rng_stream: u64,
+) -> Profile {
+    let (ready_tx, mut done_rx) = sync;
+    let rec = Recorder::traced(
+        &args.ctx,
+        args.tracer.clone(),
+        &format!("producer-{:03}", args.pair),
+    );
+    let mut rng = args.ctx.rng(rng_stream);
+    let mut sched = args
+        .schedule
+        .as_ref()
+        .map(|s| s.generator(args.ctx.rng(rng_stream ^ 0x5C4E)));
+    args.ctx.sleep(args.start_offset).await;
+    storage
+        .ensure_dir(&format!("frames/p{:04}", args.pair))
+        .await;
+    for frame in 0..args.frames {
+        {
+            let g = rec.region("md_sim");
+            let d = md_phase(&args, &mut sched, &mut rng);
+            args.ctx.sleep(d).await;
+            g.end();
+        }
+        let payload = {
+            let g = rec.region("serialize");
+            args.ctx.sleep(args.serialize_cpu).await;
+            let p = args.template.frame_segments(frame);
+            g.end();
+            p
+        };
+        {
+            let g = rec.region("produce");
+            if mode == ManualSync::LockBased {
+                let s = rec.region("explicit_sync");
+                ldlm.as_ref()
+                    .expect("LockBased needs an LDLM client")
+                    .lock(&lock_path(args.pair, frame), LockMode::Exclusive)
+                    .await;
+                s.end();
+            }
+            {
+                let w = rec.region("write_single_buf");
+                storage
+                    .write_frame(&frame_path(args.pair, frame), payload)
+                    .await;
+                w.end();
+            }
+            {
+                // Announce availability. For the channel-based barrier
+                // this is a cheap send; for polling it is the `.done`
+                // marker write. The *wait* half (if any) is below.
+                let s = rec.region("explicit_sync");
+                match mode {
+                    ManualSync::Polling => {
+                        storage
+                            .write_marker(&frame_path(args.pair, frame))
+                            .await;
+                    }
+                    ManualSync::LockBased => {
+                        ldlm.as_ref()
+                            .expect("LockBased needs an LDLM client")
+                            .unlock(&lock_path(args.pair, frame), LockMode::Exclusive)
+                            .await;
+                    }
+                    ManualSync::Coarse | ManualSync::Fine => ready_tx.send(frame),
+                }
+                s.end();
+            }
+            g.end();
+        }
+        if matches!(mode, ManualSync::Coarse | ManualSync::Fine) {
+            // Coarse/fine serialization: hold the next stride until the
+            // consumer releases us. Deliberately not part of `produce`
+            // (see module docs). Polling producers never block.
+            let g = rec.region("serialized_wait");
+            let released = done_rx.recv().await;
+            assert_eq!(released, Some(frame), "pair sync out of step");
+            g.end();
+        }
+    }
+    rec.finish()
+}
+
+/// Everything a consumer process needs.
+pub struct ConsumerArgs {
+    /// Simulation handle.
+    pub ctx: Ctx,
+    /// Pair index.
+    pub pair: u32,
+    /// Frames to consume.
+    pub frames: u64,
+    /// Analytics duration per frame (the frame period).
+    pub analytics: SimDuration,
+    /// Relative jitter on the analytics duration.
+    pub jitter: f64,
+    /// RNG stream for the analytics jitter.
+    pub rng_stream: u64,
+    /// Launch offset (paired with the producer's).
+    pub start_offset: SimDuration,
+    /// Optional Chrome-trace sink (disabled by default).
+    pub tracer: Tracer,
+    /// Shared frame template (for validation).
+    pub template: Rc<FrameTemplate>,
+    /// CPU cost of deserializing a frame header.
+    pub deserialize_cpu: SimDuration,
+}
+
+/// One analytics-phase duration with jitter applied.
+fn analytics_sleep(args: &ConsumerArgs, rng: &mut rand::rngs::StdRng) -> SimDuration {
+    if args.jitter <= 0.0 {
+        return args.analytics;
+    }
+    use rand::RngExt;
+    let k: f64 = rng.random_range(1.0 - args.jitter..1.0 + args.jitter);
+    args.analytics.mul_f64(k)
+}
+
+/// DYAD consumer process.
+pub async fn consumer_dyad(args: ConsumerArgs, svc: Rc<DyadService>) -> Profile {
+    let rec = Recorder::traced(
+        &args.ctx,
+        args.tracer.clone(),
+        &format!("consumer-{:03}", args.pair),
+    );
+    let mut rng = args.ctx.rng(args.rng_stream);
+    args.ctx.sleep(args.start_offset).await;
+    let mut session: DyadConsumer = svc.consumer();
+    for frame in 0..args.frames {
+        let data = session
+            .consume(&rec, &frame_path(args.pair, frame))
+            .await;
+        deserialize_and_validate(&args, &rec, &data, frame).await;
+        {
+            let g = rec.region("analytics");
+            let d = analytics_sleep(&args, &mut rng);
+            args.ctx.sleep(d).await;
+            g.end();
+        }
+    }
+    rec.finish()
+}
+
+/// Manual-baseline consumer process (XFS or Lustre).
+pub async fn consumer_manual(
+    args: ConsumerArgs,
+    storage: Storage,
+    sync: (Receiver<u64>, Sender<u64>),
+    mode: ManualSync,
+    ldlm: Option<LdlmClient>,
+    poll_interval: SimDuration,
+) -> Profile {
+    let (mut ready_rx, done_tx) = sync;
+    let rec = Recorder::traced(
+        &args.ctx,
+        args.tracer.clone(),
+        &format!("consumer-{:03}", args.pair),
+    );
+    let mut rng = args.ctx.rng(args.rng_stream);
+    args.ctx.sleep(args.start_offset).await;
+    for frame in 0..args.frames {
+        let data = {
+            let g = rec.region("consume");
+            {
+                // The manual barrier: wait until the producer has
+                // written this frame. This is the idle time the paper
+                // measures for XFS/Lustre consumption.
+                let s = rec.region("explicit_sync");
+                match mode {
+                    ManualSync::Polling => {
+                        let marker = format!("{}.done", frame_path(args.pair, frame));
+                        let mut polls = 0f64;
+                        while !storage.probe(&marker).await {
+                            polls += 1.0;
+                            args.ctx.sleep(poll_interval).await;
+                        }
+                        rec.annotate("polls", polls);
+                    }
+                    ManualSync::LockBased => {
+                        // Take the read lock, check the frame landed; if
+                        // the producer has not even locked yet, back off
+                        // and retry (the startup race every lock-based
+                        // protocol has to handle).
+                        let ldlm = ldlm.as_ref().expect("LockBased needs an LDLM client");
+                        let lock = lock_path(args.pair, frame);
+                        let mut retries = 0f64;
+                        loop {
+                            ldlm.lock(&lock, LockMode::ProtectedRead).await;
+                            let present =
+                                storage.probe(&frame_path(args.pair, frame)).await;
+                            ldlm.unlock(&lock, LockMode::ProtectedRead).await;
+                            if present {
+                                break;
+                            }
+                            retries += 1.0;
+                            args.ctx.sleep(poll_interval).await;
+                        }
+                        rec.annotate("lock_retries", retries);
+                    }
+                    ManualSync::Coarse | ManualSync::Fine => {
+                        let ready = ready_rx.recv().await;
+                        assert_eq!(ready, Some(frame), "pair sync out of step");
+                    }
+                }
+                s.end();
+            }
+            let r = rec.region("FilesystemReader::read_single_buf");
+            let data = storage.read_frame(&frame_path(args.pair, frame)).await;
+            r.end();
+            g.end();
+            data
+        };
+        deserialize_and_validate(&args, &rec, &data, frame).await;
+        if mode == ManualSync::Fine {
+            // Fine-grained ablation: release the producer before the
+            // analytics so the next stride overlaps with it.
+            done_tx.send(frame);
+        }
+        {
+            let g = rec.region("analytics");
+            let d = analytics_sleep(&args, &mut rng);
+            args.ctx.sleep(d).await;
+            g.end();
+        }
+        if mode == ManualSync::Coarse {
+            // The paper's coarse-grained barrier: the producer stays
+            // blocked until the consumer has completely finished.
+            done_tx.send(frame);
+        }
+    }
+    // Polling mode never uses the channel; drop it silently.
+    drop(done_tx);
+    rec.finish()
+}
+
+/// DYAD-sync-over-PFS ablation: producer writes through Lustre but
+/// publishes availability through the KVS (no manual barrier).
+pub async fn producer_dyad_on_pfs(
+    args: ProducerArgs,
+    storage: Storage,
+    kvs: KvsClient,
+    owner: cluster::NodeId,
+    rng_stream: u64,
+) -> Profile {
+    let rec = Recorder::traced(
+        &args.ctx,
+        args.tracer.clone(),
+        &format!("producer-{:03}", args.pair),
+    );
+    let mut rng = args.ctx.rng(rng_stream);
+    let mut sched = args
+        .schedule
+        .as_ref()
+        .map(|s| s.generator(args.ctx.rng(rng_stream ^ 0x5C4E)));
+    args.ctx.sleep(args.start_offset).await;
+    for frame in 0..args.frames {
+        {
+            let g = rec.region("md_sim");
+            let d = md_phase(&args, &mut sched, &mut rng);
+            args.ctx.sleep(d).await;
+            g.end();
+        }
+        let payload = {
+            let g = rec.region("serialize");
+            args.ctx.sleep(args.serialize_cpu).await;
+            let p = args.template.frame_segments(frame);
+            g.end();
+            p
+        };
+        let size = transport::payload_len(&payload);
+        {
+            let g = rec.region("dyad_produce");
+            {
+                let w = rec.region("dyad_prod_write");
+                storage
+                    .write_frame(&frame_path(args.pair, frame), payload)
+                    .await;
+                w.end();
+            }
+            {
+                let c = rec.region("dyad_commit");
+                let meta = FrameMeta { owner, size };
+                kvs.commit(&frame_path(args.pair, frame), meta.encode())
+                    .await;
+                c.end();
+            }
+            g.end();
+        }
+    }
+    rec.finish()
+}
+
+/// DYAD-sync-over-PFS ablation consumer.
+pub async fn consumer_dyad_on_pfs(
+    args: ConsumerArgs,
+    storage: Storage,
+    kvs: KvsClient,
+    warm_sync: bool,
+) -> Profile {
+    let rec = Recorder::traced(
+        &args.ctx,
+        args.tracer.clone(),
+        &format!("consumer-{:03}", args.pair),
+    );
+    let mut rng = args.ctx.rng(args.rng_stream);
+    args.ctx.sleep(args.start_offset).await;
+    let mut warmed = false;
+    for frame in 0..args.frames {
+        let path = frame_path(args.pair, frame);
+        let data = {
+            let g = rec.region("dyad_consume");
+            {
+                let f = rec.region("dyad_fetch");
+                if warmed && warm_sync {
+                    if kvs.lookup(&path).await.is_none() {
+                        kvs.wait_key(&path).await;
+                    }
+                } else {
+                    kvs.wait_key(&path).await;
+                }
+                warmed = true;
+                f.end();
+            }
+            let r = rec.region("read_single_buf");
+            let data = storage.read_frame(&path).await;
+            r.end();
+            g.end();
+            data
+        };
+        deserialize_and_validate(&args, &rec, &data, frame).await;
+        {
+            let g = rec.region("analytics");
+            let d = analytics_sleep(&args, &mut rng);
+            args.ctx.sleep(d).await;
+            g.end();
+        }
+    }
+    rec.finish()
+}
+
+/// Deserialize the header, charge the CPU cost, and assert the frame is
+/// exactly what the producer serialized.
+async fn deserialize_and_validate(
+    args: &ConsumerArgs,
+    rec: &Recorder,
+    data: &[Bytes],
+    frame: u64,
+) {
+    let g = rec.region("deserialize");
+    args.ctx.sleep(args.deserialize_cpu).await;
+    let header = FrameHeader::decode_segments(data).expect("valid frame");
+    assert_eq!(header.step, frame, "frame mismatch for pair {}", args.pair);
+    assert!(
+        args.template.validate(data, frame),
+        "frame payload corrupted in transit (pair {}, frame {frame})",
+        args.pair
+    );
+    g.end();
+}

@@ -1,0 +1,711 @@
+//! # dyad — the Dynamic and Asynchronous Data Streamliner
+//!
+//! A reimplementation of DYAD's runtime behaviour (flux-framework/dyad)
+//! against the simulated substrates, following §III-A of the paper:
+//!
+//! * **Producers** write frames to *node-local storage* (the node's
+//!   [`localfs::LocalFs`] managed directory) and publish
+//!   `(owner, size)` metadata to the Flux-like [`kvs`] — the "global
+//!   metadata management" of Figure 2.
+//! * **Consumers** synchronize with *multi-protocol automatic
+//!   synchronization*: the first access to a not-yet-produced frame
+//!   parks in a KVS watch (the expensive, loosely coupled protocol);
+//!   once the pipeline is warm, data is already published and the sync
+//!   degrades to a cheap flock-style probe plus an immediate KVS
+//!   answer.
+//! * Remote data moves with **RDMA-style transfer** over the UCX-like
+//!   [`transport`] (`dyad_get_data`), is staged into the consumer's
+//!   node-local storage (`dyad_cons_store`), and is finally read by the
+//!   application (`read_single_buf`) — the exact call tree Figure 9
+//!   analyzes.
+//!
+//! Every phase is wrapped in [`instrument`] regions with the paper's
+//! region names, so Thicket queries can split data-movement time from
+//! synchronization (idle) time the same way the authors did.
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cluster::NodeId;
+use instrument::Recorder;
+use kvs::KvsClient;
+use localfs::{LocalFs, LockKind};
+use simcore::resource::FifoResource;
+use simcore::{Ctx, SimDuration};
+use transport::{AmId, Endpoint, LocalBoxFuture, Payload, Transport};
+
+/// The AM id of the per-node DYAD data service.
+pub const DYAD_AM: AmId = AmId(0x4459);
+
+/// DYAD tuning parameters.
+#[derive(Debug, Clone)]
+pub struct DyadSpec {
+    /// Root of the DYAD-managed directory on every node's local fs.
+    pub managed_dir: String,
+    /// CPU overhead of global-namespace management per produce (the
+    /// metadata bookkeeping the paper blames for DYAD's 1.4× slower
+    /// production).
+    pub produce_overhead: SimDuration,
+    /// Service threads in the per-node data service.
+    pub service_threads: u64,
+    /// Request-processing time in the data service (excluding I/O).
+    pub service_time: SimDuration,
+    /// Enable the warm flock-style fast path (disable to force KVS
+    /// waits on every access — the synchronization ablation).
+    pub warm_sync: bool,
+    /// Use client-side polling for the cold synchronization instead of
+    /// a server-side KVS watch (the naive protocol DYAD's automatic
+    /// synchronization replaces; ablation knob).
+    pub cold_sync_poll: bool,
+}
+
+impl Default for DyadSpec {
+    fn default() -> Self {
+        DyadSpec {
+            managed_dir: "/dyad".to_string(),
+            produce_overhead: SimDuration::from_micros(60),
+            service_threads: 4,
+            service_time: SimDuration::from_micros(10),
+            warm_sync: true,
+            cold_sync_poll: false,
+        }
+    }
+}
+
+/// Operation counters for one node's DYAD service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DyadStats {
+    /// Frames produced through this service.
+    pub produces: u64,
+    /// Frames consumed through this service.
+    pub consumes: u64,
+    /// Consumptions that parked in a KVS watch (cold syncs).
+    pub cold_syncs: u64,
+    /// Consumptions satisfied by the warm fast path.
+    pub warm_syncs: u64,
+    /// Consumptions that found the data already node-local.
+    pub local_hits: u64,
+    /// Remote fetches served *by* this node (owner side).
+    pub fetches_served: u64,
+    /// Bytes produced.
+    pub bytes_produced: u64,
+    /// Bytes consumed.
+    pub bytes_consumed: u64,
+}
+
+/// Frame metadata stored in the KVS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Node holding the data in its managed directory.
+    pub owner: NodeId,
+    /// Payload size in bytes.
+    pub size: u64,
+}
+
+impl FrameMeta {
+    /// Encode for the KVS value.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(12);
+        b.put_u32(self.owner.0);
+        b.put_u64(self.size);
+        b.freeze()
+    }
+
+    /// Decode from a KVS value.
+    pub fn decode(mut raw: Bytes) -> FrameMeta {
+        FrameMeta {
+            owner: NodeId(raw.get_u32()),
+            size: raw.get_u64(),
+        }
+    }
+}
+
+struct ServiceInner {
+    stats: DyadStats,
+    dirs_made: std::collections::HashSet<String>,
+}
+
+/// The per-node DYAD service: owns the node's managed directory, serves
+/// remote fetch requests, and provides the produce/consume API.
+pub struct DyadService {
+    ctx: Ctx,
+    node: NodeId,
+    fs: LocalFs,
+    kvs: KvsClient,
+    ep: Endpoint,
+    spec: Rc<DyadSpec>,
+    inner: Rc<RefCell<ServiceInner>>,
+}
+
+impl DyadService {
+    /// Start DYAD on `node`: registers the data-service handler that
+    /// answers `dyad_get_data` requests from consumers on other nodes.
+    pub fn start(
+        ctx: &Ctx,
+        tp: &Transport,
+        node: NodeId,
+        fs: LocalFs,
+        kvs: KvsClient,
+        spec: DyadSpec,
+    ) -> Rc<DyadService> {
+        let spec = Rc::new(spec);
+        let inner = Rc::new(RefCell::new(ServiceInner {
+            stats: DyadStats::default(),
+            dirs_made: std::collections::HashSet::new(),
+        }));
+        let service = FifoResource::new(ctx, spec.service_threads);
+        let svc = Rc::new(DyadService {
+            ctx: ctx.clone(),
+            node,
+            fs: fs.clone(),
+            kvs,
+            ep: tp.endpoint(node),
+            spec: spec.clone(),
+            inner: inner.clone(),
+        });
+        let hfs = fs;
+        let hspec = spec;
+        let hinner = inner;
+        tp.register_bulk(
+            node,
+            DYAD_AM,
+            Rc::new(move |hdr: Bytes, _payload: Payload| {
+                let fs = hfs.clone();
+                let spec = hspec.clone();
+                let inner = hinner.clone();
+                let service = service.clone();
+                Box::pin(async move {
+                    service.request(spec.service_time).await;
+                    let path = String::from_utf8(hdr.to_vec()).expect("utf-8 path");
+                    let data = match fs.open(&path).await {
+                        Ok(fd) => {
+                            let segs = fs.read_segments(fd).await.unwrap_or_default();
+                            let _ = fs.close(fd).await;
+                            segs
+                        }
+                        Err(_) => Vec::new(),
+                    };
+                    inner.borrow_mut().stats.fetches_served += 1;
+                    (Bytes::new(), data)
+                }) as LocalBoxFuture<(Bytes, Payload)>
+            }),
+        );
+        svc
+    }
+
+    /// The node this service runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> DyadStats {
+        self.inner.borrow().stats
+    }
+
+    /// The managed path for a logical frame name.
+    pub fn managed_path(&self, name: &str) -> String {
+        format!("{}/{}", self.spec.managed_dir, name.trim_start_matches('/'))
+    }
+
+    async fn ensure_dirs(&self, path: &str) {
+        let Some(dir) = path.rsplit_once('/').map(|(d, _)| d.to_string()) else {
+            return;
+        };
+        let need = !self.inner.borrow().dirs_made.contains(&dir);
+        if need {
+            let _ = self.fs.mkdir_p(&dir).await;
+            self.inner.borrow_mut().dirs_made.insert(dir);
+        }
+    }
+
+    /// Produce a frame: write to node-local storage, then publish
+    /// metadata to the KVS.
+    ///
+    /// Call tree: `dyad_produce` → { `dyad_prod_write`, `dyad_commit` }.
+    pub async fn produce(&self, rec: &Recorder, name: &str, frame: Payload) {
+        let path = self.managed_path(name);
+        let size = transport::payload_len(&frame);
+        let g = rec.region("dyad_produce");
+        {
+            // Write to a temp name and rename: the frame becomes visible
+            // atomically, so a same-node consumer can never observe a
+            // partially written file.
+            let w = rec.region("dyad_prod_write");
+            self.ensure_dirs(&path).await;
+            let tmp = format!("{path}.tmp");
+            let fd = self.fs.create(&tmp).await.expect("managed dir exists");
+            for seg in frame {
+                self.fs.write_bytes(fd, seg).await.expect("local write");
+            }
+            self.fs.close(fd).await.expect("close");
+            self.fs.rename(&tmp, &path).await.expect("publish rename");
+            w.end();
+        }
+        {
+            let c = rec.region("dyad_commit");
+            // Global-namespace bookkeeping (hashing, path registration).
+            self.ctx.sleep(self.spec.produce_overhead).await;
+            let meta = FrameMeta {
+                owner: self.node,
+                size,
+            };
+            self.kvs.commit(&path, meta.encode()).await;
+            c.end();
+        }
+        g.end();
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.produces += 1;
+        inner.stats.bytes_produced += size;
+    }
+
+    /// Open a consumer session (tracks warm/cold synchronization state,
+    /// one per consumer process).
+    pub fn consumer(self: &Rc<Self>) -> DyadConsumer {
+        DyadConsumer {
+            svc: self.clone(),
+            warmed: false,
+        }
+    }
+}
+
+/// Consumer-side session state for multi-protocol synchronization.
+pub struct DyadConsumer {
+    svc: Rc<DyadService>,
+    warmed: bool,
+}
+
+impl DyadConsumer {
+    /// Consume a frame by logical name, returning its payload.
+    ///
+    /// Call tree: `dyad_consume` → { `dyad_sync_flock` or `dyad_fetch`,
+    /// `dyad_get_data`, `dyad_cons_store`, `read_single_buf` }, matching
+    /// Figure 9.
+    pub async fn consume(&mut self, rec: &Recorder, name: &str) -> Payload {
+        let svc = self.svc.clone();
+        let path = svc.managed_path(name);
+        let g = rec.region("dyad_consume");
+
+        // --- Synchronization ------------------------------------------
+        // Local presence first (single-node deployments): a flock probe
+        // suffices once the producer shares our filesystem.
+        let local = svc.fs.exists(&path);
+        let meta = if local {
+            let f = rec.region("dyad_sync_flock");
+            svc.fs
+                .flock(&path, LockKind::Shared)
+                .await
+                .expect("flock on existing file");
+            svc.fs
+                .funlock(&path, LockKind::Shared)
+                .await
+                .expect("funlock");
+            f.end();
+            svc.inner.borrow_mut().stats.local_hits += 1;
+            self.warmed = true;
+            None
+        } else {
+            // Remote data: resolve the owner through the KVS.
+            let f = rec.region("dyad_fetch");
+            let meta;
+            if self.warmed && svc.spec.warm_sync {
+                // Warm path: data is normally already published — one
+                // cheap, non-blocking lookup.
+                match svc.kvs.lookup(&path).await {
+                    Some(v) => {
+                        svc.inner.borrow_mut().stats.warm_syncs += 1;
+                        meta = FrameMeta::decode(v.value);
+                    }
+                    None => {
+                        // Producer fell behind: fall back to the
+                        // loosely coupled blocking watch.
+                        rec.annotate("cold_fallbacks", 1.0);
+                        svc.inner.borrow_mut().stats.cold_syncs += 1;
+                        let v = cold_wait(&svc, rec, &path).await;
+                        meta = FrameMeta::decode(v.value);
+                    }
+                }
+            } else {
+                // Cold path (first access): park in a KVS watch (or
+                // poll, if the ablation knob says so).
+                svc.inner.borrow_mut().stats.cold_syncs += 1;
+                let v = cold_wait(&svc, rec, &path).await;
+                meta = FrameMeta::decode(v.value);
+            }
+            f.end();
+            self.warmed = true;
+            Some(meta)
+        };
+
+        // --- Data movement --------------------------------------------
+        let data = match meta {
+            None => {
+                // Node-local: direct read.
+                let r = rec.region("read_single_buf");
+                let data = read_local(&svc.fs, &path).await;
+                r.end();
+                data
+            }
+            Some(meta) if meta.owner == svc.node => {
+                // Published by a producer on our own node.
+                let r = rec.region("read_single_buf");
+                let data = read_local(&svc.fs, &path).await;
+                r.end();
+                data
+            }
+            Some(meta) => {
+                // RDMA fetch from the owner's node-local storage.
+                let fetched = {
+                    let r = rec.region("dyad_get_data");
+                    let (_, data) = svc
+                        .ep
+                        .bulk_rpc(
+                            meta.owner,
+                            DYAD_AM,
+                            Bytes::copy_from_slice(path.as_bytes()),
+                            Vec::new(),
+                        )
+                        .await;
+                    r.end();
+                    data
+                };
+                // Stage into our node-local cache, with the same atomic
+                // rename publication (other consumer sessions on this
+                // node must never see a partial cache file).
+                {
+                    let s = rec.region("dyad_cons_store");
+                    svc.ensure_dirs(&path).await;
+                    let tmp = format!("{path}.tmp-{}", svc.node.0);
+                    let fd = svc.fs.create(&tmp).await.expect("managed dir");
+                    for seg in fetched {
+                        svc.fs.write_bytes(fd, seg).await.expect("store");
+                    }
+                    svc.fs.close(fd).await.expect("close");
+                    svc.fs.rename(&tmp, &path).await.expect("cache rename");
+                    s.end();
+                }
+                // Application read from the warm local cache.
+                let r = rec.region("read_single_buf");
+                let data = read_local(&svc.fs, &path).await;
+                r.end();
+                data
+            }
+        };
+        g.end();
+        let size = transport::payload_len(&data);
+        let mut inner = svc.inner.borrow_mut();
+        inner.stats.consumes += 1;
+        inner.stats.bytes_consumed += size;
+        data
+    }
+
+    /// Whether this session has completed its cold first sync.
+    pub fn is_warm(&self) -> bool {
+        self.warmed
+    }
+}
+
+/// The cold synchronization: a parked server-side watch by default, or
+/// client-side polling under the `cold_sync_poll` ablation.
+async fn cold_wait(
+    svc: &Rc<DyadService>,
+    rec: &Recorder,
+    path: &str,
+) -> kvs::VersionedValue {
+    if svc.spec.cold_sync_poll {
+        let (v, polls) = svc.kvs.wait_key_poll(path).await;
+        rec.annotate("kvs_polls", polls as f64);
+        v
+    } else {
+        svc.kvs.wait_key(path).await
+    }
+}
+
+async fn read_local(fs: &LocalFs, path: &str) -> Payload {
+    let fd = fs.open(path).await.expect("frame present");
+    let data = fs.read_segments(fd).await.expect("read");
+    let _ = fs.close(fd).await;
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{Cluster, ClusterSpec};
+    use kvs::{KvsServer, KvsSpec};
+    use localfs::LocalFsSpec;
+    use mdsim::{FrameTemplate, Model};
+    use simcore::{Sim, SimTime};
+    use transport::TransportSpec;
+
+    struct Rig {
+        services: Vec<Rc<DyadService>>,
+        #[allow(dead_code)]
+        kvs_server: Rc<KvsServer>,
+    }
+
+    /// n nodes; KVS broker on node 0; DYAD service + local fs on every
+    /// node.
+    fn setup(sim: &Sim, n: usize, spec: DyadSpec) -> Rig {
+        let ctx = sim.ctx();
+        let cl = Cluster::build(&ctx, &ClusterSpec::corona(n));
+        let tp = Transport::new(&ctx, cl.fabric().clone(), TransportSpec::default());
+        let kvs_server = KvsServer::start(&ctx, &tp, NodeId(0), KvsSpec::default());
+        let services = (0..n as u32)
+            .map(|i| {
+                let fs = LocalFs::new(
+                    &ctx,
+                    cl.node(NodeId(i)).nvme.clone(),
+                    LocalFsSpec::default(),
+                );
+                let kc = KvsClient::new(&ctx, &tp, NodeId(i), NodeId(0), KvsSpec::default());
+                DyadService::start(&ctx, &tp, NodeId(i), fs, kc, spec.clone())
+            })
+            .collect();
+        Rig {
+            services,
+            kvs_server,
+        }
+    }
+
+    fn frame(step: u64) -> (FrameTemplate, Payload) {
+        let t = FrameTemplate::generate(Model::Jac, 5);
+        let f = t.frame_segments(step);
+        (t, f)
+    }
+
+    #[test]
+    fn produce_then_consume_same_node() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 1, DyadSpec::default());
+        let svc = rig.services[0].clone();
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let rec = Recorder::new(&ctx);
+            let (t, f) = frame(880);
+            svc.produce(&rec, "run0/frame0", f).await;
+            let mut consumer = svc.consumer();
+            let got = consumer.consume(&rec, "run0/frame0").await;
+            (t.validate(&got, 880), rec.finish())
+        });
+        sim.run();
+        let (ok, profile) = h.try_take().unwrap();
+        assert!(ok, "frame corrupted");
+        // Local path: flock sync, no fetch/store regions.
+        assert!(profile.node(&["dyad_consume", "dyad_sync_flock"]).is_some());
+        assert!(profile.node(&["dyad_consume", "dyad_get_data"]).is_none());
+        assert!(profile
+            .node(&["dyad_consume", "read_single_buf"])
+            .is_some());
+    }
+
+    #[test]
+    fn cross_node_consume_fetches_and_stages() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 2, DyadSpec::default());
+        let prod = rig.services[0].clone();
+        let cons = rig.services[1].clone();
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let rec = Recorder::new(&ctx);
+            let (t, f) = frame(1);
+            prod.produce(&rec, "f1", f).await;
+            let mut consumer = cons.consumer();
+            let got = consumer.consume(&rec, "f1").await;
+            (t.validate(&got, 1), rec.finish())
+        });
+        sim.run();
+        let (ok, profile) = h.try_take().unwrap();
+        assert!(ok);
+        for region in ["dyad_fetch", "dyad_get_data", "dyad_cons_store", "read_single_buf"] {
+            assert!(
+                profile.node(&["dyad_consume", region]).is_some(),
+                "missing {region}"
+            );
+        }
+        assert_eq!(rig.services[0].stats().fetches_served, 1);
+        assert_eq!(rig.services[1].stats().consumes, 1);
+    }
+
+    #[test]
+    fn consumer_blocks_until_producer_publishes() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 2, DyadSpec::default());
+        let prod = rig.services[0].clone();
+        let cons = rig.services[1].clone();
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let rec = Recorder::new(&ctx);
+            let mut consumer = cons.consumer();
+            let got = consumer.consume(&rec, "late").await;
+            (ctx.now().as_secs_f64(), transport::payload_len(&got))
+        });
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            let rec = Recorder::new(&ctx);
+            ctx.sleep(SimDuration::from_millis(200)).await;
+            let (_, f) = frame(0);
+            prod.produce(&rec, "late", f).await;
+        });
+        sim.run();
+        let (t, len) = h.try_take().unwrap();
+        assert!(t >= 0.2, "consumed too early at {t}");
+        assert_eq!(len, Model::Jac.frame_bytes());
+        assert_eq!(rig.services[1].stats().cold_syncs, 1);
+    }
+
+    #[test]
+    fn warm_path_after_first_frame() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 2, DyadSpec::default());
+        let prod = rig.services[0].clone();
+        let cons = rig.services[1].clone();
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let rec = Recorder::new(&ctx);
+            let (_, f0) = frame(0);
+            let (_, f1) = frame(1);
+            prod.produce(&rec, "a/0", f0).await;
+            prod.produce(&rec, "a/1", f1).await;
+            let mut consumer = cons.consumer();
+            consumer.consume(&rec, "a/0").await;
+            consumer.consume(&rec, "a/1").await;
+            rec.finish()
+        });
+        sim.run();
+        let profile = h.try_take().unwrap();
+        let _ = profile;
+        let st = rig.services[1].stats();
+        assert_eq!(st.cold_syncs, 1);
+        assert_eq!(st.warm_syncs, 1);
+    }
+
+    #[test]
+    fn warm_sync_disabled_forces_cold_waits() {
+        let sim = Sim::new(0);
+        let spec = DyadSpec {
+            warm_sync: false,
+            ..DyadSpec::default()
+        };
+        let rig = setup(&sim, 2, spec);
+        let prod = rig.services[0].clone();
+        let cons = rig.services[1].clone();
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            let rec = Recorder::new(&ctx);
+            for i in 0..3 {
+                let (_, f) = frame(i);
+                prod.produce(&rec, &format!("b/{i}"), f).await;
+            }
+            let mut consumer = cons.consumer();
+            for i in 0..3 {
+                consumer.consume(&rec, &format!("b/{i}")).await;
+            }
+        });
+        sim.run();
+        assert_eq!(rig.services[1].stats().cold_syncs, 3);
+        assert_eq!(rig.services[1].stats().warm_syncs, 0);
+    }
+
+    #[test]
+    fn produce_is_slower_than_raw_write_by_commit_overhead() {
+        // The paper's Finding 1: DYAD production pays a metadata-
+        // management premium over plain XFS writes.
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 1, DyadSpec::default());
+        let svc = rig.services[0].clone();
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let rec = Recorder::new(&ctx);
+            let (_, f) = frame(0);
+            svc.produce(&rec, "p/0", f).await;
+            rec.finish()
+        });
+        sim.run();
+        let p = h.try_take().unwrap();
+        let total = p.inclusive(&["dyad_produce"]).as_secs_f64();
+        let write = p
+            .inclusive(&["dyad_produce", "dyad_prod_write"])
+            .as_secs_f64();
+        let commit = p
+            .inclusive(&["dyad_produce", "dyad_commit"])
+            .as_secs_f64();
+        assert!(commit > 0.0);
+        assert!((write + commit - total).abs() < 1e-9);
+        let ratio = total / write;
+        assert!(
+            ratio > 1.1 && ratio < 2.0,
+            "produce/write ratio {ratio} out of the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn consumed_bytes_are_bit_identical_across_nodes() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 3, DyadSpec::default());
+        let prod = rig.services[1].clone();
+        let cons = rig.services[2].clone();
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let rec = Recorder::new(&ctx);
+            let t = FrameTemplate::generate(Model::ApoA1, 9);
+            let f = t.frame_segments(42);
+            let flat_in = transport::flatten_payload(f.clone());
+            prod.produce(&rec, "x", f).await;
+            let mut consumer = cons.consumer();
+            let got = consumer.consume(&rec, "x").await;
+            let flat_out = transport::flatten_payload(got);
+            flat_in == flat_out
+        });
+        sim.run();
+        assert!(h.try_take().unwrap());
+    }
+
+    #[test]
+    fn pipelined_steady_state_has_tiny_warm_sync_cost() {
+        // Producer stays one frame ahead; consumer's per-frame sync cost
+        // after the first frame must be microseconds, not the frame
+        // period (the essence of Findings 1 and 5).
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 2, DyadSpec::default());
+        let prod = rig.services[0].clone();
+        let cons = rig.services[1].clone();
+        let period = SimDuration::from_millis(100);
+        {
+            let ctx = sim.ctx();
+            sim.spawn(async move {
+                let rec = Recorder::new(&ctx);
+                for i in 0..10 {
+                    ctx.sleep(period).await;
+                    let (_, f) = frame(i);
+                    prod.produce(&rec, &format!("s/{i}"), f).await;
+                }
+            });
+        }
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let rec = Recorder::new(&ctx);
+            let mut consumer = cons.consumer();
+            for i in 0..10 {
+                consumer.consume(&rec, &format!("s/{i}")).await;
+                ctx.sleep(period).await; // analytics
+            }
+            rec.finish()
+        });
+        let report = sim.run_until(SimTime::from_nanos(10_000_000_000));
+        assert!(report.is_clean());
+        let p = h.try_take().unwrap();
+        let fetch = p.node(&["dyad_consume", "dyad_fetch"]).unwrap();
+        // 10 fetches; the first ~one period (cold), the rest ~10 µs each.
+        assert_eq!(fetch.count, 10);
+        let total = fetch.inclusive.as_secs_f64();
+        assert!(
+            total < 0.12,
+            "sync cost {total}s — warm path not engaging"
+        );
+        assert!(total > 0.09, "even the cold sync vanished: {total}s");
+    }
+}

@@ -1,0 +1,390 @@
+//! # instrument — Caliper-like performance annotation
+//!
+//! The paper instruments its workflow with Caliper [21]: nested annotated
+//! regions whose inclusive times are collected per call path. This crate
+//! provides the same model for simulated processes:
+//!
+//! * a [`Recorder`] per process maintains a region stack;
+//! * [`Recorder::region`] returns an RAII guard — the region spans until
+//!   the guard drops, across any number of awaits;
+//! * the result is a [`Profile`]: a call-path tree with per-node call
+//!   counts, inclusive simulated time, and derived exclusive time,
+//!   ready for Thicket-style ensemble aggregation.
+//!
+//! Metric annotations ([`Recorder::annotate`]) attach numeric values
+//! (e.g. bytes moved, KVS polls) to the current path.
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use simcore::trace::{SpanGuard, Tracer};
+use simcore::{Ctx, SimDuration, SimTime};
+
+/// A node of the finalized call-path tree.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileNode {
+    /// Times the region was entered.
+    pub count: u64,
+    /// Total simulated time spent inside the region (inclusive).
+    pub inclusive: SimDuration,
+    /// Numeric annotations attached at this path (summed).
+    pub metrics: BTreeMap<String, f64>,
+    /// Child regions by name.
+    pub children: BTreeMap<String, ProfileNode>,
+}
+
+impl ProfileNode {
+    /// Inclusive time minus the inclusive time of all children.
+    pub fn exclusive(&self) -> SimDuration {
+        let child_sum: SimDuration = self
+            .children
+            .values()
+            .map(|c| c.inclusive)
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        self.inclusive.saturating_sub(child_sum)
+    }
+}
+
+/// A finalized per-process call-path profile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    /// Synthetic root; its children are the top-level regions.
+    pub root: ProfileNode,
+}
+
+impl Profile {
+    /// Look up a node by path, e.g. `&["dyad_consume", "dyad_fetch"]`.
+    pub fn node(&self, path: &[&str]) -> Option<&ProfileNode> {
+        let mut cur = &self.root;
+        for comp in path {
+            cur = cur.children.get(*comp)?;
+        }
+        Some(cur)
+    }
+
+    /// Inclusive time at a path (zero if absent).
+    pub fn inclusive(&self, path: &[&str]) -> SimDuration {
+        self.node(path).map(|n| n.inclusive).unwrap_or_default()
+    }
+
+    /// Flatten to `(path, node)` pairs in depth-first order.
+    pub fn flatten(&self) -> Vec<(Vec<String>, &ProfileNode)> {
+        let mut out = Vec::new();
+        fn walk<'a>(
+            node: &'a ProfileNode,
+            path: &mut Vec<String>,
+            out: &mut Vec<(Vec<String>, &'a ProfileNode)>,
+        ) {
+            for (name, child) in &node.children {
+                path.push(name.clone());
+                out.push((path.clone(), child));
+                walk(child, path, out);
+                path.pop();
+            }
+        }
+        walk(&self.root, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Merge another profile into this one (summing counts and times).
+    pub fn merge(&mut self, other: &Profile) {
+        fn merge_node(into: &mut ProfileNode, from: &ProfileNode) {
+            into.count += from.count;
+            into.inclusive += from.inclusive;
+            for (k, v) in &from.metrics {
+                *into.metrics.entry(k.clone()).or_insert(0.0) += v;
+            }
+            for (name, child) in &from.children {
+                merge_node(into.children.entry(name.clone()).or_default(), child);
+            }
+        }
+        merge_node(&mut self.root, &other.root);
+    }
+}
+
+struct RecState {
+    root: ProfileNode,
+    /// Names of the currently open regions, outermost first.
+    stack: Vec<String>,
+}
+
+/// A per-process region recorder.
+#[derive(Clone)]
+pub struct Recorder {
+    ctx: Ctx,
+    state: Rc<RefCell<RecState>>,
+    tracer: Tracer,
+    track: Rc<String>,
+}
+
+impl Recorder {
+    /// Create a recorder bound to the simulation clock.
+    pub fn new(ctx: &Ctx) -> Self {
+        Recorder::traced(ctx, Tracer::disabled(), "process")
+    }
+
+    /// Create a recorder that additionally mirrors every region into a
+    /// [`Tracer`] as a span on timeline `track` — a Chrome/Perfetto
+    /// trace of the run falls out for free.
+    pub fn traced(ctx: &Ctx, tracer: Tracer, track: &str) -> Self {
+        Recorder {
+            ctx: ctx.clone(),
+            state: Rc::new(RefCell::new(RecState {
+                root: ProfileNode::default(),
+                stack: Vec::new(),
+            })),
+            tracer,
+            track: Rc::new(track.to_string()),
+        }
+    }
+
+    /// Enter a region; it closes when the returned guard drops. Regions
+    /// must be closed in LIFO order (guards enforce this naturally when
+    /// kept in scope).
+    pub fn region(&self, name: &str) -> RegionGuard {
+        self.state.borrow_mut().stack.push(name.to_string());
+        let span = if self.tracer.is_enabled() {
+            Some(self.tracer.span(&self.ctx, &self.track, "region", name))
+        } else {
+            None
+        };
+        RegionGuard {
+            rec: self.clone(),
+            start: self.ctx.now(),
+            closed: false,
+            span,
+        }
+    }
+
+    /// Run `f` inside a region (synchronous convenience).
+    pub fn scope<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let _g = self.region(name);
+        f()
+    }
+
+    /// Attach a numeric metric to the current path (summed across calls).
+    pub fn annotate(&self, key: &str, value: f64) {
+        let mut st = self.state.borrow_mut();
+        let stack = st.stack.clone();
+        let node = Self::node_at(&mut st.root, &stack);
+        *node.metrics.entry(key.to_string()).or_insert(0.0) += value;
+    }
+
+    fn node_at<'a>(root: &'a mut ProfileNode, path: &[String]) -> &'a mut ProfileNode {
+        let mut cur = root;
+        for comp in path {
+            cur = cur.children.entry(comp.clone()).or_default();
+        }
+        cur
+    }
+
+    fn close_region(&self, start: SimTime) {
+        let now = self.ctx.now();
+        let mut st = self.state.borrow_mut();
+        let stack = st.stack.clone();
+        assert!(!stack.is_empty(), "region closed with empty stack");
+        let node = Self::node_at(&mut st.root, &stack);
+        node.count += 1;
+        node.inclusive += now - start;
+        st.stack.pop();
+    }
+
+    /// Finalize into a [`Profile`]. Panics if regions are still open.
+    pub fn finish(self) -> Profile {
+        let st = self.state.borrow();
+        assert!(
+            st.stack.is_empty(),
+            "finish() with open regions: {:?}",
+            st.stack
+        );
+        Profile {
+            root: st.root.clone(),
+        }
+    }
+
+    /// Snapshot without consuming (open regions are not included).
+    pub fn snapshot(&self) -> Profile {
+        Profile {
+            root: self.state.borrow().root.clone(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Recorder::region`].
+pub struct RegionGuard {
+    rec: Recorder,
+    start: SimTime,
+    closed: bool,
+    span: Option<SpanGuard>,
+}
+
+impl RegionGuard {
+    /// Close the region explicitly (otherwise closes on drop).
+    pub fn end(mut self) {
+        self.rec.close_region(self.start);
+        self.closed = true;
+        self.span.take();
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.rec.close_region(self.start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Sim;
+
+    #[test]
+    fn nested_regions_build_a_tree() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let rec = Recorder::new(&ctx);
+        let rec2 = rec.clone();
+        let ctx2 = ctx.clone();
+        sim.spawn(async move {
+            let outer = rec2.region("consume");
+            ctx2.sleep(SimDuration::from_micros(10)).await;
+            {
+                let inner = rec2.region("fetch");
+                ctx2.sleep(SimDuration::from_micros(5)).await;
+                inner.end();
+            }
+            {
+                let inner = rec2.region("store");
+                ctx2.sleep(SimDuration::from_micros(3)).await;
+                inner.end();
+            }
+            outer.end();
+        });
+        sim.run();
+        let p = rec.finish();
+        let consume = p.node(&["consume"]).unwrap();
+        assert_eq!(consume.count, 1);
+        assert_eq!(consume.inclusive, SimDuration::from_micros(18));
+        assert_eq!(
+            p.inclusive(&["consume", "fetch"]),
+            SimDuration::from_micros(5)
+        );
+        assert_eq!(
+            p.inclusive(&["consume", "store"]),
+            SimDuration::from_micros(3)
+        );
+        assert_eq!(consume.exclusive(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn repeated_regions_accumulate() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let rec = Recorder::new(&ctx);
+        let rec2 = rec.clone();
+        let ctx2 = ctx.clone();
+        sim.spawn(async move {
+            for _ in 0..4 {
+                let g = rec2.region("step");
+                ctx2.sleep(SimDuration::from_micros(2)).await;
+                g.end();
+            }
+        });
+        sim.run();
+        let p = rec.finish();
+        let n = p.node(&["step"]).unwrap();
+        assert_eq!(n.count, 4);
+        assert_eq!(n.inclusive, SimDuration::from_micros(8));
+    }
+
+    #[test]
+    fn annotations_attach_to_current_path() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let rec = Recorder::new(&ctx);
+        let rec2 = rec.clone();
+        sim.spawn(async move {
+            let g = rec2.region("fetch");
+            rec2.annotate("polls", 3.0);
+            rec2.annotate("polls", 2.0);
+            g.end();
+        });
+        sim.run();
+        let p = rec.finish();
+        assert_eq!(p.node(&["fetch"]).unwrap().metrics["polls"], 5.0);
+    }
+
+    #[test]
+    fn guard_drop_closes_region() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let rec = Recorder::new(&ctx);
+        let rec2 = rec.clone();
+        let ctx2 = ctx.clone();
+        sim.spawn(async move {
+            let _g = rec2.region("auto");
+            ctx2.sleep(SimDuration::from_micros(1)).await;
+            // dropped here
+        });
+        sim.run();
+        assert_eq!(rec.finish().node(&["auto"]).unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_sums_profiles() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let rec1 = Recorder::new(&ctx);
+        let rec2 = Recorder::new(&ctx);
+        for rec in [&rec1, &rec2] {
+            let rec = rec.clone();
+            let ctx = ctx.clone();
+            sim.spawn(async move {
+                let g = rec.region("w");
+                ctx.sleep(SimDuration::from_micros(7)).await;
+                g.end();
+            });
+        }
+        sim.run();
+        let mut p = rec1.finish();
+        p.merge(&rec2.finish());
+        let n = p.node(&["w"]).unwrap();
+        assert_eq!(n.count, 2);
+        assert_eq!(n.inclusive, SimDuration::from_micros(14));
+    }
+
+    #[test]
+    fn flatten_lists_all_paths() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let rec = Recorder::new(&ctx);
+        let rec2 = rec.clone();
+        sim.spawn(async move {
+            let a = rec2.region("a");
+            let b = rec2.region("b");
+            b.end();
+            a.end();
+            let c = rec2.region("c");
+            c.end();
+        });
+        sim.run();
+        let p = rec.finish();
+        let paths: Vec<String> = p.flatten().iter().map(|(p, _)| p.join("/")).collect();
+        assert_eq!(paths, vec!["a", "a/b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "open regions")]
+    fn finish_with_open_region_panics() {
+        let sim = Sim::new(0);
+        let rec = Recorder::new(&sim.ctx());
+        let g = rec.region("left-open");
+        std::mem::forget(g);
+        let _ = rec.finish();
+    }
+}

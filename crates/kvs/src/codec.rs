@@ -1,0 +1,225 @@
+//! Wire codec for KVS RPCs.
+//!
+//! A deliberately small, hand-rolled binary format: the broker protocol
+//! has four operations and the simulation only needs lengths to be
+//! realistic, but encoding/decoding real bytes keeps the substrate honest
+//! (payload sizes on the wire match what a real broker would move).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Operations understood by the broker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Store `value` under `key`, bumping the global version.
+    Commit {
+        /// Key to store under.
+        key: String,
+        /// Value bytes.
+        value: Bytes,
+    },
+    /// Read the current value of `key`, if any.
+    Lookup {
+        /// Key to read.
+        key: String,
+    },
+    /// Block until `key` exists, then return it (server-side watch).
+    WaitKey {
+        /// Key to watch.
+        key: String,
+    },
+    /// Remove `key`.
+    Unlink {
+        /// Key to remove.
+        key: String,
+    },
+}
+
+/// Broker responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Commit acknowledged at this global version.
+    Committed {
+        /// Global KVS version after the commit.
+        version: u64,
+    },
+    /// Lookup/wait result.
+    Value {
+        /// Version at which the key was committed.
+        version: u64,
+        /// Stored bytes.
+        value: Bytes,
+    },
+    /// Lookup miss.
+    NotFound,
+    /// Unlink acknowledged.
+    Unlinked,
+}
+
+const OP_COMMIT: u8 = 1;
+const OP_LOOKUP: u8 = 2;
+const OP_WAIT: u8 = 3;
+const OP_UNLINK: u8 = 4;
+
+const RESP_COMMITTED: u8 = 1;
+const RESP_VALUE: u8 = 2;
+const RESP_NOT_FOUND: u8 = 3;
+const RESP_UNLINKED: u8 = 4;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> String {
+    let len = buf.get_u16() as usize;
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).expect("kvs keys are UTF-8")
+}
+
+impl Request {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::Commit { key, value } => {
+                buf.put_u8(OP_COMMIT);
+                put_str(&mut buf, key);
+                buf.put_u32(value.len() as u32);
+                buf.put_slice(value);
+            }
+            Request::Lookup { key } => {
+                buf.put_u8(OP_LOOKUP);
+                put_str(&mut buf, key);
+            }
+            Request::WaitKey { key } => {
+                buf.put_u8(OP_WAIT);
+                put_str(&mut buf, key);
+            }
+            Request::Unlink { key } => {
+                buf.put_u8(OP_UNLINK);
+                put_str(&mut buf, key);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode from wire bytes. Panics on malformed input (the simulation
+    /// is a closed world; corruption would be a program bug).
+    pub fn decode(mut raw: Bytes) -> Request {
+        match raw.get_u8() {
+            OP_COMMIT => {
+                let key = get_str(&mut raw);
+                let len = raw.get_u32() as usize;
+                let value = raw.split_to(len);
+                Request::Commit { key, value }
+            }
+            OP_LOOKUP => Request::Lookup {
+                key: get_str(&mut raw),
+            },
+            OP_WAIT => Request::WaitKey {
+                key: get_str(&mut raw),
+            },
+            OP_UNLINK => Request::Unlink {
+                key: get_str(&mut raw),
+            },
+            op => panic!("unknown kvs request op {op}"),
+        }
+    }
+}
+
+impl Response {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Response::Committed { version } => {
+                buf.put_u8(RESP_COMMITTED);
+                buf.put_u64(*version);
+            }
+            Response::Value { version, value } => {
+                buf.put_u8(RESP_VALUE);
+                buf.put_u64(*version);
+                buf.put_u32(value.len() as u32);
+                buf.put_slice(value);
+            }
+            Response::NotFound => buf.put_u8(RESP_NOT_FOUND),
+            Response::Unlinked => buf.put_u8(RESP_UNLINKED),
+        }
+        buf.freeze()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(mut raw: Bytes) -> Response {
+        match raw.get_u8() {
+            RESP_COMMITTED => Response::Committed {
+                version: raw.get_u64(),
+            },
+            RESP_VALUE => {
+                let version = raw.get_u64();
+                let len = raw.get_u32() as usize;
+                let value = raw.split_to(len);
+                Response::Value { version, value }
+            }
+            RESP_NOT_FOUND => Response::NotFound,
+            RESP_UNLINKED => Response::Unlinked,
+            op => panic!("unknown kvs response op {op}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        for req in [
+            Request::Commit {
+                key: "a/b/c".into(),
+                value: Bytes::from_static(b"payload"),
+            },
+            Request::Lookup { key: "x".into() },
+            Request::WaitKey { key: "".into() },
+            Request::Unlink { key: "k".into() },
+        ] {
+            assert_eq!(Request::decode(req.encode()), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        for resp in [
+            Response::Committed { version: 42 },
+            Response::Value {
+                version: 7,
+                value: Bytes::from_static(b"v"),
+            },
+            Response::NotFound,
+            Response::Unlinked,
+        ] {
+            assert_eq!(Response::decode(resp.encode()), resp);
+        }
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn commit_round_trips(key in "[a-z/._0-9]{0,64}",
+                                  value in proptest::collection::vec(any::<u8>(), 0..1024)) {
+                let req = Request::Commit { key: key.clone(), value: Bytes::from(value) };
+                prop_assert_eq!(Request::decode(req.encode()), req);
+            }
+
+            #[test]
+            fn value_round_trips(version in any::<u64>(),
+                                 value in proptest::collection::vec(any::<u8>(), 0..1024)) {
+                let resp = Response::Value { version, value: Bytes::from(value) };
+                prop_assert_eq!(Response::decode(resp.encode()), resp);
+            }
+        }
+    }
+}

@@ -1,0 +1,610 @@
+//! # kvs — a Flux-KVS-like distributed key-value store
+//!
+//! DYAD publishes frame metadata through the Flux key-value store and
+//! consumers block on key availability (`flux_kvs_wait`-style). This crate
+//! reimplements the parts DYAD needs:
+//!
+//! * a **broker** ([`KvsServer`]) hosted on one cluster node, with a
+//!   versioned store (every commit bumps a global sequence number), a
+//!   bounded pool of service threads, and **server-side watches** (a
+//!   `WaitKey` RPC parks inside the broker until the key is committed);
+//! * **clients** ([`KvsClient`]) on every node, issuing RPCs over the
+//!   UCX-like [`transport`] layer, with an optional read cache and a
+//!   client-side polling fallback (used by the synchronization ablation).
+//!
+//! All costs are explicit: each operation pays the fabric round trip plus
+//! broker service time on a FIFO server pool.
+
+#![warn(missing_docs)]
+
+mod codec;
+
+pub use codec::{Request, Response};
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use cluster::NodeId;
+use simcore::resource::FifoResource;
+use simcore::sync::Notify;
+use simcore::{Ctx, SimDuration};
+use transport::{AmId, Endpoint, LocalBoxFuture, Transport};
+
+/// The AM id the broker listens on.
+pub const KVS_AM: AmId = AmId(0x4B56);
+
+/// Broker tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KvsSpec {
+    /// Service time per operation on the broker.
+    pub service_time: SimDuration,
+    /// Parallel service threads in the broker.
+    pub server_threads: u64,
+    /// Client polling interval for [`KvsClient::wait_key_poll`].
+    pub poll_interval: SimDuration,
+}
+
+impl Default for KvsSpec {
+    /// Flux-broker-like costs: ~20 µs per op, 4 service threads, 1 ms
+    /// polling interval.
+    fn default() -> Self {
+        KvsSpec {
+            service_time: SimDuration::from_micros(20),
+            server_threads: 4,
+            poll_interval: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// A value with the global version at which it was committed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// Global KVS version of the commit.
+    pub version: u64,
+    /// Stored bytes.
+    pub value: Bytes,
+}
+
+/// Counters exposed by the broker for tests and the Thicket analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvsStats {
+    /// Commits applied.
+    pub commits: u64,
+    /// Lookup requests served (including misses).
+    pub lookups: u64,
+    /// WaitKey requests served.
+    pub waits: u64,
+    /// WaitKey requests that had to park (key absent on arrival).
+    pub waits_parked: u64,
+    /// Unlink requests served.
+    pub unlinks: u64,
+}
+
+struct Store {
+    map: HashMap<String, VersionedValue>,
+    version: u64,
+    watches: HashMap<String, Notify>,
+    stats: KvsStats,
+}
+
+/// The broker: owns the store and services RPCs on its node.
+pub struct KvsServer {
+    node: NodeId,
+    store: Rc<RefCell<Store>>,
+}
+
+impl KvsServer {
+    /// Start a broker on `node`, registering its AM handler.
+    pub fn start(ctx: &Ctx, tp: &Transport, node: NodeId, spec: KvsSpec) -> Rc<KvsServer> {
+        let store = Rc::new(RefCell::new(Store {
+            map: HashMap::new(),
+            version: 0,
+            watches: HashMap::new(),
+            stats: KvsStats::default(),
+        }));
+        let service = FifoResource::new(ctx, spec.server_threads);
+        let server = Rc::new(KvsServer {
+            node,
+            store: store.clone(),
+        });
+        let handler_store = store;
+        tp.register_am(
+            node,
+            KVS_AM,
+            Rc::new(move |raw: Bytes| {
+                let store = handler_store.clone();
+                let service = service.clone();
+                Box::pin(async move {
+                    // Queue for a broker thread.
+                    service.request(spec.service_time).await;
+                    let req = Request::decode(raw);
+                    handle(store, req).await.encode()
+                }) as LocalBoxFuture<Bytes>
+            }),
+        );
+        server
+    }
+
+    /// The node the broker runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> KvsStats {
+        self.store.borrow().stats
+    }
+
+    /// Current global version.
+    pub fn version(&self) -> u64 {
+        self.store.borrow().version
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.store.borrow().map.len()
+    }
+
+    /// True if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response {
+    match req {
+        Request::Commit { key, value } => {
+            let mut st = store.borrow_mut();
+            st.version += 1;
+            let version = st.version;
+            st.map.insert(key.clone(), VersionedValue { version, value });
+            st.stats.commits += 1;
+            if let Some(n) = st.watches.remove(&key) {
+                n.notify_all();
+            }
+            Response::Committed { version }
+        }
+        Request::Lookup { key } => {
+            let mut st = store.borrow_mut();
+            st.stats.lookups += 1;
+            let found = st.map.get(&key).cloned();
+            match found {
+                Some(v) => Response::Value {
+                    version: v.version,
+                    value: v.value,
+                },
+                None => Response::NotFound,
+            }
+        }
+        Request::WaitKey { key } => {
+            let mut first = true;
+            loop {
+                let notify = {
+                    let mut st = store.borrow_mut();
+                    if let Some(v) = st.map.get(&key).cloned() {
+                        st.stats.waits += 1;
+                        return Response::Value {
+                            version: v.version,
+                            value: v.value,
+                        };
+                    }
+                    if first {
+                        st.stats.waits_parked += 1;
+                        first = false;
+                    }
+                    st.watches.entry(key.clone()).or_default().clone()
+                };
+                notify.wait().await;
+            }
+        }
+        Request::Unlink { key } => {
+            let mut st = store.borrow_mut();
+            st.map.remove(&key);
+            st.stats.unlinks += 1;
+            Response::Unlinked
+        }
+    }
+}
+
+/// A client handle bound to one node.
+#[derive(Clone)]
+pub struct KvsClient {
+    ctx: Ctx,
+    ep: Endpoint,
+    broker: NodeId,
+    spec: KvsSpec,
+    cache: Rc<RefCell<HashMap<String, VersionedValue>>>,
+}
+
+impl KvsClient {
+    /// Create a client on `node` talking to the broker on `broker`.
+    pub fn new(ctx: &Ctx, tp: &Transport, node: NodeId, broker: NodeId, spec: KvsSpec) -> Self {
+        KvsClient {
+            ctx: ctx.clone(),
+            ep: tp.endpoint(node),
+            broker,
+            spec,
+            cache: Rc::default(),
+        }
+    }
+
+    /// Commit `value` under `key`; returns the new global version.
+    pub async fn commit(&self, key: &str, value: Bytes) -> u64 {
+        let req = Request::Commit {
+            key: key.to_string(),
+            value: value.clone(),
+        };
+        let resp = Response::decode(self.ep.rpc(self.broker, KVS_AM, req.encode()).await);
+        match resp {
+            Response::Committed { version } => {
+                self.cache
+                    .borrow_mut()
+                    .insert(key.to_string(), VersionedValue { version, value });
+                version
+            }
+            other => panic!("unexpected commit response {other:?}"),
+        }
+    }
+
+    /// Read `key` from the broker (always a round trip; updates the
+    /// cache).
+    pub async fn lookup(&self, key: &str) -> Option<VersionedValue> {
+        let req = Request::Lookup {
+            key: key.to_string(),
+        };
+        let resp = Response::decode(self.ep.rpc(self.broker, KVS_AM, req.encode()).await);
+        match resp {
+            Response::Value { version, value } => {
+                let v = VersionedValue { version, value };
+                self.cache.borrow_mut().insert(key.to_string(), v.clone());
+                Some(v)
+            }
+            Response::NotFound => None,
+            other => panic!("unexpected lookup response {other:?}"),
+        }
+    }
+
+    /// Read `key` from the local cache only (no simulated cost). Used on
+    /// DYAD's warm synchronization path.
+    pub fn lookup_cached(&self, key: &str) -> Option<VersionedValue> {
+        self.cache.borrow().get(key).cloned()
+    }
+
+    /// Block until `key` exists, using a **server-side watch**: one RPC
+    /// that parks in the broker. This is DYAD's cold-path synchronization.
+    pub async fn wait_key(&self, key: &str) -> VersionedValue {
+        let req = Request::WaitKey {
+            key: key.to_string(),
+        };
+        let resp = Response::decode(self.ep.rpc(self.broker, KVS_AM, req.encode()).await);
+        match resp {
+            Response::Value { version, value } => {
+                let v = VersionedValue { version, value };
+                self.cache.borrow_mut().insert(key.to_string(), v.clone());
+                v
+            }
+            other => panic!("unexpected wait response {other:?}"),
+        }
+    }
+
+    /// Block until `key` exists by **client-side polling** every
+    /// [`KvsSpec::poll_interval`]. Each probe is a full lookup RPC. Used
+    /// by the synchronization-protocol ablation; returns the value and the
+    /// number of polls issued.
+    pub async fn wait_key_poll(&self, key: &str) -> (VersionedValue, u64) {
+        let mut polls = 0;
+        loop {
+            polls += 1;
+            if let Some(v) = self.lookup(key).await {
+                return (v, polls);
+            }
+            self.ctx.sleep(self.spec.poll_interval).await;
+        }
+    }
+
+    /// Remove `key` on the broker and locally.
+    pub async fn unlink(&self, key: &str) {
+        let req = Request::Unlink {
+            key: key.to_string(),
+        };
+        let _ = self.ep.rpc(self.broker, KVS_AM, req.encode()).await;
+        self.cache.borrow_mut().remove(key);
+    }
+}
+
+/// A prefix-scoped view of the store, mirroring Flux KVS namespaces:
+/// every operation on the namespace is rewritten to `prefix/key` on the
+/// underlying client. DYAD uses one namespace per managed directory.
+#[derive(Clone)]
+pub struct Namespace {
+    client: KvsClient,
+    prefix: String,
+}
+
+impl Namespace {
+    /// Scope `client` to `prefix`.
+    pub fn new(client: KvsClient, prefix: &str) -> Self {
+        Namespace {
+            client,
+            prefix: prefix.trim_end_matches('/').to_string(),
+        }
+    }
+
+    /// The full key for a namespace-relative key.
+    pub fn full_key(&self, key: &str) -> String {
+        format!("{}/{}", self.prefix, key.trim_start_matches('/'))
+    }
+
+    /// Commit within the namespace.
+    pub async fn commit(&self, key: &str, value: Bytes) -> u64 {
+        self.client.commit(&self.full_key(key), value).await
+    }
+
+    /// Lookup within the namespace.
+    pub async fn lookup(&self, key: &str) -> Option<VersionedValue> {
+        self.client.lookup(&self.full_key(key)).await
+    }
+
+    /// Blocking wait within the namespace.
+    pub async fn wait_key(&self, key: &str) -> VersionedValue {
+        self.client.wait_key(&self.full_key(key)).await
+    }
+
+    /// Unlink within the namespace.
+    pub async fn unlink(&self, key: &str) {
+        self.client.unlink(&self.full_key(key)).await
+    }
+
+    /// A nested namespace.
+    pub fn namespace(&self, prefix: &str) -> Namespace {
+        Namespace::new(self.client.clone(), &self.full_key(prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{Cluster, ClusterSpec};
+    use simcore::Sim;
+    use transport::TransportSpec;
+
+    struct Rig {
+        tp: Transport,
+        server: Rc<KvsServer>,
+    }
+
+    fn setup(sim: &Sim, nodes: usize) -> Rig {
+        let ctx = sim.ctx();
+        let cl = Cluster::build(&ctx, &ClusterSpec::corona(nodes));
+        let tp = Transport::new(&ctx, cl.fabric().clone(), TransportSpec::default());
+        let server = KvsServer::start(&ctx, &tp, NodeId(0), KvsSpec::default());
+        Rig { tp, server }
+    }
+
+    fn client(sim: &Sim, rig: &Rig, node: u32) -> KvsClient {
+        KvsClient::new(
+            &sim.ctx(),
+            &rig.tp,
+            NodeId(node),
+            NodeId(0),
+            KvsSpec::default(),
+        )
+    }
+
+    #[test]
+    fn commit_then_lookup() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 2);
+        let c = client(&sim, &rig, 1);
+        let h = sim.spawn(async move {
+            let v1 = c.commit("a", Bytes::from_static(b"1")).await;
+            let v2 = c.commit("b", Bytes::from_static(b"2")).await;
+            let got = c.lookup("a").await.unwrap();
+            (v1, v2, got)
+        });
+        sim.run();
+        let (v1, v2, got) = h.try_take().unwrap();
+        assert_eq!(v1, 1);
+        assert_eq!(v2, 2);
+        assert_eq!(got.version, 1);
+        assert_eq!(got.value, Bytes::from_static(b"1"));
+        assert_eq!(rig.server.stats().commits, 2);
+        assert_eq!(rig.server.stats().lookups, 1);
+    }
+
+    #[test]
+    fn lookup_miss_returns_none() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 2);
+        let c = client(&sim, &rig, 1);
+        let h = sim.spawn(async move { c.lookup("missing").await });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), None);
+    }
+
+    #[test]
+    fn wait_key_parks_until_commit() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 3);
+        let consumer = client(&sim, &rig, 2);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let v = consumer.wait_key("frame0").await;
+            (ctx.now().as_secs_f64(), v.value)
+        });
+        let producer = client(&sim, &rig, 1);
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            ctx.sleep(SimDuration::from_millis(50)).await;
+            producer
+                .commit("frame0", Bytes::from_static(b"meta"))
+                .await;
+        });
+        sim.run();
+        let (t, v) = h.try_take().unwrap();
+        assert!(t >= 0.050, "woke at {t}");
+        assert!(t < 0.051, "woke at {t}");
+        assert_eq!(v, Bytes::from_static(b"meta"));
+        assert_eq!(rig.server.stats().waits_parked, 1);
+    }
+
+    #[test]
+    fn wait_key_returns_immediately_when_present() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 2);
+        let c = client(&sim, &rig, 1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            c.commit("k", Bytes::from_static(b"v")).await;
+            let before = ctx.now();
+            c.wait_key("k").await;
+            (ctx.now() - before).micros()
+        });
+        sim.run();
+        // One RPC round trip + service, no parking: well under 100 µs.
+        let us = h.try_take().unwrap();
+        assert!(us < 100, "took {us} µs");
+        assert_eq!(rig.server.stats().waits_parked, 0);
+    }
+
+    #[test]
+    fn polling_wait_counts_polls() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 3);
+        let consumer = client(&sim, &rig, 2);
+        let h = sim.spawn(async move { consumer.wait_key_poll("x").await });
+        let producer = client(&sim, &rig, 1);
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            ctx.sleep(SimDuration::from_millis(10)).await;
+            producer.commit("x", Bytes::from_static(b"y")).await;
+        });
+        sim.run();
+        let (v, polls) = h.try_take().unwrap();
+        assert_eq!(v.value, Bytes::from_static(b"y"));
+        // ~10 ms at 1 ms poll interval: about 10 polls.
+        assert!((8..=13).contains(&polls), "{polls} polls");
+    }
+
+    #[test]
+    fn cache_hits_are_free_and_correct() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 2);
+        let c = client(&sim, &rig, 1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            c.commit("k", Bytes::from_static(b"v")).await;
+            let before = ctx.now();
+            let cached = c.lookup_cached("k");
+            assert_eq!(ctx.now(), before); // zero simulated cost
+            cached
+        });
+        sim.run();
+        let v = h.try_take().unwrap().unwrap();
+        assert_eq!(v.value, Bytes::from_static(b"v"));
+    }
+
+    #[test]
+    fn unlink_removes_key() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 2);
+        let c = client(&sim, &rig, 1);
+        let h = sim.spawn(async move {
+            c.commit("k", Bytes::from_static(b"v")).await;
+            c.unlink("k").await;
+            (c.lookup("k").await, c.lookup_cached("k"))
+        });
+        sim.run();
+        let (remote, cached) = h.try_take().unwrap();
+        assert_eq!(remote, None);
+        assert_eq!(cached, None);
+        assert!(rig.server.is_empty());
+    }
+
+    #[test]
+    fn versions_are_globally_monotone() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 3);
+        let mut handles = Vec::new();
+        for n in 1..3u32 {
+            let c = client(&sim, &rig, n);
+            handles.push(sim.spawn(async move {
+                let mut versions = Vec::new();
+                for i in 0..5 {
+                    versions.push(c.commit(&format!("n{n}/k{i}"), Bytes::new()).await);
+                }
+                versions
+            }));
+        }
+        sim.run();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.try_take().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (1..=10).collect::<Vec<u64>>());
+        assert_eq!(rig.server.version(), 10);
+    }
+
+    #[test]
+    fn multiple_waiters_released_by_one_commit() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 4);
+        let mut handles = Vec::new();
+        for n in 1..4u32 {
+            let c = client(&sim, &rig, n);
+            handles.push(sim.spawn(async move { c.wait_key("shared").await.version }));
+        }
+        let p = client(&sim, &rig, 1);
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            ctx.sleep(SimDuration::from_millis(1)).await;
+            p.commit("shared", Bytes::new()).await;
+        });
+        let report = sim.run();
+        assert!(report.is_clean());
+        for h in handles {
+            assert_eq!(h.try_take().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn namespaces_isolate_keys() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 2);
+        let c = client(&sim, &rig, 1);
+        let a = Namespace::new(c.clone(), "jobA");
+        let b = Namespace::new(c.clone(), "jobB");
+        let h = sim.spawn(async move {
+            a.commit("frame", Bytes::from_static(b"A")).await;
+            b.commit("frame", Bytes::from_static(b"B")).await;
+            let va = a.lookup("frame").await.unwrap().value;
+            let vb = b.lookup("frame").await.unwrap().value;
+            // Raw keys are prefixed.
+            let raw = c.lookup("jobA/frame").await.unwrap().value;
+            (va, vb, raw)
+        });
+        sim.run();
+        let (va, vb, raw) = h.try_take().unwrap();
+        assert_eq!(va, Bytes::from_static(b"A"));
+        assert_eq!(vb, Bytes::from_static(b"B"));
+        assert_eq!(raw, Bytes::from_static(b"A"));
+    }
+
+    #[test]
+    fn nested_namespaces_compose() {
+        let sim = Sim::new(0);
+        let rig = setup(&sim, 2);
+        let c = client(&sim, &rig, 1);
+        let ns = Namespace::new(c, "root").namespace("inner");
+        assert_eq!(ns.full_key("k"), "root/inner/k");
+        let h = sim.spawn(async move {
+            ns.commit("k", Bytes::from_static(b"v")).await;
+            ns.wait_key("k").await.value
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Bytes::from_static(b"v"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Extent allocation in the XFS style: the volume is split into
+//! allocation groups (AGs), each with its own free-extent B-tree, and new
+//! allocations rotate across AGs so parallel writers rarely contend on
+//! the same free-space structures.
+
+use std::collections::BTreeMap;
+
+use crate::error::{FsError, FsResult};
+
+/// A contiguous run of blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// First block of the run (volume-absolute).
+    pub start: u64,
+    /// Number of blocks.
+    pub len: u64,
+}
+
+impl Extent {
+    /// One past the last block.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+}
+
+/// Free-space structure of one allocation group: free extents keyed by
+/// start block, coalesced on free.
+#[derive(Debug, Clone)]
+struct AllocGroup {
+    /// start -> len of each free extent.
+    free: BTreeMap<u64, u64>,
+    free_blocks: u64,
+}
+
+impl AllocGroup {
+    fn new(start: u64, len: u64) -> Self {
+        let mut free = BTreeMap::new();
+        free.insert(start, len);
+        AllocGroup {
+            free,
+            free_blocks: len,
+        }
+    }
+
+    /// First-fit allocation of up to `want` blocks; returns the extent
+    /// carved out, which may be shorter than `want`.
+    fn alloc(&mut self, want: u64) -> Option<Extent> {
+        let (&start, &len) = self.free.iter().find(|(_, &len)| len > 0)?;
+        let take = want.min(len);
+        self.free.remove(&start);
+        if take < len {
+            self.free.insert(start + take, len - take);
+        }
+        self.free_blocks -= take;
+        Some(Extent { start, len: take })
+    }
+
+    /// Return an extent, coalescing with neighbours.
+    fn free_extent(&mut self, ext: Extent) {
+        let mut start = ext.start;
+        let mut len = ext.len;
+        // Coalesce with predecessor.
+        if let Some((&pstart, &plen)) = self.free.range(..start).next_back() {
+            if pstart + plen == start {
+                self.free.remove(&pstart);
+                start = pstart;
+                len += plen;
+            }
+        }
+        // Coalesce with successor.
+        if let Some((&nstart, &nlen)) = self.free.range(start + len..).next() {
+            if start + len == nstart {
+                self.free.remove(&nstart);
+                len += nlen;
+            }
+        }
+        self.free.insert(start, len);
+        self.free_blocks += ext.len;
+    }
+}
+
+/// The volume-wide extent allocator.
+#[derive(Debug, Clone)]
+pub struct ExtentAllocator {
+    groups: Vec<AllocGroup>,
+    ag_blocks: u64,
+    next_ag: usize,
+}
+
+impl ExtentAllocator {
+    /// Create an allocator over `total_blocks` split into `ag_count`
+    /// allocation groups.
+    pub fn new(total_blocks: u64, ag_count: usize) -> Self {
+        assert!(ag_count >= 1 && total_blocks >= ag_count as u64);
+        let ag_blocks = total_blocks / ag_count as u64;
+        let groups = (0..ag_count)
+            .map(|i| {
+                let start = i as u64 * ag_blocks;
+                let len = if i == ag_count - 1 {
+                    total_blocks - start
+                } else {
+                    ag_blocks
+                };
+                AllocGroup::new(start, len)
+            })
+            .collect();
+        ExtentAllocator {
+            groups,
+            ag_blocks,
+            next_ag: 0,
+        }
+    }
+
+    /// Total free blocks across all groups.
+    pub fn free_blocks(&self) -> u64 {
+        self.groups.iter().map(|g| g.free_blocks).sum()
+    }
+
+    /// Allocate `blocks` blocks, possibly as multiple extents. New
+    /// allocations start in the next AG round-robin (XFS-style rotoring),
+    /// spilling into other groups when one runs dry.
+    pub fn alloc(&mut self, blocks: u64) -> FsResult<Vec<Extent>> {
+        if blocks == 0 {
+            return Ok(Vec::new());
+        }
+        if self.free_blocks() < blocks {
+            return Err(FsError::NoSpace);
+        }
+        let mut out = Vec::new();
+        let mut remaining = blocks;
+        let start_ag = self.next_ag;
+        self.next_ag = (self.next_ag + 1) % self.groups.len();
+        let n = self.groups.len();
+        let mut ag = start_ag;
+        while remaining > 0 {
+            if let Some(ext) = self.groups[ag].alloc(remaining) {
+                remaining -= ext.len;
+                out.push(ext);
+            } else {
+                ag = (ag + 1) % n;
+                // Guaranteed to terminate: total free ≥ requested.
+                debug_assert!(self.groups.iter().any(|g| g.free_blocks > 0));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Free the given extents.
+    pub fn free(&mut self, extents: &[Extent]) {
+        for &ext in extents {
+            let ag = ((ext.start / self.ag_blocks) as usize).min(self.groups.len() - 1);
+            self.groups[ag].free_extent(ext);
+        }
+    }
+
+    /// Number of allocation groups.
+    pub fn ag_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of free extents (fragmentation indicator).
+    pub fn fragments(&self) -> usize {
+        self.groups.iter().map(|g| g.free.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_round_trip() {
+        let mut a = ExtentAllocator::new(1000, 4);
+        assert_eq!(a.free_blocks(), 1000);
+        let e = a.alloc(100).unwrap();
+        assert_eq!(e.iter().map(|x| x.len).sum::<u64>(), 100);
+        assert_eq!(a.free_blocks(), 900);
+        a.free(&e);
+        assert_eq!(a.free_blocks(), 1000);
+    }
+
+    #[test]
+    fn allocations_rotate_groups() {
+        let mut a = ExtentAllocator::new(1000, 4);
+        let e1 = a.alloc(10).unwrap();
+        let e2 = a.alloc(10).unwrap();
+        // Different AGs -> different regions.
+        assert_ne!(e1[0].start / 250, e2[0].start / 250);
+    }
+
+    #[test]
+    fn exhaustion_returns_nospace() {
+        let mut a = ExtentAllocator::new(100, 2);
+        assert!(a.alloc(101).is_err());
+        let _ = a.alloc(100).unwrap();
+        assert_eq!(a.free_blocks(), 0);
+        assert_eq!(a.alloc(1), Err(FsError::NoSpace));
+    }
+
+    #[test]
+    fn spill_across_groups() {
+        let mut a = ExtentAllocator::new(100, 4); // 25 blocks per AG
+        let e = a.alloc(60).unwrap();
+        assert!(e.len() >= 3, "spans at least 3 AGs: {e:?}");
+        assert_eq!(e.iter().map(|x| x.len).sum::<u64>(), 60);
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let mut a = ExtentAllocator::new(100, 1);
+        let e1 = a.alloc(30).unwrap();
+        let e2 = a.alloc(30).unwrap();
+        let e3 = a.alloc(30).unwrap();
+        a.free(&e1);
+        a.free(&e3);
+        // Free list: [0..30) and [60..100) (e3 coalesced with the tail).
+        assert_eq!(a.fragments(), 2);
+        a.free(&e2);
+        // Everything merges back into one extent.
+        assert_eq!(a.fragments(), 1);
+        assert_eq!(a.free_blocks(), 100);
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn alloc_free_conserves_blocks(ops in proptest::collection::vec(1u64..50, 1..40)) {
+                let total = 2000u64;
+                let mut a = ExtentAllocator::new(total, 4);
+                let mut held: Vec<Vec<Extent>> = Vec::new();
+                for (i, want) in ops.iter().enumerate() {
+                    if i % 3 == 2 && !held.is_empty() {
+                        let e = held.swap_remove(0);
+                        a.free(&e);
+                    } else if let Ok(e) = a.alloc(*want) {
+                        prop_assert_eq!(e.iter().map(|x| x.len).sum::<u64>(), *want);
+                        held.push(e);
+                    }
+                    let held_blocks: u64 = held.iter().flatten().map(|x| x.len).sum();
+                    prop_assert_eq!(a.free_blocks() + held_blocks, total);
+                }
+                // No overlapping extents among held allocations.
+                let mut all: Vec<Extent> = held.into_iter().flatten().collect();
+                all.sort_by_key(|e| e.start);
+                for w in all.windows(2) {
+                    prop_assert!(w[0].end() <= w[1].start,
+                        "overlap: {:?} then {:?}", w[0], w[1]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Filesystem consistency checking — the invariants a real `xfs_repair`
+//! would verify, used by the property tests and available to embedders.
+
+use std::collections::HashMap;
+
+use crate::fs::LocalFs;
+
+/// A consistency violation found by [`LocalFs::fsck`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsckIssue {
+    /// Two files (or one file twice) claim the same block.
+    OverlappingExtents {
+        /// First block of the overlap.
+        block: u64,
+    },
+    /// A file's extent capacity is smaller than its content size.
+    SizeExceedsExtents {
+        /// Inode number.
+        ino: u64,
+        /// Content bytes.
+        size: u64,
+        /// Bytes of allocated extent capacity.
+        capacity: u64,
+    },
+    /// Allocator accounting disagrees with the sum of file extents.
+    FreeSpaceMismatch {
+        /// Blocks the allocator reports free.
+        allocator_free: u64,
+        /// Blocks implied free by the inode extents.
+        implied_free: u64,
+    },
+    /// A directory references a missing inode.
+    DanglingDirent {
+        /// The missing inode number.
+        ino: u64,
+    },
+}
+
+/// Result of a consistency check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// All violations found (empty = consistent).
+    pub issues: Vec<FsckIssue>,
+    /// Files visited.
+    pub files: usize,
+    /// Directories visited.
+    pub dirs: usize,
+    /// Blocks in use by file extents.
+    pub used_blocks: u64,
+}
+
+impl FsckReport {
+    /// True when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+impl LocalFs {
+    /// Check on-disk-structure invariants: no overlapping extents, sizes
+    /// within allocated capacity, allocator free-space accounting, and
+    /// no dangling directory entries. Zero simulated cost (a debugging
+    /// facility, not an I/O operation).
+    pub fn fsck(&self) -> FsckReport {
+        let mut report = FsckReport::default();
+        let (entries, total_blocks, allocator_free, block_size) = self.fsck_snapshot();
+        report.files = entries.iter().filter(|e| !e.is_dir).count();
+        report.dirs = entries.iter().filter(|e| e.is_dir).count();
+
+        // Extent overlap + per-file capacity.
+        let mut claimed: HashMap<u64, u64> = HashMap::new();
+        for e in &entries {
+            let mut capacity = 0u64;
+            for &(start, len) in &e.extents {
+                capacity += len * block_size;
+                for b in start..start + len {
+                    if claimed.insert(b, e.ino).is_some() {
+                        report.issues.push(FsckIssue::OverlappingExtents { block: b });
+                    }
+                }
+            }
+            report.used_blocks += e.extents.iter().map(|&(_, l)| l).sum::<u64>();
+            if e.size > capacity {
+                report.issues.push(FsckIssue::SizeExceedsExtents {
+                    ino: e.ino,
+                    size: e.size,
+                    capacity,
+                });
+            }
+            if e.dangling {
+                report.issues.push(FsckIssue::DanglingDirent { ino: e.ino });
+            }
+        }
+
+        // Allocator accounting.
+        let implied_free = total_blocks - report.used_blocks;
+        if implied_free != allocator_free {
+            report.issues.push(FsckIssue::FreeSpaceMismatch {
+                allocator_free,
+                implied_free,
+            });
+        }
+        report
+    }
+}
+
+/// Internal per-inode view for fsck (filled by `LocalFs::fsck_snapshot`).
+pub(crate) struct FsckEntry {
+    pub(crate) ino: u64,
+    pub(crate) is_dir: bool,
+    pub(crate) size: u64,
+    pub(crate) extents: Vec<(u64, u64)>,
+    pub(crate) dangling: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LocalFsSpec, OpenMode};
+    use cluster::{NodeSpec, NvmeDevice};
+    use simcore::Sim;
+
+    fn fs(sim: &Sim) -> LocalFs {
+        let ctx = sim.ctx();
+        let dev = NvmeDevice::new(&ctx, &NodeSpec::corona());
+        LocalFs::new(&ctx, dev, LocalFsSpec::default())
+    }
+
+    #[test]
+    fn fresh_fs_is_clean() {
+        let sim = Sim::new(0);
+        let f = fs(&sim);
+        let r = f.fsck();
+        assert!(r.is_clean(), "{:?}", r.issues);
+        assert_eq!(r.files, 0);
+        assert_eq!(r.dirs, 1); // root
+    }
+
+    #[test]
+    fn busy_fs_stays_consistent() {
+        let sim = Sim::new(0);
+        let f = fs(&sim);
+        let f2 = f.clone();
+        sim.spawn(async move {
+            f2.mkdir_p("/a/b").await.unwrap();
+            for i in 0..10 {
+                let path = format!("/a/b/f{i}");
+                let fd = f2.create(&path).await.unwrap();
+                f2.write(fd, &vec![i as u8; 10_000 * (i + 1)]).await.unwrap();
+                f2.close(fd).await.unwrap();
+            }
+            // Churn: delete some, rewrite others, append to one.
+            for i in (0..10).step_by(2) {
+                f2.unlink(&format!("/a/b/f{i}")).await.unwrap();
+            }
+            for i in (1..10).step_by(2) {
+                let path = format!("/a/b/f{i}");
+                let fd = f2.create(&path).await.unwrap();
+                f2.write(fd, &vec![0xFF; 5_000]).await.unwrap();
+                f2.close(fd).await.unwrap();
+            }
+            let fd = f2.open_with("/a/b/f1", OpenMode::Append).await.unwrap();
+            f2.write(fd, &[1, 2, 3]).await.unwrap();
+            f2.close(fd).await.unwrap();
+        });
+        sim.run();
+        let r = f.fsck();
+        assert!(r.is_clean(), "{:?}", r.issues);
+        assert_eq!(r.files, 5);
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Create(u8, u16),
+            Append(u8, u16),
+            Unlink(u8),
+        }
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (any::<u8>(), 1u16..5000).prop_map(|(f, n)| Op::Create(f % 8, n)),
+                (any::<u8>(), 1u16..5000).prop_map(|(f, n)| Op::Append(f % 8, n)),
+                any::<u8>().prop_map(|f| Op::Unlink(f % 8)),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            #[test]
+            fn arbitrary_op_sequences_keep_fs_consistent(
+                ops in proptest::collection::vec(arb_op(), 1..40)
+            ) {
+                let sim = Sim::new(0);
+                let f = fs(&sim);
+                let f2 = f.clone();
+                sim.spawn(async move {
+                    for op in ops {
+                        match op {
+                            Op::Create(file, n) => {
+                                let fd = f2.create(&format!("/f{file}")).await.unwrap();
+                                f2.write(fd, &vec![7u8; n as usize]).await.unwrap();
+                                f2.close(fd).await.unwrap();
+                            }
+                            Op::Append(file, n) => {
+                                let path = format!("/f{file}");
+                                if f2.exists(&path) {
+                                    let fd =
+                                        f2.open_with(&path, OpenMode::Append).await.unwrap();
+                                    f2.write(fd, &vec![9u8; n as usize]).await.unwrap();
+                                    f2.close(fd).await.unwrap();
+                                }
+                            }
+                            Op::Unlink(file) => {
+                                let _ = f2.unlink(&format!("/f{file}")).await;
+                            }
+                        }
+                    }
+                });
+                sim.run();
+                let r = f.fsck();
+                prop_assert!(r.is_clean(), "{:?}", r.issues);
+            }
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The Lustre client: POSIX-ish file operations that translate into MDS
+//! and OSS RPCs with parallel per-stripe bulk I/O.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::{Bytes, BytesMut};
+use cluster::NodeId;
+use simcore::{join_all, Ctx};
+use transport::{AmId, Endpoint, Payload, Transport};
+
+use crate::codec::{Layout, MdsRequest, MdsResponse, OssRequest, OssResponse};
+use crate::server::{PfsSpec, MDS_AM, OSS_AM_BASE};
+
+/// Errors surfaced by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PfsError {
+    /// Path unknown to the MDS.
+    NotFound,
+    /// Descriptor stale or wrong mode.
+    BadDescriptor,
+}
+
+impl std::fmt::Display for PfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfsError::NotFound => write!(f, "no such file on the MDS"),
+            PfsError::BadDescriptor => write!(f, "bad file descriptor"),
+        }
+    }
+}
+impl std::error::Error for PfsError {}
+
+/// Slice `len` bytes starting at `start` out of a segment rope,
+/// zero-copy (the result holds slices of the input segments).
+fn rope_slice(rope: &[Bytes], start: u64, len: u64) -> Payload {
+    let mut out = Vec::new();
+    let mut base = 0u64;
+    let end = start + len;
+    for seg in rope {
+        let seg_len = seg.len() as u64;
+        let seg_end = base + seg_len;
+        if seg_end > start && base < end {
+            let from = start.max(base) - base;
+            let to = end.min(seg_end) - base;
+            out.push(seg.slice(from as usize..to as usize));
+        }
+        base = seg_end;
+        if base >= end {
+            break;
+        }
+    }
+    out
+}
+
+/// Client-side file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PfsFd(u64);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Read,
+    Write,
+}
+
+struct OpenFile {
+    path: String,
+    layout: Layout,
+    size: u64,
+    offset: u64,
+    mode: Mode,
+    dirty: bool,
+}
+
+struct ClientState {
+    fds: HashMap<PfsFd, OpenFile>,
+    next_fd: u64,
+}
+
+/// A Lustre-like client bound to one compute node.
+#[derive(Clone)]
+pub struct PfsClient {
+    #[allow(dead_code)]
+    ctx: Ctx,
+    ep: Endpoint,
+    mds: NodeId,
+    /// Node hosting each OST, indexed by OST id.
+    ost_nodes: Rc<Vec<NodeId>>,
+    state: Rc<RefCell<ClientState>>,
+    spec: PfsSpec,
+    /// Per-client stream throttle: each logical I/O drains through this
+    /// at the burst rate (≤ cache threshold) or the facility's sustained
+    /// rate — the client-cache model of DESIGN.md §5.
+    throttle: simcore::resource::SharedBandwidth,
+}
+
+impl PfsClient {
+    /// Create a client on `node`; `ost_nodes[i]` hosts OST `i`.
+    pub fn new(
+        ctx: &Ctx,
+        tp: &Transport,
+        node: NodeId,
+        mds: NodeId,
+        ost_nodes: Vec<NodeId>,
+        spec: PfsSpec,
+    ) -> Self {
+        PfsClient {
+            ctx: ctx.clone(),
+            ep: tp.endpoint(node),
+            mds,
+            ost_nodes: Rc::new(ost_nodes),
+            state: Rc::new(RefCell::new(ClientState {
+                fds: HashMap::new(),
+                next_fd: 3,
+            })),
+            spec,
+            throttle: simcore::resource::SharedBandwidth::new(ctx, spec.burst_cap),
+        }
+    }
+
+    /// Rate ceiling for one logical I/O of `total` bytes striped over
+    /// `streams` OST columns: small I/O rides the client cache at burst
+    /// rate; large I/O runs at the sustained per-stream rate times the
+    /// number of parallel streams (more stripes → more client
+    /// bandwidth, up to the burst ceiling).
+    fn stream_cap(&self, total: u64, streams: usize) -> f64 {
+        if total <= self.spec.cache_threshold {
+            self.spec.burst_cap
+        } else {
+            (self.spec.sustained_cap * streams.max(1) as f64).min(self.spec.burst_cap)
+        }
+    }
+
+    async fn mds_rpc(&self, req: MdsRequest) -> MdsResponse {
+        MdsResponse::decode(self.ep.rpc(self.mds, MDS_AM, req.encode()).await)
+    }
+
+    async fn oss_rpc(
+        &self,
+        ost: u32,
+        req: OssRequest,
+        payload: Payload,
+    ) -> (OssResponse, Payload) {
+        let node = self.ost_nodes[ost as usize];
+        let (hdr, data) = self
+            .ep
+            .bulk_rpc(node, AmId(OSS_AM_BASE + ost), req.encode(), payload)
+            .await;
+        (OssResponse::decode(hdr), data)
+    }
+
+    fn new_fd(&self, of: OpenFile) -> PfsFd {
+        let mut st = self.state.borrow_mut();
+        let fd = PfsFd(st.next_fd);
+        st.next_fd += 1;
+        st.fds.insert(fd, of);
+        fd
+    }
+
+    /// Create (or truncate) a file for writing.
+    pub async fn create(&self, path: &str) -> Result<PfsFd, PfsError> {
+        match self.mds_rpc(MdsRequest::Create { path: path.into() }).await {
+            MdsResponse::Meta { layout, size } => Ok(self.new_fd(OpenFile {
+                path: path.into(),
+                layout,
+                size,
+                offset: 0,
+                mode: Mode::Write,
+                dirty: false,
+            })),
+            _ => Err(PfsError::NotFound),
+        }
+    }
+
+    /// Open an existing file read-only.
+    pub async fn open(&self, path: &str) -> Result<PfsFd, PfsError> {
+        match self.mds_rpc(MdsRequest::Open { path: path.into() }).await {
+            MdsResponse::Meta { layout, size } => Ok(self.new_fd(OpenFile {
+                path: path.into(),
+                layout,
+                size,
+                offset: 0,
+                mode: Mode::Read,
+                dirty: false,
+            })),
+            _ => Err(PfsError::NotFound),
+        }
+    }
+
+    /// Write at the descriptor's offset: stripes go to their OSTs in
+    /// parallel.
+    pub async fn write(&self, fd: PfsFd, data: &[u8]) -> Result<usize, PfsError> {
+        self.write_bytes(fd, Bytes::copy_from_slice(data)).await?;
+        Ok(data.len())
+    }
+
+    /// Zero-copy write: stripe chunks are `Bytes` slices of `data` and
+    /// travel to their OSTs in parallel without copying.
+    pub async fn write_bytes(&self, fd: PfsFd, data: Bytes) -> Result<(), PfsError> {
+        self.write_segments(fd, vec![data]).await
+    }
+
+    /// Zero-copy write of a segment rope (e.g. a frame's
+    /// `[header, body]` pair) as one logical write.
+    pub async fn write_segments(&self, fd: PfsFd, data: Payload) -> Result<(), PfsError> {
+        let total = transport::payload_len(&data);
+        let (layout, chunks) = {
+            let mut st = self.state.borrow_mut();
+            let of = st.fds.get_mut(&fd).ok_or(PfsError::BadDescriptor)?;
+            if of.mode != Mode::Write {
+                return Err(PfsError::BadDescriptor);
+            }
+            let offset = of.offset;
+            of.offset += total;
+            of.size = of.size.max(of.offset);
+            of.dirty = true;
+            (of.layout.clone(), of.layout.chunks(offset, total))
+        };
+        // Fire all stripe writes concurrently, as the Lustre client
+        // does, while the logical I/O drains through the client stream
+        // throttle.
+        let mut pos = 0u64;
+        let mut handles = Vec::with_capacity(chunks.len() + 1);
+        {
+            let throttle = self.throttle.clone();
+            let cap = self.stream_cap(total, layout.stripe_count());
+            handles.push(self.ctx.spawn(async move {
+                throttle.transfer_capped(total, Some(cap)).await;
+            }));
+        }
+        for (column, obj_off, len) in chunks {
+            let chunk = rope_slice(&data, pos, len);
+            pos += len;
+            let ost = layout.osts[column];
+            let object = layout.objects[column];
+            let this = self.clone();
+            handles.push(self.ctx.spawn(async move {
+                this.oss_rpc(
+                    ost,
+                    OssRequest::Write {
+                        object,
+                        offset: obj_off,
+                        len,
+                        total,
+                    },
+                    chunk,
+                )
+                .await;
+            }));
+        }
+        join_all(handles).await;
+        Ok(())
+    }
+
+    /// Read up to `len` bytes from the descriptor's offset.
+    pub async fn read(&self, fd: PfsFd, len: u64) -> Result<Bytes, PfsError> {
+        let (layout, offset, take) = {
+            let mut st = self.state.borrow_mut();
+            let of = st.fds.get_mut(&fd).ok_or(PfsError::BadDescriptor)?;
+            let take = len.min(of.size.saturating_sub(of.offset));
+            let offset = of.offset;
+            of.offset += take;
+            (of.layout.clone(), offset, take)
+        };
+        if take == 0 {
+            return Ok(Bytes::new());
+        }
+        let parts = self.read_chunks(&layout, offset, take).await;
+        if parts.len() == 1 {
+            return Ok(parts.into_iter().next().unwrap());
+        }
+        let mut out = BytesMut::with_capacity(take as usize);
+        for part in parts {
+            out.extend_from_slice(&part);
+        }
+        Ok(out.freeze())
+    }
+
+    async fn read_chunks(&self, layout: &Layout, offset: u64, take: u64) -> Vec<Bytes> {
+        let chunks = layout.chunks(offset, take);
+        {
+            // Drain the logical read through the client stream throttle
+            // in parallel with the chunk RPCs.
+            let throttle = self.throttle.clone();
+            let cap = self.stream_cap(take, layout.stripe_count());
+            let h = self.ctx.spawn(async move {
+                throttle.transfer_capped(take, Some(cap)).await;
+            });
+            // Collected below together with the chunk data via join.
+            let mut handles = Vec::with_capacity(chunks.len());
+            for (column, obj_off, clen) in &chunks {
+                let ost = layout.osts[*column];
+                let object = layout.objects[*column];
+                let (obj_off, clen) = (*obj_off, *clen);
+                let this = self.clone();
+                handles.push(self.ctx.spawn(async move {
+                    let (_, data) = this
+                        .oss_rpc(
+                            ost,
+                            OssRequest::Read {
+                                object,
+                                offset: obj_off,
+                                len: clen,
+                                total: take,
+                            },
+                            Vec::new(),
+                        )
+                        .await;
+                    data
+                }));
+            }
+            let ropes = join_all(handles).await;
+            h.await;
+            return ropes.into_iter().flatten().collect();
+        }
+    }
+
+    /// Read the remainder of the file.
+    pub async fn read_to_end(&self, fd: PfsFd) -> Result<Bytes, PfsError> {
+        self.read(fd, u64::MAX).await
+    }
+
+    /// Zero-copy read of the remainder of the file: one `Bytes` per
+    /// stripe chunk, in file order.
+    pub async fn read_segments(&self, fd: PfsFd) -> Result<Vec<Bytes>, PfsError> {
+        let (layout, offset, take) = {
+            let mut st = self.state.borrow_mut();
+            let of = st.fds.get_mut(&fd).ok_or(PfsError::BadDescriptor)?;
+            let take = of.size.saturating_sub(of.offset);
+            let offset = of.offset;
+            of.offset += take;
+            (of.layout.clone(), offset, take)
+        };
+        if take == 0 {
+            return Ok(Vec::new());
+        }
+        Ok(self.read_chunks(&layout, offset, take).await)
+    }
+
+    /// Close, publishing the size to the MDS if the file was written.
+    pub async fn close(&self, fd: PfsFd) -> Result<(), PfsError> {
+        let (path, size, dirty) = {
+            let mut st = self.state.borrow_mut();
+            let of = st.fds.remove(&fd).ok_or(PfsError::BadDescriptor)?;
+            (of.path, of.size, of.dirty)
+        };
+        if dirty {
+            self.mds_rpc(MdsRequest::SetSize { path, size }).await;
+        }
+        Ok(())
+    }
+
+    /// Unlink: MDS removal plus object destruction on every OST column.
+    pub async fn unlink(&self, path: &str) -> Result<(), PfsError> {
+        let meta = self.mds_rpc(MdsRequest::Stat { path: path.into() }).await;
+        let layout = match meta {
+            MdsResponse::Meta { layout, .. } => layout,
+            _ => return Err(PfsError::NotFound),
+        };
+        self.mds_rpc(MdsRequest::Unlink { path: path.into() }).await;
+        let mut handles = Vec::new();
+        for (i, &ost) in layout.osts.iter().enumerate() {
+            let object = layout.objects[i];
+            let this = self.clone();
+            handles.push(self.ctx.spawn(async move {
+                this.oss_rpc(ost, OssRequest::Destroy { object }, Vec::new())
+                    .await;
+            }));
+        }
+        join_all(handles).await;
+        Ok(())
+    }
+
+    /// Stat via the MDS.
+    pub async fn stat(&self, path: &str) -> Result<(Layout, u64), PfsError> {
+        match self.mds_rpc(MdsRequest::Stat { path: path.into() }).await {
+            MdsResponse::Meta { layout, size } => Ok((layout, size)),
+            _ => Err(PfsError::NotFound),
+        }
+    }
+}

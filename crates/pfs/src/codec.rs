@@ -1,0 +1,481 @@
+//! Wire codec for MDS and OSS RPCs.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// File layout: which objects on which OSTs hold the file's stripes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Stripe width in bytes.
+    pub stripe_size: u64,
+    /// OST index per stripe column.
+    pub osts: Vec<u32>,
+    /// Object id per stripe column (parallel to `osts`).
+    pub objects: Vec<u64>,
+}
+
+impl Layout {
+    /// Number of stripe columns.
+    pub fn stripe_count(&self) -> usize {
+        self.osts.len()
+    }
+
+    /// Map a byte range onto per-object chunks: returns
+    /// `(column, object_offset, len)` triples covering
+    /// `offset..offset+len` in file order.
+    pub fn chunks(&self, offset: u64, len: u64) -> Vec<(usize, u64, u64)> {
+        let mut out = Vec::new();
+        let sc = self.stripe_count() as u64;
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let stripe_idx = pos / self.stripe_size;
+            let within = pos % self.stripe_size;
+            let column = (stripe_idx % sc) as usize;
+            let row = stripe_idx / sc;
+            let take = (self.stripe_size - within).min(end - pos);
+            out.push((column, row * self.stripe_size + within, take));
+            pos += take;
+        }
+        out
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64(self.stripe_size);
+        buf.put_u16(self.osts.len() as u16);
+        for (&o, &obj) in self.osts.iter().zip(&self.objects) {
+            buf.put_u32(o);
+            buf.put_u64(obj);
+        }
+    }
+
+    fn decode_from(raw: &mut Bytes) -> Layout {
+        let stripe_size = raw.get_u64();
+        let n = raw.get_u16() as usize;
+        let mut osts = Vec::with_capacity(n);
+        let mut objects = Vec::with_capacity(n);
+        for _ in 0..n {
+            osts.push(raw.get_u32());
+            objects.push(raw.get_u64());
+        }
+        Layout {
+            stripe_size,
+            osts,
+            objects,
+        }
+    }
+}
+
+/// MDS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdsRequest {
+    /// Create (or truncate) a file and return its layout.
+    Create {
+        /// Full path.
+        path: String,
+    },
+    /// Open an existing file: layout + current size.
+    Open {
+        /// Full path.
+        path: String,
+    },
+    /// Record the file size at close.
+    SetSize {
+        /// Full path.
+        path: String,
+        /// New size in bytes.
+        size: u64,
+    },
+    /// Remove the file.
+    Unlink {
+        /// Full path.
+        path: String,
+    },
+    /// Stat the file.
+    Stat {
+        /// Full path.
+        path: String,
+    },
+}
+
+/// MDS responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdsResponse {
+    /// Layout (+size for open/stat).
+    Meta {
+        /// File layout.
+        layout: Layout,
+        /// Size known to the MDS.
+        size: u64,
+    },
+    /// Operation acknowledged.
+    Ok,
+    /// Path missing.
+    NotFound,
+}
+
+/// OSS (object server) operations. Bulk data never travels inside the
+/// header — it rides the RPC's zero-copy payload (see
+/// [`transport::Endpoint::bulk_rpc`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OssRequest {
+    /// Write the RPC payload into `object` at `offset`.
+    Write {
+        /// Target object.
+        object: u64,
+        /// Byte offset inside the object.
+        offset: u64,
+        /// Payload length (must equal the attached payload's length).
+        len: u64,
+        /// Size of the whole logical client I/O this chunk belongs to
+        /// (drives the burst-vs-sustained rate decision, modelling the
+        /// Lustre client cache: small I/Os are absorbed at wire rate,
+        /// large ones run at the facility's sustained per-stream rate).
+        total: u64,
+    },
+    /// Read `len` bytes from `object` at `offset`.
+    Read {
+        /// Target object.
+        object: u64,
+        /// Byte offset inside the object.
+        offset: u64,
+        /// Length to read.
+        len: u64,
+        /// Size of the whole logical client I/O (see `Write::total`).
+        total: u64,
+    },
+    /// Drop an object.
+    Destroy {
+        /// Target object.
+        object: u64,
+    },
+}
+
+/// OSS responses. Read data rides the RPC's zero-copy payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OssResponse {
+    /// Write/destroy acknowledged.
+    Ok,
+    /// Read served; the payload carries `len` bytes.
+    Data {
+        /// Length of the attached payload.
+        len: u64,
+    },
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(raw: &mut Bytes) -> String {
+    let len = raw.get_u16() as usize;
+    String::from_utf8(raw.split_to(len).to_vec()).expect("paths are UTF-8")
+}
+
+impl MdsRequest {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            MdsRequest::Create { path } => {
+                buf.put_u8(1);
+                put_str(&mut buf, path);
+            }
+            MdsRequest::Open { path } => {
+                buf.put_u8(2);
+                put_str(&mut buf, path);
+            }
+            MdsRequest::SetSize { path, size } => {
+                buf.put_u8(3);
+                put_str(&mut buf, path);
+                buf.put_u64(*size);
+            }
+            MdsRequest::Unlink { path } => {
+                buf.put_u8(4);
+                put_str(&mut buf, path);
+            }
+            MdsRequest::Stat { path } => {
+                buf.put_u8(5);
+                put_str(&mut buf, path);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(mut raw: Bytes) -> MdsRequest {
+        match raw.get_u8() {
+            1 => MdsRequest::Create {
+                path: get_str(&mut raw),
+            },
+            2 => MdsRequest::Open {
+                path: get_str(&mut raw),
+            },
+            3 => {
+                let path = get_str(&mut raw);
+                let size = raw.get_u64();
+                MdsRequest::SetSize { path, size }
+            }
+            4 => MdsRequest::Unlink {
+                path: get_str(&mut raw),
+            },
+            5 => MdsRequest::Stat {
+                path: get_str(&mut raw),
+            },
+            op => panic!("unknown mds op {op}"),
+        }
+    }
+}
+
+impl MdsResponse {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            MdsResponse::Meta { layout, size } => {
+                buf.put_u8(1);
+                layout.encode_into(&mut buf);
+                buf.put_u64(*size);
+            }
+            MdsResponse::Ok => buf.put_u8(2),
+            MdsResponse::NotFound => buf.put_u8(3),
+        }
+        buf.freeze()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(mut raw: Bytes) -> MdsResponse {
+        match raw.get_u8() {
+            1 => {
+                let layout = Layout::decode_from(&mut raw);
+                let size = raw.get_u64();
+                MdsResponse::Meta { layout, size }
+            }
+            2 => MdsResponse::Ok,
+            3 => MdsResponse::NotFound,
+            op => panic!("unknown mds response {op}"),
+        }
+    }
+}
+
+impl OssRequest {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            OssRequest::Write {
+                object,
+                offset,
+                len,
+                total,
+            } => {
+                buf.put_u8(1);
+                buf.put_u64(*object);
+                buf.put_u64(*offset);
+                buf.put_u64(*len);
+                buf.put_u64(*total);
+            }
+            OssRequest::Read {
+                object,
+                offset,
+                len,
+                total,
+            } => {
+                buf.put_u8(2);
+                buf.put_u64(*object);
+                buf.put_u64(*offset);
+                buf.put_u64(*len);
+                buf.put_u64(*total);
+            }
+            OssRequest::Destroy { object } => {
+                buf.put_u8(3);
+                buf.put_u64(*object);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(mut raw: Bytes) -> OssRequest {
+        match raw.get_u8() {
+            1 => {
+                let object = raw.get_u64();
+                let offset = raw.get_u64();
+                let len = raw.get_u64();
+                let total = raw.get_u64();
+                OssRequest::Write {
+                    object,
+                    offset,
+                    len,
+                    total,
+                }
+            }
+            2 => {
+                let object = raw.get_u64();
+                let offset = raw.get_u64();
+                let len = raw.get_u64();
+                let total = raw.get_u64();
+                OssRequest::Read {
+                    object,
+                    offset,
+                    len,
+                    total,
+                }
+            }
+            3 => OssRequest::Destroy {
+                object: raw.get_u64(),
+            },
+            op => panic!("unknown oss op {op}"),
+        }
+    }
+}
+
+impl OssResponse {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            OssResponse::Ok => buf.put_u8(1),
+            OssResponse::Data { len } => {
+                buf.put_u8(2);
+                buf.put_u64(*len);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(mut raw: Bytes) -> OssResponse {
+        match raw.get_u8() {
+            1 => OssResponse::Ok,
+            2 => OssResponse::Data {
+                len: raw.get_u64(),
+            },
+            op => panic!("unknown oss response {op}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout2() -> Layout {
+        Layout {
+            stripe_size: 1024,
+            osts: vec![0, 1],
+            objects: vec![100, 101],
+        }
+    }
+
+    #[test]
+    fn chunks_cover_range_in_order() {
+        let l = layout2();
+        // 0..3000 with 1 KiB stripes over 2 columns:
+        // [col0 obj-off 0, 1024], [col1 obj-off 0, 1024], [col0 obj-off 1024, 952]
+        let c = l.chunks(0, 3000);
+        assert_eq!(c, vec![(0, 0, 1024), (1, 0, 1024), (0, 1024, 952)]);
+        let total: u64 = c.iter().map(|x| x.2).sum();
+        assert_eq!(total, 3000);
+    }
+
+    #[test]
+    fn chunks_handle_unaligned_offset() {
+        let l = layout2();
+        let c = l.chunks(1500, 1000);
+        // 1500 is in stripe 1 (col 1) at within=476.
+        assert_eq!(c[0], (1, 476, 548));
+        assert_eq!(c[1], (0, 1024, 452));
+    }
+
+    #[test]
+    fn single_stripe_small_file() {
+        let l = Layout {
+            stripe_size: 1 << 20,
+            osts: vec![3],
+            objects: vec![42],
+        };
+        let c = l.chunks(0, 659_671); // JAC frame
+        assert_eq!(c, vec![(0, 0, 659_671)]);
+    }
+
+    #[test]
+    fn mds_round_trips() {
+        for req in [
+            MdsRequest::Create { path: "/a".into() },
+            MdsRequest::Open { path: "/b".into() },
+            MdsRequest::SetSize {
+                path: "/c".into(),
+                size: 123,
+            },
+            MdsRequest::Unlink { path: "/d".into() },
+            MdsRequest::Stat { path: "/e".into() },
+        ] {
+            assert_eq!(MdsRequest::decode(req.encode()), req);
+        }
+        for resp in [
+            MdsResponse::Meta {
+                layout: layout2(),
+                size: 9,
+            },
+            MdsResponse::Ok,
+            MdsResponse::NotFound,
+        ] {
+            assert_eq!(MdsResponse::decode(resp.encode()), resp);
+        }
+    }
+
+    #[test]
+    fn oss_round_trips() {
+        for req in [
+            OssRequest::Write {
+                object: 1,
+                offset: 2,
+                len: 3,
+                total: 3,
+            },
+            OssRequest::Read {
+                object: 1,
+                offset: 0,
+                len: 10,
+                total: 10,
+            },
+            OssRequest::Destroy { object: 5 },
+        ] {
+            assert_eq!(OssRequest::decode(req.encode()), req);
+        }
+        for resp in [OssResponse::Ok, OssResponse::Data { len: 1 }] {
+            assert_eq!(OssResponse::decode(resp.encode()), resp);
+        }
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn chunks_partition_any_range(
+                stripe_size in 1u64..10_000,
+                cols in 1usize..8,
+                offset in 0u64..100_000,
+                len in 1u64..100_000,
+            ) {
+                let l = Layout {
+                    stripe_size,
+                    osts: (0..cols as u32).collect(),
+                    objects: (0..cols as u64).collect(),
+                };
+                let c = l.chunks(offset, len);
+                let total: u64 = c.iter().map(|x| x.2).sum();
+                prop_assert_eq!(total, len);
+                // No chunk crosses a stripe boundary within its object.
+                for (_, obj_off, clen) in &c {
+                    let within = obj_off % stripe_size;
+                    prop_assert!(within + clen <= stripe_size);
+                }
+            }
+        }
+    }
+}

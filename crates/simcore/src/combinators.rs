@@ -1,0 +1,201 @@
+//! Future combinators for simulated processes: timeouts and races.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::executor::{Ctx, Sleep};
+use crate::time::SimDuration;
+
+/// Result of [`timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimedOut {
+    /// The deadline elapsed before the future completed.
+    Elapsed,
+}
+
+impl std::fmt::Display for TimedOut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline elapsed")
+    }
+}
+impl std::error::Error for TimedOut {}
+
+/// Run `fut` with a simulated-time deadline. Returns `Err(Elapsed)` if
+/// the deadline fires first; the inner future is dropped (cancelled).
+///
+/// ```
+/// use simcore::{Sim, SimDuration, timeout};
+///
+/// let sim = Sim::new(0);
+/// let ctx = sim.ctx();
+/// let h = sim.spawn(async move {
+///     let slow = ctx.sleep(SimDuration::from_secs(10));
+///     timeout(&ctx, SimDuration::from_millis(5), slow).await.is_err()
+/// });
+/// sim.run();
+/// assert!(h.try_take().unwrap());
+/// ```
+pub fn timeout<F: Future>(
+    ctx: &Ctx,
+    deadline: SimDuration,
+    fut: F,
+) -> Timeout<F> {
+    Timeout {
+        fut,
+        sleep: ctx.sleep(deadline),
+    }
+}
+
+/// Future returned by [`timeout`].
+pub struct Timeout<F> {
+    fut: F,
+    sleep: Sleep,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, TimedOut>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: standard structural pinning — neither field is moved.
+        let this = unsafe { self.get_unchecked_mut() };
+        let fut = unsafe { Pin::new_unchecked(&mut this.fut) };
+        if let Poll::Ready(v) = fut.poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        let sleep = Pin::new(&mut this.sleep);
+        match sleep.poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(TimedOut::Elapsed)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Which side of a [`race`] finished first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first future won.
+    Left(A),
+    /// The second future won.
+    Right(B),
+}
+
+/// Race two futures; the loser is dropped. Ties go to the left.
+pub fn race<A: Future, B: Future>(a: A, b: B) -> Race<A, B> {
+    Race { a, b }
+}
+
+/// Future returned by [`race`].
+pub struct Race<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Future, B: Future> Future for Race<A, B> {
+    type Output = Either<A::Output, B::Output>;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pinning as above.
+        let this = unsafe { self.get_unchecked_mut() };
+        if let Poll::Ready(v) = unsafe { Pin::new_unchecked(&mut this.a) }.poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        if let Poll::Ready(v) = unsafe { Pin::new_unchecked(&mut this.b) }.poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+
+    #[test]
+    fn timeout_passes_through_fast_futures() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let fast = async {
+                ctx.sleep(SimDuration::from_millis(1)).await;
+                42
+            };
+            timeout(&ctx, SimDuration::from_secs(1), fast).await
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn timeout_cancels_slow_futures() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let slow = async {
+                ctx.sleep(SimDuration::from_secs(100)).await;
+                42
+            };
+            let r = timeout(&ctx, SimDuration::from_millis(3), slow).await;
+            (r, ctx.now().nanos() / 1_000_000)
+        });
+        let report = sim.run();
+        let (r, at) = h.try_take().unwrap();
+        assert_eq!(r, Err(TimedOut::Elapsed));
+        assert_eq!(at, 3);
+        // The cancelled sleep's calendar entry still fires harmlessly.
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn race_returns_first_winner() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let c1 = ctx.clone();
+        let c2 = ctx.clone();
+        let h = sim.spawn(async move {
+            let a = async move {
+                c1.sleep(SimDuration::from_millis(10)).await;
+                "a"
+            };
+            let b = async move {
+                c2.sleep(SimDuration::from_millis(5)).await;
+                "b"
+            };
+            race(a, b).await
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Either::Right("b"));
+    }
+
+    #[test]
+    fn race_ties_go_left() {
+        let sim = Sim::new(0);
+        let h = sim.spawn(async move {
+            race(async { 1 }, async { 2 }).await
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap(), Either::Left(1));
+    }
+
+    #[test]
+    fn timeout_composes_with_channels() {
+        use crate::sync::channel;
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let (tx, mut rx) = channel::<u32>();
+        let h = sim.spawn(async move {
+            // Nothing sent for 2 ms, then a value.
+            let first = timeout(&ctx, SimDuration::from_millis(1), rx.recv()).await;
+            let second = timeout(&ctx, SimDuration::from_secs(1), rx.recv()).await;
+            (first.is_err(), second)
+        });
+        let ctx2 = sim.ctx();
+        sim.spawn(async move {
+            ctx2.sleep(SimDuration::from_millis(2)).await;
+            tx.send(7);
+        });
+        sim.run();
+        let (timed_out, got) = h.try_take().unwrap();
+        assert!(timed_out);
+        assert_eq!(got, Ok(Some(7)));
+    }
+}

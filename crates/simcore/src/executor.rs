@@ -1,0 +1,754 @@
+//! The discrete-event executor.
+//!
+//! A [`Sim`] owns an event calendar (a time-ordered priority queue) and a set
+//! of *processes*: ordinary Rust futures polled by a single-threaded
+//! executor whose notion of time is the simulation clock. A process blocks
+//! by awaiting [`Ctx::sleep`] or any of the synchronization primitives in
+//! [`crate::sync`]; the executor advances the clock to the next scheduled
+//! event whenever every process is blocked.
+//!
+//! Events at equal timestamps are processed in insertion order (a strictly
+//! increasing sequence number breaks ties), which makes runs fully
+//! deterministic for a fixed seed and spawn order.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::{Rc, Weak};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::time::{SimDuration, SimTime};
+
+pub(crate) type TaskId = u64;
+
+/// What the calendar fires when an event's timestamp is reached.
+enum EventKind {
+    /// Wake a parked future (timer expiry).
+    Wake(Waker),
+    /// Run an arbitrary callback (used by event-driven resources such as
+    /// [`crate::resource::SharedBandwidth`]).
+    Call(Box<dyn FnOnce()>),
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Queue of task ids woken since the last executor dispatch.
+///
+/// `Waker` must be `Send + Sync`, so the wake path goes through a real
+/// mutex even though the simulation itself is single-threaded. The lock is
+/// uncontended in practice.
+#[derive(Default)]
+struct WakeQueue {
+    woken: Mutex<Vec<TaskId>>,
+}
+
+struct TaskWaker {
+    id: TaskId,
+    queue: Arc<WakeQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue.woken.lock().push(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue.woken.lock().push(self.id);
+    }
+}
+
+pub(crate) struct Core {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    tasks: HashMap<TaskId, Pin<Box<dyn Future<Output = ()>>>>,
+    ready: VecDeque<TaskId>,
+    wakes: Arc<WakeQueue>,
+    next_task: TaskId,
+    seed: u64,
+    events_processed: u64,
+    tasks_spawned: u64,
+}
+
+impl Core {
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { at, seq, kind }));
+    }
+}
+
+/// Summary of a completed [`Sim::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Simulated time at which the run stopped.
+    pub end_time: SimTime,
+    /// Number of calendar events processed.
+    pub events_processed: u64,
+    /// Total number of processes spawned over the run.
+    pub tasks_spawned: u64,
+    /// Processes still blocked when the calendar ran dry. Non-zero means
+    /// the simulation deadlocked (a process awaits something that can no
+    /// longer happen).
+    pub deadlocked_tasks: usize,
+}
+
+impl RunReport {
+    /// True if every spawned process ran to completion.
+    pub fn is_clean(&self) -> bool {
+        self.deadlocked_tasks == 0
+    }
+}
+
+/// A discrete-event simulation instance.
+///
+/// ```
+/// use simcore::{Sim, SimDuration};
+///
+/// let sim = Sim::new(42);
+/// let ctx = sim.ctx();
+/// sim.spawn(async move {
+///     ctx.sleep(SimDuration::from_millis(5)).await;
+///     assert_eq!(ctx.now().nanos(), 5_000_000);
+/// });
+/// let report = sim.run();
+/// assert!(report.is_clean());
+/// assert_eq!(report.end_time.nanos(), 5_000_000);
+/// ```
+pub struct Sim {
+    core: Rc<RefCell<Core>>,
+}
+
+impl Sim {
+    /// Create a simulation with the given RNG seed. The seed determines
+    /// every stream returned by [`Ctx::rng`], so identical programs with
+    /// identical seeds produce identical trajectories.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            core: Rc::new(RefCell::new(Core {
+                now: SimTime::ZERO,
+                seq: 0,
+                events: BinaryHeap::new(),
+                tasks: HashMap::new(),
+                ready: VecDeque::new(),
+                wakes: Arc::new(WakeQueue::default()),
+                next_task: 0,
+                seed,
+                events_processed: 0,
+                tasks_spawned: 0,
+            })),
+        }
+    }
+
+    /// A cheap, clonable handle for use inside processes.
+    pub fn ctx(&self) -> Ctx {
+        Ctx {
+            core: Rc::downgrade(&self.core),
+        }
+    }
+
+    /// Spawn a root process. Equivalent to `self.ctx().spawn(fut)`.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        self.ctx().spawn(fut)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().now
+    }
+
+    /// Run until the calendar is empty or `deadline` is reached.
+    pub fn run_until(&self, deadline: SimTime) -> RunReport {
+        self.run_inner(Some(deadline))
+    }
+
+    /// Run until every event has fired and every runnable process has been
+    /// polled to completion.
+    pub fn run(&self) -> RunReport {
+        self.run_inner(None)
+    }
+
+    fn drain_wakes(&self) {
+        let mut core = self.core.borrow_mut();
+        let woken: Vec<TaskId> = std::mem::take(&mut *core.wakes.woken.lock());
+        for id in woken {
+            core.ready.push_back(id);
+        }
+    }
+
+    fn run_inner(&self, deadline: Option<SimTime>) -> RunReport {
+        loop {
+            // Dispatch every runnable process at the current instant.
+            loop {
+                self.drain_wakes();
+                let (id, fut) = {
+                    let mut core = self.core.borrow_mut();
+                    let Some(id) = core.ready.pop_front() else {
+                        break;
+                    };
+                    // A task may be woken multiple times or woken after
+                    // completion; in both cases it is absent from the map.
+                    match core.tasks.remove(&id) {
+                        Some(f) => (id, f),
+                        None => continue,
+                    }
+                };
+                let queue = self.core.borrow().wakes.clone();
+                let waker = Waker::from(Arc::new(TaskWaker { id, queue }));
+                let mut cx = Context::from_waker(&waker);
+                let mut fut = fut;
+                match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(()) => {}
+                    Poll::Pending => {
+                        self.core.borrow_mut().tasks.insert(id, fut);
+                    }
+                }
+            }
+
+            // All processes blocked: advance the clock to the next event.
+            let ev = {
+                let mut core = self.core.borrow_mut();
+                match core.events.peek() {
+                    None => None,
+                    Some(Reverse(e)) => {
+                        if let Some(d) = deadline {
+                            if e.at > d {
+                                core.now = d;
+                                None
+                            } else {
+                                let Reverse(e) = core.events.pop().unwrap();
+                                core.now = e.at;
+                                core.events_processed += 1;
+                                Some(e)
+                            }
+                        } else {
+                            let Reverse(e) = core.events.pop().unwrap();
+                            core.now = e.at;
+                            core.events_processed += 1;
+                            Some(e)
+                        }
+                    }
+                }
+            };
+            match ev {
+                Some(e) => match e.kind {
+                    EventKind::Wake(w) => w.wake(),
+                    // Callbacks run with the core unborrowed so they may
+                    // schedule further events or wake tasks.
+                    EventKind::Call(f) => f(),
+                },
+                None => {
+                    // Calendar dry (or deadline passed); if a straggler wake
+                    // arrived during the last callback, keep going.
+                    self.drain_wakes();
+                    if self.core.borrow().ready.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        let core = self.core.borrow();
+        RunReport {
+            end_time: core.now,
+            events_processed: core.events_processed,
+            tasks_spawned: core.tasks_spawned,
+            deadlocked_tasks: core.tasks.len(),
+        }
+    }
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Sim::new(0)
+    }
+}
+
+/// Handle to the simulation, usable from inside processes.
+///
+/// Holds a weak reference so that processes (which capture `Ctx`) do not
+/// keep the executor core alive in a reference cycle. Every method panics
+/// if used after the owning [`Sim`] has been dropped.
+#[derive(Clone)]
+pub struct Ctx {
+    core: Weak<RefCell<Core>>,
+}
+
+impl Ctx {
+    fn core(&self) -> Rc<RefCell<Core>> {
+        self.core
+            .upgrade()
+            .expect("simulation context used after Sim was dropped")
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core().borrow().now
+    }
+
+    /// Seed this simulation was created with.
+    pub fn seed(&self) -> u64 {
+        self.core().borrow().seed
+    }
+
+    /// A deterministic RNG for a named stream. Different streams are
+    /// statistically independent; the same `(seed, stream)` pair always
+    /// yields the same sequence.
+    pub fn rng(&self, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(splitmix64(self.seed() ^ splitmix64(stream)))
+    }
+
+    /// Spawn a process. The returned [`JoinHandle`] can be awaited for the
+    /// process's output; dropping it detaches the process.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let inner: Rc<RefCell<JoinInner<T>>> = Rc::new(RefCell::new(JoinInner {
+            value: None,
+            waker: None,
+            finished: false,
+        }));
+        let inner2 = inner.clone();
+        let wrapped = async move {
+            let value = fut.await;
+            let mut st = inner2.borrow_mut();
+            st.value = Some(value);
+            st.finished = true;
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        };
+        let core = self.core();
+        let mut core = core.borrow_mut();
+        let id = core.next_task;
+        core.next_task += 1;
+        core.tasks_spawned += 1;
+        core.tasks.insert(id, Box::pin(wrapped));
+        core.ready.push_back(id);
+        JoinHandle { inner }
+    }
+
+    /// Sleep for `d` simulated time.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        let deadline = self.now() + d;
+        Sleep {
+            core: self.core.clone(),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Sleep until the given instant (no-op if already past).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            core: self.core.clone(),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Yield to other runnable processes at the current instant.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow {
+            core: self.core.clone(),
+            polled: false,
+        }
+    }
+
+    /// Schedule `f` to run after `d` simulated time, outside any process.
+    /// Primarily for event-driven resources.
+    pub fn call_after(&self, d: SimDuration, f: impl FnOnce() + 'static) {
+        let core = self.core();
+        let mut core = core.borrow_mut();
+        let at = core.now + d;
+        core.push_event(at, EventKind::Call(Box::new(f)));
+    }
+}
+
+/// SplitMix64 finalizer; used to derive independent RNG stream seeds.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Future returned by [`Ctx::sleep`].
+pub struct Sleep {
+    core: Weak<RefCell<Core>>,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let core = self
+            .core
+            .upgrade()
+            .expect("Sleep polled after Sim was dropped");
+        let mut core = core.borrow_mut();
+        if core.now >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            let deadline = self.deadline;
+            core.push_event(deadline, EventKind::Wake(cx.waker().clone()));
+            drop(core);
+            self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`Ctx::yield_now`].
+pub struct YieldNow {
+    core: Weak<RefCell<Core>>,
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            return Poll::Ready(());
+        }
+        self.polled = true;
+        let core = self
+            .core
+            .upgrade()
+            .expect("YieldNow polled after Sim was dropped");
+        let mut core = core.borrow_mut();
+        let now = core.now;
+        core.push_event(now, EventKind::Wake(cx.waker().clone()));
+        Poll::Pending
+    }
+}
+
+struct JoinInner<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    finished: bool,
+}
+
+/// Awaitable handle to a spawned process.
+pub struct JoinHandle<T> {
+    inner: Rc<RefCell<JoinInner<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// True once the process has completed.
+    pub fn is_finished(&self) -> bool {
+        self.inner.borrow().finished
+    }
+
+    /// Take the result if the process has completed (non-blocking).
+    pub fn try_take(&self) -> Option<T> {
+        self.inner.borrow_mut().value.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.inner.borrow_mut();
+        if let Some(v) = st.value.take() {
+            return Poll::Ready(v);
+        }
+        assert!(
+            !st.finished,
+            "JoinHandle polled after its value was already taken"
+        );
+        st.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn empty_sim_finishes_at_time_zero() {
+        let sim = Sim::new(0);
+        let report = sim.run();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.events_processed, 0);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            ctx.sleep(SimDuration::from_micros(7)).await;
+            ctx.now()
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap().nanos(), 7_000);
+    }
+
+    #[test]
+    fn sequential_sleeps_accumulate() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        sim.spawn(async move {
+            for _ in 0..10 {
+                ctx.sleep(SimDuration::from_nanos(3)).await;
+            }
+            assert_eq!(ctx.now().nanos(), 30);
+        });
+        assert!(sim.run().is_clean());
+    }
+
+    #[test]
+    fn concurrent_processes_interleave_by_time() {
+        let sim = Sim::new(0);
+        let order: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for (i, delay) in [(1u32, 30u64), (2, 10), (3, 20)] {
+            let ctx = sim.ctx();
+            let order = order.clone();
+            sim.spawn(async move {
+                ctx.sleep(SimDuration::from_nanos(delay)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn ties_broken_in_spawn_order() {
+        let sim = Sim::new(0);
+        let order: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for i in 0..5u32 {
+            let ctx = sim.ctx();
+            let order = order.clone();
+            sim.spawn(async move {
+                ctx.sleep(SimDuration::from_nanos(10)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let ctx2 = ctx.clone();
+        let h = sim.spawn(async move {
+            let inner = ctx2.spawn(async move { 41 + 1 });
+            inner.await
+        });
+        sim.run();
+        assert_eq!(h.try_take(), Some(42));
+    }
+
+    #[test]
+    fn join_waits_for_sleeping_child() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let c = ctx.clone();
+            let child = ctx.spawn(async move {
+                c.sleep(SimDuration::from_millis(3)).await;
+                c.now()
+            });
+            child.await
+        });
+        sim.run();
+        assert_eq!(h.try_take().unwrap().nanos(), 3_000_000);
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        let sim = Sim::new(0);
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        {
+            let ctx = sim.ctx();
+            let log = log.clone();
+            sim.spawn(async move {
+                log.borrow_mut().push("a1");
+                ctx.yield_now().await;
+                log.borrow_mut().push("a2");
+            });
+        }
+        {
+            let log = log.clone();
+            sim.spawn(async move {
+                log.borrow_mut().push("b1");
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a1", "b1", "a2"]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let done = Rc::new(Cell::new(false));
+        let done2 = done.clone();
+        sim.spawn(async move {
+            ctx.sleep(SimDuration::from_secs(100)).await;
+            done2.set(true);
+        });
+        let report = sim.run_until(SimTime::from_nanos(50));
+        assert_eq!(report.end_time.nanos(), 50);
+        assert!(!done.get());
+        assert_eq!(report.deadlocked_tasks, 1);
+        // Resuming finishes the run.
+        let report = sim.run();
+        assert!(done.get());
+        assert!(report.is_clean());
+        assert_eq!(report.end_time.nanos(), 100_000_000_000);
+    }
+
+    #[test]
+    fn deadlocked_task_is_reported() {
+        let sim = Sim::new(0);
+        sim.spawn(async move {
+            std::future::pending::<()>().await;
+        });
+        let report = sim.run();
+        assert_eq!(report.deadlocked_tasks, 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn call_after_runs_at_scheduled_time() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let hit = Rc::new(Cell::new(0u64));
+        let hit2 = hit.clone();
+        let ctx2 = ctx.clone();
+        ctx.call_after(SimDuration::from_nanos(25), move || {
+            hit2.set(ctx2.now().nanos());
+        });
+        sim.run();
+        assert_eq!(hit.get(), 25);
+    }
+
+    #[test]
+    fn rng_streams_are_deterministic_and_distinct() {
+        use rand::RngExt;
+        let sim = Sim::new(7);
+        let ctx = sim.ctx();
+        let a1: u64 = ctx.rng(1).random();
+        let a2: u64 = ctx.rng(1).random();
+        let b: u64 = ctx.rng(2).random();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        let sim2 = Sim::new(7);
+        let c: u64 = sim2.ctx().rng(1).random();
+        assert_eq!(a1, c);
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        fn run_once() -> (u64, u64) {
+            let sim = Sim::new(99);
+            for i in 0..20u64 {
+                let ctx = sim.ctx();
+                sim.spawn(async move {
+                    use rand::RngExt;
+                    let mut rng = ctx.rng(i);
+                    for _ in 0..5 {
+                        let d: u64 = rng.random_range(1..1000);
+                        ctx.sleep(SimDuration::from_nanos(d)).await;
+                    }
+                });
+            }
+            let r = sim.run();
+            (r.end_time.nanos(), r.events_processed)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            #[test]
+            fn clock_is_monotone_and_runs_deterministic(
+                delays in proptest::collection::vec(
+                    proptest::collection::vec(0u64..10_000, 1..8), 1..12),
+                seed in any::<u64>(),
+            ) {
+                fn run(delays: &[Vec<u64>], seed: u64) -> (u64, u64) {
+                    let sim = Sim::new(seed);
+                    let monotone = Rc::new(RefCell::new((SimTime::ZERO, true)));
+                    for ds in delays {
+                        let ctx = sim.ctx();
+                        let ds = ds.clone();
+                        let mono = monotone.clone();
+                        sim.spawn(async move {
+                            for d in ds {
+                                ctx.sleep(SimDuration::from_nanos(d)).await;
+                                let mut m = mono.borrow_mut();
+                                if ctx.now() < m.0 {
+                                    m.1 = false;
+                                }
+                                m.0 = ctx.now();
+                            }
+                        });
+                    }
+                    let report = sim.run();
+                    assert!(monotone.borrow().1, "clock went backwards");
+                    (report.end_time.nanos(), report.events_processed)
+                }
+                let a = run(&delays, seed);
+                let b = run(&delays, seed);
+                prop_assert_eq!(a, b);
+                // The makespan is the longest single-process chain or more.
+                let longest: u64 = delays.iter().map(|d| d.iter().sum::<u64>()).max().unwrap();
+                prop_assert!(a.0 >= longest);
+            }
+        }
+    }
+
+    #[test]
+    fn many_tasks_scale() {
+        let sim = Sim::new(0);
+        for i in 0..10_000u64 {
+            let ctx = sim.ctx();
+            sim.spawn(async move {
+                ctx.sleep(SimDuration::from_nanos(i % 97)).await;
+            });
+        }
+        let report = sim.run();
+        assert!(report.is_clean());
+        assert_eq!(report.tasks_spawned, 10_000);
+    }
+}

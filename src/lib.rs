@@ -1,0 +1,19 @@
+//! Umbrella crate for the DYAD-vs-traditional-I/O reproduction
+//! workspace. Hosts the runnable examples and the cross-crate
+//! integration tests, and re-exports every member crate.
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the system
+//! inventory and experiment index.
+
+pub use analytics;
+pub use cluster;
+pub use dyad;
+pub use instrument;
+pub use kvs;
+pub use localfs;
+pub use mdflow;
+pub use mdsim;
+pub use pfs;
+pub use simcore;
+pub use thicket;
+pub use transport;

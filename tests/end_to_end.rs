@@ -1,0 +1,172 @@
+//! Cross-crate integration: full workflows through every solution, with
+//! data integrity, determinism, and paper-shape assertions.
+
+use mdflow::calibration::Calibration;
+use mdflow::prelude::*;
+use mdflow::runner::run_once;
+
+fn quick(wf: WorkflowConfig) -> StudyReport {
+    let mut s = StudyConfig::paper(wf);
+    s.repetitions = 2;
+    s.calibration = Calibration::quiet();
+    run_study(&s)
+}
+
+#[test]
+fn every_solution_completes_and_validates_frames() {
+    // Frame validation is built into the consumer (it asserts payload
+    // integrity per frame), so completion == end-to-end bit-exactness.
+    let split = Placement::Split { pairs_per_node: 8 };
+    for (solution, placement) in [
+        (Solution::Dyad, Placement::SingleNode),
+        (Solution::Xfs, Placement::SingleNode),
+        (Solution::Dyad, split),
+        (Solution::Lustre, split),
+        (Solution::DyadOnPfs, split),
+    ] {
+        let wf = WorkflowConfig::new(solution, 2, placement).with_frames(5);
+        let m = run_once(&wf, &Calibration::quiet(), 11);
+        assert_eq!(m.producers.len(), 2, "{solution}");
+        assert_eq!(m.consumers.len(), 2, "{solution}");
+        assert!(m.events > 0);
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_repetition() {
+    let wf = WorkflowConfig::new(Solution::Lustre, 4, Placement::Split { pairs_per_node: 8 })
+        .with_frames(4);
+    let cal = Calibration::corona();
+    let a = run_once(&wf, &cal, 99);
+    let b = run_once(&wf, &cal, 99);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.events, b.events);
+    // And different seeds genuinely differ (jitter + interference).
+    let c = run_once(&wf, &cal, 100);
+    assert_ne!(a.makespan, c.makespan);
+}
+
+#[test]
+fn dyad_pipelines_while_manual_sync_serializes() {
+    let frames = 8;
+    let dyad = quick(
+        WorkflowConfig::new(Solution::Dyad, 1, Placement::SingleNode).with_frames(frames),
+    );
+    let xfs = quick(
+        WorkflowConfig::new(Solution::Xfs, 1, Placement::SingleNode).with_frames(frames),
+    );
+    // DYAD: ~1 period per frame. Coarse manual sync: ~2 periods.
+    let period = 0.82;
+    assert!(
+        dyad.makespan.mean < frames as f64 * period * 1.6,
+        "DYAD not pipelined: {}s",
+        dyad.makespan.mean
+    );
+    assert!(
+        xfs.makespan.mean > frames as f64 * period * 1.8,
+        "XFS not serialized: {}s",
+        xfs.makespan.mean
+    );
+}
+
+#[test]
+fn consumption_idle_equals_frame_period_for_manual_sync() {
+    let xfs = quick(
+        WorkflowConfig::new(Solution::Xfs, 1, Placement::SingleNode).with_frames(8),
+    );
+    let idle = xfs.consumption_idle.mean;
+    assert!(
+        (0.7..1.0).contains(&idle),
+        "manual-sync consumer idle should be ~the 0.82 s frame period, got {idle}"
+    );
+}
+
+#[test]
+fn dyad_warm_path_amortizes_cold_sync() {
+    let r = quick(
+        WorkflowConfig::new(Solution::Dyad, 1, Placement::Split { pairs_per_node: 8 })
+            .with_frames(16),
+    );
+    // One partial-period cold wait over 16 frames: well under 100 ms.
+    assert!(
+        r.consumption_idle.mean < 0.1,
+        "DYAD idle/frame {} — warm path broken",
+        r.consumption_idle.mean
+    );
+}
+
+#[test]
+fn larger_models_move_more_slowly_but_sublinearly() {
+    let split = Placement::Split { pairs_per_node: 8 };
+    let jac = quick(
+        WorkflowConfig::new(Solution::Dyad, 2, split)
+            .with_model(Model::Jac)
+            .with_frames(6),
+    );
+    let stmv = quick(
+        WorkflowConfig::new(Solution::Dyad, 2, split)
+            .with_model(Model::Stmv)
+            .with_frames(6),
+    );
+    let time_ratio = stmv.consumption_movement.mean / jac.consumption_movement.mean;
+    let data_ratio = Model::Stmv.frame_bytes() as f64 / Model::Jac.frame_bytes() as f64;
+    assert!(time_ratio > 5.0, "bigger frames must cost more: {time_ratio}");
+    assert!(
+        time_ratio < data_ratio,
+        "movement should scale sublinearly (fixed overheads amortize): \
+         time {time_ratio:.1}x vs data {data_ratio:.1}x"
+    );
+}
+
+#[test]
+fn study_report_statistics_are_consistent() {
+    let r = quick(
+        WorkflowConfig::new(Solution::Dyad, 2, Placement::SingleNode).with_frames(4),
+    );
+    assert_eq!(r.runs.len(), 2);
+    for run in &r.runs {
+        assert!(run.production.movement > 0.0);
+        assert!(run.consumption.total() > 0.0);
+        assert!(run.makespan > 0.0);
+    }
+    // Mean of per-run values matches the reported mean.
+    let mean_prod: f64 =
+        r.runs.iter().map(|x| x.production.movement).sum::<f64>() / r.runs.len() as f64;
+    assert!((mean_prod - r.production_movement.mean).abs() < 1e-12);
+}
+
+#[test]
+fn traced_runs_produce_per_process_timelines() {
+    use mdflow::runner::run_once_traced;
+    let wf = WorkflowConfig::new(Solution::Dyad, 2, Placement::Split { pairs_per_node: 8 })
+        .with_frames(4);
+    let (metrics, tracer) = run_once_traced(&wf, &Calibration::quiet(), 3);
+    assert_eq!(metrics.producers.len(), 2);
+    assert!(!tracer.is_empty());
+    let events = tracer.events();
+    let tracks: std::collections::HashSet<&str> =
+        events.iter().map(|e| e.track()).collect();
+    for expected in [
+        "producer-000",
+        "producer-001",
+        "consumer-000",
+        "consumer-001",
+    ] {
+        assert!(tracks.contains(expected), "missing track {expected}");
+    }
+    // The Chrome export is structurally valid JSON.
+    let json = tracer.to_chrome_json();
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid trace JSON");
+    assert!(parsed.as_array().unwrap().len() >= events.len());
+}
+
+#[test]
+fn untraced_runs_pay_no_trace_cost() {
+    use mdflow::runner::{run_once, run_once_traced};
+    let wf = WorkflowConfig::new(Solution::Dyad, 1, Placement::SingleNode).with_frames(4);
+    let plain = run_once(&wf, &Calibration::quiet(), 9);
+    let (traced, _) = run_once_traced(&wf, &Calibration::quiet(), 9);
+    // Tracing must not perturb the simulated timeline.
+    assert_eq!(plain.makespan, traced.makespan);
+    assert_eq!(plain.events, traced.events);
+}

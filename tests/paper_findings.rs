@@ -1,0 +1,95 @@
+//! The paper's five findings, checked end-to-end at reduced scale
+//! (fewer frames/reps than the paper; the mechanisms that produce each
+//! finding are scale-independent).
+
+use mdflow::calibration::Calibration;
+use mdflow::findings;
+use mdflow::prelude::*;
+
+fn study(wf: WorkflowConfig, frames: u64) -> StudyReport {
+    let mut s = StudyConfig::paper(wf.with_frames(frames));
+    s.repetitions = 2;
+    s.calibration = Calibration::corona();
+    run_study(&s)
+}
+
+#[test]
+fn finding1_single_node_adaptive_sync_wins() {
+    let dyad = study(
+        WorkflowConfig::new(Solution::Dyad, 2, Placement::SingleNode),
+        24,
+    );
+    let xfs = study(
+        WorkflowConfig::new(Solution::Xfs, 2, Placement::SingleNode),
+        24,
+    );
+    let check = findings::finding1(&dyad, &xfs);
+    assert!(check.holds, "{}", check.evidence);
+}
+
+#[test]
+fn finding2_two_node_network_movement_is_cheap_for_dyad() {
+    let one = study(
+        WorkflowConfig::new(Solution::Dyad, 2, Placement::SingleNode),
+        16,
+    );
+    let two = study(
+        WorkflowConfig::new(Solution::Dyad, 2, Placement::Split { pairs_per_node: 8 }),
+        16,
+    );
+    let check = findings::finding2(&one, &two);
+    assert!(check.holds, "{}", check.evidence);
+}
+
+#[test]
+fn finding3_dyad_wins_at_scale() {
+    // The >50x overall-consumption criterion needs the cold sync to
+    // amortize over a realistic frame count, so this one runs 64 frames.
+    let split = Placement::Split { pairs_per_node: 8 };
+    let dyad = study(WorkflowConfig::new(Solution::Dyad, 16, split), 64);
+    let lustre = study(WorkflowConfig::new(Solution::Lustre, 16, split), 64);
+    let check = findings::finding3(&dyad, &lustre);
+    assert!(check.holds, "{}", check.evidence);
+}
+
+#[test]
+fn finding4_gap_grows_with_model_size() {
+    let split = Placement::Split {
+        pairs_per_node: 16,
+    };
+    let mut by_model = Vec::new();
+    for model in [Model::Jac, Model::Stmv] {
+        let dyad = study(
+            WorkflowConfig::new(Solution::Dyad, 8, split).with_model(model),
+            10,
+        );
+        let lustre = study(
+            WorkflowConfig::new(Solution::Lustre, 8, split).with_model(model),
+            10,
+        );
+        by_model.push((dyad, lustre));
+    }
+    let check = findings::finding4(&by_model);
+    assert!(check.holds, "{}", check.evidence);
+}
+
+#[test]
+fn finding5_sync_dominates_at_low_frequency() {
+    let split = Placement::Split {
+        pairs_per_node: 16,
+    };
+    let mut by_stride = Vec::new();
+    for stride in [1u64, 50] {
+        let dyad = study(
+            WorkflowConfig::new(Solution::Dyad, 8, split).with_stride(stride),
+            16,
+        );
+        let lustre = study(
+            WorkflowConfig::new(Solution::Lustre, 8, split).with_stride(stride),
+            16,
+        );
+        by_stride.push((dyad, lustre));
+    }
+    let check = findings::finding5(&by_stride);
+    assert!(check.holds, "{}", check.evidence);
+}
