@@ -362,7 +362,9 @@ mod tests {
         for _ in 0..3 {
             pl.analyze(&frame_with((0..8).map(|i| [i as f64, 0.0, 0.0]).collect()));
         }
-        pl.analyze(&frame_with((0..8).map(|i| [i as f64 * 5.0, 0.0, 0.0]).collect()));
+        pl.analyze(&frame_with(
+            (0..8).map(|i| [i as f64 * 5.0, 0.0, 0.0]).collect(),
+        ));
         let events = pl.eigenvalue_events(0.5);
         assert_eq!(events, vec![3]);
     }

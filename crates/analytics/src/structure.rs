@@ -127,9 +127,9 @@ impl Msd {
         );
         // Unwrap: the true displacement this step is the minimum-image
         // displacement from the previous wrapped position.
-        for i in 0..positions.len() {
+        for (i, p) in positions.iter().enumerate() {
             for k in 0..3 {
-                let mut d = positions[i][k] - self.previous[i][k];
+                let mut d = p[k] - self.previous[i][k];
                 if bl[k] > 0.0 {
                     d -= bl[k] * (d / bl[k]).round();
                 }

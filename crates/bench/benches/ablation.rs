@@ -9,8 +9,8 @@ use std::hint::black_box;
 
 use mdflow::calibration::Calibration;
 use mdflow::prelude::*;
-use mdflow::runner::run_once;
 use mdflow::report::reduce_run;
+use mdflow::runner::run_once;
 
 fn bench_sync_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("sync_ablation");

@@ -21,9 +21,11 @@ fn bench_frame_codec(c: &mut Criterion) {
         let segs = t.frame_segments(7);
         let flat = transport::flatten_payload(segs.clone());
         g.throughput(Throughput::Bytes(model.frame_bytes()));
-        g.bench_with_input(BenchmarkId::new("decode", model.name()), &flat, |b, flat| {
-            b.iter(|| Frame::decode(black_box(flat.clone())).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("decode", model.name()),
+            &flat,
+            |b, flat| b.iter(|| Frame::decode(black_box(flat.clone())).unwrap()),
+        );
         g.bench_with_input(
             BenchmarkId::new("emit_zero_copy", model.name()),
             &t,

@@ -127,7 +127,6 @@ fn main() {
     rows.push(("lustre-lockbased".into(), locked));
     rows.push(("dyad-ref".into(), dyad_ref));
 
-    let rows_ref: Vec<(String, &StudyReport)> =
-        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    let rows_ref: Vec<(String, &StudyReport)> = rows.iter().map(|(l, r)| (l.clone(), r)).collect();
     save_json("ablation", &reports_json(&rows_ref));
 }

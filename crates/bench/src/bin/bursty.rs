@@ -86,7 +86,6 @@ fn main() {
          rate, so quiet gaps become waits) — §III-A's claim holds end to end\n\
          while being bounded by the consumer's processing rate."
     );
-    let rows_ref: Vec<(String, &StudyReport)> =
-        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    let rows_ref: Vec<(String, &StudyReport)> = rows.iter().map(|(l, r)| (l.clone(), r)).collect();
     save_json("bursty", &reports_json(&rows_ref));
 }

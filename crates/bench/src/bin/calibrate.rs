@@ -16,7 +16,10 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(128),
     };
-    println!("calibration probe at reps={} frames={}", scale.reps, scale.frames);
+    println!(
+        "calibration probe at reps={} frames={}",
+        scale.reps, scale.frames
+    );
 
     // Fig 5: single node, JAC, DYAD vs XFS, 4 pairs.
     let dyad1 = run(
@@ -76,9 +79,7 @@ fn main() {
     );
 
     // Fig 8 extremes: 2 nodes, 16 pairs, JAC vs STMV.
-    let split16 = Placement::Split {
-        pairs_per_node: 16,
-    };
+    let split16 = Placement::Split { pairs_per_node: 16 };
     for model in [Model::Jac, Model::Stmv] {
         let d = run(
             WorkflowConfig::new(Solution::Dyad, 16, split16).with_model(model),
@@ -101,7 +102,11 @@ fn main() {
         );
         print_ratio(
             "DYAD overall consumption faster",
-            if model == Model::Jac { "333.8x" } else { "121.0x" },
+            if model == Model::Jac {
+                "333.8x"
+            } else {
+                "121.0x"
+            },
             l.consumption_total() / d.consumption_total(),
         );
         println!(

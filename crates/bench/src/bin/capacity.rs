@@ -1,0 +1,232 @@
+//! Capacity sweep (staging tentpole): how small can DYAD's node-local
+//! staging area get before its advantage over Lustre disappears?
+//!
+//! Two nodes, JAC, 8 pairs — the Figure 6 configuration — with the
+//! per-node NVMe staging budget swept from unlimited (the paper's
+//! setup, frames live on NVMe for the whole run) down to half a frame
+//! per pair. Bounded rows run with spill-to-PFS enabled: the evictor
+//! retires fully-acknowledged frames first, then spills still-needed
+//! ones to Lustre, and producers block at the high watermark.
+//!
+//! Two workload shapes:
+//!
+//! * **Periodic** (the paper's fixed stride): consumers ack each frame
+//!   almost as soon as it is published, so retirement keeps up and even
+//!   one-frame budgets only cost short backpressure stalls — with
+//!   consumption acks wired into retention, steady-rate DYAD needs
+//!   barely a frame per pair of NVMe.
+//! * **Bursty** (same mean rate, §III-A's variable-generation regime):
+//!   producers sprint ahead of consumers during bursts, unacknowledged
+//!   frames pile up on NVMe, and tight budgets force spills. Every
+//!   spilled frame is later consumed from Lustre (`dyad_pfs_fallback`),
+//!   so consumption degrades monotonically toward the Lustre baseline
+//!   as the budget shrinks.
+
+use bench::{fmt_secs, print_ratio, render_bars, reports_json, run, save_json, Scale};
+use mdflow::prelude::*;
+use simcore::SimDuration;
+
+/// Per-node staging budgets swept, in HALF-frames per pair (the
+/// producer node stages `pairs` streams, so the node budget is
+/// (halves/2) × frame_bytes × pairs). `None` = unlimited.
+const BUDGET_HALVES: [Option<u64>; 6] = [None, Some(128), Some(8), Some(4), Some(2), Some(1)];
+
+fn budget_label(halves: Option<u64>) -> String {
+    match halves {
+        None => "unlimited".to_string(),
+        Some(h) => format!("{} frames/pair", h as f64 / 2.0),
+    }
+}
+
+fn budget_wf(pairs: u32, split: Placement, halves: Option<u64>) -> WorkflowConfig {
+    let wf = WorkflowConfig::new(Solution::Dyad, pairs, split);
+    match halves {
+        None => wf,
+        Some(h) => wf
+            .with_staging_budget(h * Model::Jac.frame_bytes() * pairs as u64 / 2)
+            .with_spill(true),
+    }
+}
+
+fn table_header() {
+    println!(
+        "  {:<16} {:>12} {:>12} {:>11} {:>8} {:>8} {:>8} {:>10} {:>9}",
+        "budget",
+        "cons move",
+        "cons idle",
+        "makespan",
+        "evicted",
+        "spilled",
+        "stalls",
+        "stall s",
+        "pfs reads"
+    );
+}
+
+fn table_row(label: &str, r: &StudyReport) {
+    println!(
+        "  {:<16} {:>12} {:>12} {:>11} {:>8.0} {:>8.0} {:>8.0} {:>10} {:>9.0}",
+        label,
+        fmt_secs(r.consumption_movement.mean),
+        fmt_secs(r.consumption_idle.mean),
+        fmt_secs(r.makespan.mean),
+        r.evicted_frames.mean,
+        r.spilled_frames.mean,
+        r.backpressure_stalls.mean,
+        fmt_secs(r.backpressure_stall_secs.mean),
+        r.pfs_fallbacks.mean,
+    );
+}
+
+fn lustre_row(label: &str, r: &StudyReport) {
+    println!(
+        "  {:<16} {:>12} {:>12} {:>11} {:>8} {:>8} {:>8} {:>10} {:>9}",
+        label,
+        fmt_secs(r.consumption_movement.mean),
+        fmt_secs(r.consumption_idle.mean),
+        fmt_secs(r.makespan.mean),
+        "-",
+        "-",
+        "-",
+        "-",
+        "-"
+    );
+}
+
+fn sweep(
+    pairs: u32,
+    split: Placement,
+    scale: Scale,
+    schedule: Option<&FrameSchedule>,
+) -> Vec<(String, StudyReport)> {
+    let mut rows = Vec::new();
+    for halves in BUDGET_HALVES {
+        let mut wf = budget_wf(pairs, split, halves);
+        if let Some(s) = schedule {
+            wf = wf.with_schedule(s.clone());
+        }
+        let r = run(wf, scale);
+        let label = budget_label(halves);
+        table_row(&label, &r);
+        rows.push((label, r));
+    }
+    rows
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let split = Placement::Split { pairs_per_node: 8 };
+    let pairs = 8u32;
+    println!(
+        "CAPACITY SWEEP — 2 nodes, JAC, {pairs} pairs, {} frames, {} reps",
+        scale.frames, scale.reps
+    );
+    println!("per-node staging budget: unlimited → 0.5 frames/pair (bounded rows spill to PFS)\n");
+
+    // ---- Periodic (the paper's stride): acceptance check (a) -----------
+    println!("[periodic stride — the paper's Figure 6 configuration]");
+    table_header();
+    let rows = sweep(pairs, split, scale, None);
+    let lustre = run(WorkflowConfig::new(Solution::Lustre, pairs, split), scale);
+    lustre_row("Lustre", &lustre);
+
+    // ---- Bursty (same mean rate): acceptance check (b) -----------------
+    // Consumers rate-match the 0.82 s mean, so during 50 ms bursts the
+    // producer runs several frames ahead and staged-but-unacked data
+    // accumulates — the regime bounded staging actually has to manage.
+    let bursty = FrameSchedule::Bursty {
+        burst_gap: SimDuration::from_millis(50),
+        quiet_gap: SimDuration::from_millis(1590),
+        burst_persistence: 0.5,
+        burst_entry: 0.5,
+    };
+    println!("\n[bursty stride — same 0.82 s mean rate, §III-A's variable-generation regime]");
+    table_header();
+    let brows = sweep(pairs, split, scale, Some(&bursty));
+    let blustre = run(
+        WorkflowConfig::new(Solution::Lustre, pairs, split).with_schedule(bursty),
+        scale,
+    );
+    lustre_row("Lustre", &blustre);
+
+    let unlimited = &rows[0].1;
+    let b_unlimited = &brows[0].1;
+    let b_tightest = &brows[brows.len() - 1].1;
+    println!("\nheadlines:");
+    print_ratio(
+        "DYAD (unlimited) consumption faster than Lustre",
+        "~197x (Fig 6)",
+        lustre.consumption_total() / unlimited.consumption_total(),
+    );
+    // Under bursts, total consumption is dominated by idling out the
+    // producers' quiet gaps on both systems; the budget's effect shows
+    // in the data-movement component (the paper's red bars): every
+    // spilled frame turns a node-local RDMA fetch into a Lustre read.
+    print_ratio(
+        "bursty DYAD (unlimited) data movement faster than Lustre",
+        "gap holds",
+        blustre.consumption_movement.mean / b_unlimited.consumption_movement.mean,
+    );
+    print_ratio(
+        "bursty DYAD (0.5 frames/pair) data movement faster than Lustre",
+        "gap closes",
+        blustre.consumption_movement.mean / b_tightest.consumption_movement.mean,
+    );
+
+    // Shape checks the acceptance criteria read off this output.
+    let unlimited_clean = unlimited.evicted_frames.mean == 0.0
+        && unlimited.spilled_frames.mean == 0.0
+        && unlimited.backpressure_stalls.mean == 0.0;
+    println!(
+        "  unlimited row reproduces the paper's DYAD (no evictions/stalls): {}",
+        if unlimited_clean { "yes" } else { "NO" }
+    );
+    let moves: Vec<f64> = brows
+        .iter()
+        .map(|(_, r)| r.consumption_movement.mean)
+        .collect();
+    let monotone = moves.windows(2).all(|w| w[1] >= w[0] * 0.95);
+    println!(
+        "  bursty data movement degrades monotonically as the budget shrinks: {}",
+        if monotone {
+            "yes"
+        } else {
+            "NO (within-noise inversions)"
+        }
+    );
+    let pressured = brows
+        .iter()
+        .any(|(_, r)| r.spilled_frames.mean > 0.0 && r.pfs_fallbacks.mean > 0.0);
+    println!(
+        "  tight bursty budgets spill to PFS and consumers fall back to it: {}",
+        if pressured { "yes" } else { "NO" }
+    );
+    let stalled = rows
+        .iter()
+        .chain(brows.iter())
+        .any(|(_, r)| r.backpressure_stalls.mean > 0.0);
+    println!(
+        "  tight budgets trigger producer backpressure stalls: {}",
+        if stalled { "yes" } else { "NO" }
+    );
+
+    println!();
+    let mut bars: Vec<(String, f64, f64)> = brows
+        .iter()
+        .map(|(l, r)| (l.clone(), r.consumption_movement.mean, 0.0))
+        .collect();
+    bars.push(("Lustre".to_string(), blustre.consumption_movement.mean, 0.0));
+    print!(
+        "{}",
+        render_bars("bursty consumption data movement per frame", &bars)
+    );
+
+    let mut json_rows: Vec<(String, &StudyReport)> = rows
+        .iter()
+        .map(|(l, r)| (format!("periodic {l}"), r))
+        .collect();
+    json_rows.push(("periodic lustre".to_string(), &lustre));
+    json_rows.extend(brows.iter().map(|(l, r)| (format!("bursty {l}"), r)));
+    json_rows.push(("bursty lustre".to_string(), &blustre));
+    save_json("capacity", &reports_json(&json_rows));
+}

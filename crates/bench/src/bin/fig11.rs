@@ -11,9 +11,7 @@ use mdflow::prelude::*;
 
 fn main() {
     let scale = Scale::from_env();
-    let split = Placement::Split {
-        pairs_per_node: 16,
-    };
+    let split = Placement::Split { pairs_per_node: 16 };
     println!(
         "FIGURE 11 — 2 nodes, 16 pairs, JAC, strides 1/5/10/50, {} frames, {} reps",
         scale.frames, scale.reps
@@ -46,7 +44,11 @@ fn main() {
         .sum::<f64>()
         / by_stride.len() as f64;
     println!("\nheadline:");
-    print_ratio("DYAD production faster than Lustre (mean)", "4.8x", mean_gap);
+    print_ratio(
+        "DYAD production faster than Lustre (mean)",
+        "4.8x",
+        mean_gap,
+    );
     // Idle grows with stride for both solutions.
     let first = &by_stride.first().unwrap();
     let last = &by_stride.last().unwrap();
@@ -58,14 +60,16 @@ fn main() {
         last.1.consumption_idle.mean * 1e3,
     );
     let check = mdflow::findings::finding5(&by_stride);
-    println!("\nFinding 5 ({}) holds: {} — {}", check.statement, check.holds, check.evidence);
+    println!(
+        "\nFinding 5 ({}) holds: {} — {}",
+        check.statement, check.holds, check.evidence
+    );
 
     println!();
     print!("{}", production_chart("production time per frame", &rows));
     println!();
     print!("{}", consumption_chart("consumption time per frame", &rows));
 
-    let rows_ref: Vec<(String, &StudyReport)> =
-        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    let rows_ref: Vec<(String, &StudyReport)> = rows.iter().map(|(l, r)| (l.clone(), r)).collect();
     save_json("fig11", &reports_json(&rows_ref));
 }

@@ -12,9 +12,7 @@ use mdflow::prelude::*;
 
 fn main() {
     let scale = Scale::from_env();
-    let split = Placement::Split {
-        pairs_per_node: 16,
-    };
+    let split = Placement::Split { pairs_per_node: 16 };
     println!(
         "FIGURE 12 — 2 nodes, 16 pairs, STMV, strides 1/5/10/50, {} frames, {} reps",
         scale.frames, scale.reps
@@ -55,7 +53,11 @@ fn main() {
         .sum::<f64>()
         / by_stride.len() as f64;
     println!("\nheadline:");
-    print_ratio("DYAD production faster than Lustre (mean)", "2.0x", mean_gap);
+    print_ratio(
+        "DYAD production faster than Lustre (mean)",
+        "2.0x",
+        mean_gap,
+    );
     let move_s1 = by_stride[0].0.consumption_movement.mean;
     let move_s50 = by_stride[3].0.consumption_movement.mean;
     print_ratio(
@@ -64,14 +66,16 @@ fn main() {
         move_s1 / move_s50.max(1e-12),
     );
     let check = mdflow::findings::finding5(&by_stride);
-    println!("\nFinding 5 ({}) holds: {} — {}", check.statement, check.holds, check.evidence);
+    println!(
+        "\nFinding 5 ({}) holds: {} — {}",
+        check.statement, check.holds, check.evidence
+    );
 
     println!();
     print!("{}", production_chart("production time per frame", &rows));
     println!();
     print!("{}", consumption_chart("consumption time per frame", &rows));
 
-    let rows_ref: Vec<(String, &StudyReport)> =
-        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    let rows_ref: Vec<(String, &StudyReport)> = rows.iter().map(|(l, r)| (l.clone(), r)).collect();
     save_json("fig12", &reports_json(&rows_ref));
 }

@@ -49,14 +49,16 @@ fn main() {
         xfs.consumption_total() / dyad.consumption_total(),
     );
     let check = mdflow::findings::finding1(dyad, xfs);
-    println!("\nFinding 1 ({}) holds: {} — {}", check.statement, check.holds, check.evidence);
+    println!(
+        "\nFinding 1 ({}) holds: {} — {}",
+        check.statement, check.holds, check.evidence
+    );
 
     println!();
     print!("{}", production_chart("production time per frame", &rows));
     println!();
     print!("{}", consumption_chart("consumption time per frame", &rows));
 
-    let rows_ref: Vec<(String, &StudyReport)> =
-        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    let rows_ref: Vec<(String, &StudyReport)> = rows.iter().map(|(l, r)| (l.clone(), r)).collect();
     save_json("fig5", &reports_json(&rows_ref));
 }

@@ -51,14 +51,16 @@ fn main() {
     );
     let dyad_2node = run(WorkflowConfig::new(Solution::Dyad, 4, split), scale);
     let check = mdflow::findings::finding2(&dyad_1node, &dyad_2node);
-    println!("\nFinding 2 ({}) holds: {} — {}", check.statement, check.holds, check.evidence);
+    println!(
+        "\nFinding 2 ({}) holds: {} — {}",
+        check.statement, check.holds, check.evidence
+    );
 
     println!();
     print!("{}", production_chart("production time per frame", &rows));
     println!();
     print!("{}", consumption_chart("consumption time per frame", &rows));
 
-    let rows_ref: Vec<(String, &StudyReport)> =
-        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    let rows_ref: Vec<(String, &StudyReport)> = rows.iter().map(|(l, r)| (l.clone(), r)).collect();
     save_json("fig6", &reports_json(&rows_ref));
 }

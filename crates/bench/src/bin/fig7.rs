@@ -51,14 +51,16 @@ fn main() {
         lustre.consumption_total() / dyad.consumption_total(),
     );
     let check = mdflow::findings::finding3(dyad, lustre);
-    println!("\nFinding 3 ({}) holds: {} — {}", check.statement, check.holds, check.evidence);
+    println!(
+        "\nFinding 3 ({}) holds: {} — {}",
+        check.statement, check.holds, check.evidence
+    );
 
     println!();
     print!("{}", production_chart("production time per frame", &rows));
     println!();
     print!("{}", consumption_chart("consumption time per frame", &rows));
 
-    let rows_ref: Vec<(String, &StudyReport)> =
-        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    let rows_ref: Vec<(String, &StudyReport)> = rows.iter().map(|(l, r)| (l.clone(), r)).collect();
     save_json("fig7", &reports_json(&rows_ref));
 }

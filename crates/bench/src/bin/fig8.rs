@@ -11,9 +11,7 @@ use mdflow::prelude::*;
 
 fn main() {
     let scale = Scale::from_env();
-    let split = Placement::Split {
-        pairs_per_node: 16,
-    };
+    let split = Placement::Split { pairs_per_node: 16 };
     println!(
         "FIGURE 8 — 2 nodes, 16 pairs, model scaling, {} frames, {} reps",
         scale.frames, scale.reps
@@ -52,14 +50,16 @@ fn main() {
         pairs_by_model.push((dyad, lustre));
     }
     let check = mdflow::findings::finding4(&pairs_by_model);
-    println!("\nFinding 4 ({}) holds: {} — {}", check.statement, check.holds, check.evidence);
+    println!(
+        "\nFinding 4 ({}) holds: {} — {}",
+        check.statement, check.holds, check.evidence
+    );
 
     println!();
     print!("{}", production_chart("production time per frame", &rows));
     println!();
     print!("{}", consumption_chart("consumption time per frame", &rows));
 
-    let rows_ref: Vec<(String, &StudyReport)> =
-        rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    let rows_ref: Vec<(String, &StudyReport)> = rows.iter().map(|(l, r)| (l.clone(), r)).collect();
     save_json("fig8", &reports_json(&rows_ref));
 }

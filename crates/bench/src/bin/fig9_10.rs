@@ -6,7 +6,7 @@
 //! (`dyad_fetch`) gets ~2.1× cheaper per call for STMV (fewer, larger
 //! transfers stress the KVS less).
 //!
-//! Figure 10 (Lustre): data movement (`FilesystemReader::read_single_buf`)
+//! Figure 10 (Lustre): data movement (`consume/read_single_buf`)
 //! grows ~12.3× for the 45.3× larger model, while `explicit_sync` stays
 //! roughly constant — synchronization, not movement, limits Lustre.
 
@@ -17,15 +17,9 @@ use mdflow::runner::run_once;
 use thicket::{AggProfile, Ensemble, Query};
 
 fn consumer_ensemble(solution: Solution, model: Model, scale: Scale) -> AggProfile {
-    let wf = WorkflowConfig::new(
-        solution,
-        16,
-        Placement::Split {
-            pairs_per_node: 16,
-        },
-    )
-    .with_model(model)
-    .with_frames(scale.frames);
+    let wf = WorkflowConfig::new(solution, 16, Placement::Split { pairs_per_node: 16 })
+        .with_model(model)
+        .with_frames(scale.frames);
     let cal = Calibration::corona();
     let mut ens = Ensemble::new();
     for rep in 0..scale.reps {
@@ -56,9 +50,8 @@ fn main() {
     let store = Query::parse("dyad_consume/dyad_cons_store");
     let read = Query::parse("dyad_consume/read_single_buf");
     let fetch = Query::parse("dyad_consume/dyad_fetch");
-    let move_jac = dyad_jac.query_time(&movement)
-        + dyad_jac.query_time(&store)
-        + dyad_jac.query_time(&read);
+    let move_jac =
+        dyad_jac.query_time(&movement) + dyad_jac.query_time(&store) + dyad_jac.query_time(&read);
     let move_stmv = dyad_stmv.query_time(&movement)
         + dyad_stmv.query_time(&store)
         + dyad_stmv.query_time(&read);
@@ -89,7 +82,7 @@ fn main() {
     println!("\n[Figure 10b] Lustre consumer call tree, STMV:");
     print!("{}", lus_stmv.render_tree());
 
-    let lread = Query::parse("consume/FilesystemReader::read_single_buf");
+    let lread = Query::parse("consume/read_single_buf");
     let lsync = Query::parse("consume/explicit_sync");
     println!("\nFigure 10 analysis:");
     print_ratio(

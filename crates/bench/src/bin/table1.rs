@@ -41,7 +41,12 @@ fn main() {
             // Decode to prove the frames are real.
             let f = Frame::decode_segments(&segs).expect("frame decodes");
             assert_eq!(f.positions.len() as u64, m.atoms());
-            println!("  {:<10} atoms={:>9}  frame={:>10} B", m.name(), m.atoms(), encoded);
+            println!(
+                "  {:<10} atoms={:>9}  frame={:>10} B",
+                m.name(),
+                m.atoms(),
+                encoded
+            );
         }
     }
 }

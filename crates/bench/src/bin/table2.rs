@@ -21,5 +21,7 @@ fn main() {
     }
     println!();
     println!("paper Table II: strides 880/294/92/28, frequency 0.82 s for every model");
-    println!("(F1 ATPase recomputes to 0.79 s from the paper's own steps/s column; the paper rounds)");
+    println!(
+        "(F1 ATPase recomputes to 0.79 s from the paper's own steps/s column; the paper rounds)"
+    );
 }

@@ -32,7 +32,10 @@ impl Scale {
 
     /// Quick mode for tests.
     pub fn quick() -> Scale {
-        Scale { reps: 2, frames: 16 }
+        Scale {
+            reps: 2,
+            frames: 16,
+        }
     }
 }
 
@@ -88,8 +91,7 @@ pub fn reports_json(rows: &[(String, &StudyReport)]) -> String {
     let objs: Vec<serde_json::Value> = rows
         .iter()
         .map(|(label, r)| {
-            let mut v: serde_json::Value =
-                serde_json::from_str(&r.to_json()).expect("report json");
+            let mut v: serde_json::Value = serde_json::from_str(&r.to_json()).expect("report json");
             v["label"] = serde_json::Value::String(label.clone());
             v
         })
@@ -104,8 +106,10 @@ pub fn reports_json(rows: &[(String, &StudyReport)]) -> String {
 /// idle bars.
 pub fn render_bars(title: &str, rows: &[(String, f64, f64)]) -> String {
     const WIDTH: f64 = 56.0;
-    let mut out = format!("  {title}
-");
+    let mut out = format!(
+        "  {title}
+"
+    );
     let max = rows
         .iter()
         .map(|(_, m, i)| m + i)
@@ -167,7 +171,13 @@ pub fn consumption_chart(title: &str, rows: &[(String, StudyReport)]) -> String 
 pub fn production_chart(title: &str, rows: &[(String, StudyReport)]) -> String {
     let bars: Vec<(String, f64, f64)> = rows
         .iter()
-        .map(|(l, r)| (l.clone(), r.production_movement.mean, r.production_idle.mean))
+        .map(|(l, r)| {
+            (
+                l.clone(),
+                r.production_movement.mean,
+                r.production_idle.mean,
+            )
+        })
         .collect();
     render_bars(title, &bars)
 }

@@ -113,8 +113,12 @@ impl Fabric {
         let rx = self.nic(dst).rx.clone();
         // Stream through both ports concurrently; completion is gated by
         // the slower (more contended) of the two.
-        let ht = self.ctx.spawn(async move { tx.transfer_counted(bytes).await });
-        let hr = self.ctx.spawn(async move { rx.transfer_counted(bytes).await });
+        let ht = self
+            .ctx
+            .spawn(async move { tx.transfer_counted(bytes).await });
+        let hr = self
+            .ctx
+            .spawn(async move { rx.transfer_counted(bytes).await });
         ht.await;
         hr.await;
     }

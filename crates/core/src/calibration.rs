@@ -47,6 +47,12 @@ pub struct Calibration {
     /// Poll interval for the [`crate::config::ManualSync::Polling`]
     /// protocol.
     pub manual_poll_interval: SimDuration,
+    /// Staging evictor frees NVMe down to this fraction of the budget.
+    pub staging_low_watermark: f64,
+    /// Producers block above this fraction of the staging budget.
+    pub staging_high_watermark: f64,
+    /// Period of the background staging-evictor pass.
+    pub staging_evict_interval: SimDuration,
 }
 
 impl Calibration {
@@ -85,6 +91,9 @@ impl Calibration {
             serialize_cpu: SimDuration::from_micros(5),
             consumer_launch_delay: 0.5,
             manual_poll_interval: SimDuration::from_millis(10),
+            staging_low_watermark: 0.7,
+            staging_high_watermark: 0.9,
+            staging_evict_interval: SimDuration::from_millis(200),
         }
     }
 
@@ -120,6 +129,8 @@ mod tests {
         assert!(c.n_osts >= 1);
         assert!(c.pfs.interference >= 0.0 && c.pfs.interference < 1.0);
         assert!(c.md_jitter < 0.5);
+        assert!(c.staging_low_watermark <= c.staging_high_watermark);
+        assert!(c.staging_high_watermark <= 1.0);
     }
 
     #[test]

@@ -90,6 +90,31 @@ pub enum ManualSync {
     LockBased,
 }
 
+/// Staged-data lifecycle settings for the DYAD solution: how much
+/// node-local NVMe the workflow may hold and what the evictor may do
+/// when it fills (see the `staging` crate).
+#[derive(Debug, Clone, Copy, Serialize, Default)]
+pub struct StagingConfig {
+    /// Per-node NVMe staging budget in bytes. `None` reproduces the
+    /// paper's configuration: frames stay on NVMe for the whole run.
+    pub budget_bytes: Option<u64>,
+    /// What the background evictor may do with staged frames.
+    #[serde(serialize_with = "retention_serde::serialize")]
+    pub retention: staging::RetentionPolicy,
+    /// Spill still-needed frames to the parallel filesystem under
+    /// pressure instead of stalling the producer indefinitely. Adds the
+    /// PFS service nodes to DYAD runs.
+    pub spill_to_pfs: bool,
+}
+
+// RetentionPolicy is foreign; serialize via its stable name.
+mod retention_serde {
+    use serde::Serializer;
+    pub fn serialize<S: Serializer>(r: &staging::RetentionPolicy, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(r.name())
+    }
+}
+
 /// One workflow configuration (one bar/point of a figure).
 #[derive(Debug, Clone, Serialize)]
 pub struct WorkflowConfig {
@@ -110,6 +135,9 @@ pub struct WorkflowConfig {
     pub manual_sync: ManualSync,
     /// Warm fast-path enabled for DYAD (ablation knob).
     pub dyad_warm_sync: bool,
+    /// Staged-data lifecycle settings (DYAD only; ignored by the
+    /// manual baselines, which manage their own storage).
+    pub staging: StagingConfig,
     /// Optional variable-rate frame schedule (overrides the fixed
     /// stride-based cadence; see [`crate::schedule::FrameSchedule`]).
     #[serde(skip)]
@@ -137,6 +165,7 @@ impl WorkflowConfig {
             frames: 128,
             manual_sync: ManualSync::Coarse,
             dyad_warm_sync: true,
+            staging: StagingConfig::default(),
             schedule: None,
         }
     }
@@ -163,6 +192,25 @@ impl WorkflowConfig {
     /// Use a variable-rate frame schedule instead of the fixed stride.
     pub fn with_schedule(mut self, schedule: crate::schedule::FrameSchedule) -> Self {
         self.schedule = Some(schedule);
+        self
+    }
+
+    /// Bound the per-node NVMe staging budget (DYAD only).
+    pub fn with_staging_budget(mut self, bytes: u64) -> Self {
+        self.staging.budget_bytes = Some(bytes);
+        self
+    }
+
+    /// Choose the staging evictor's retention policy (DYAD only).
+    pub fn with_retention(mut self, retention: staging::RetentionPolicy) -> Self {
+        self.staging.retention = retention;
+        self
+    }
+
+    /// Enable/disable spilling still-needed frames to the PFS under
+    /// staging pressure (DYAD only).
+    pub fn with_spill(mut self, spill_to_pfs: bool) -> Self {
+        self.staging.spill_to_pfs = spill_to_pfs;
         self
     }
 
@@ -258,11 +306,7 @@ mod tests {
 
     #[test]
     fn split_places_one_type_per_node() {
-        let cfg = WorkflowConfig::new(
-            Solution::Lustre,
-            16,
-            Placement::Split { pairs_per_node: 8 },
-        );
+        let cfg = WorkflowConfig::new(Solution::Lustre, 16, Placement::Split { pairs_per_node: 8 });
         let plan = cfg.placement_plan();
         assert_eq!(plan.compute_nodes, 4); // 2 producer + 2 consumer nodes
         assert_eq!(plan.pair_nodes[0], (0, 2));
@@ -277,18 +321,14 @@ mod tests {
 
     #[test]
     fn fig7_largest_config_uses_64_nodes() {
-        let cfg = WorkflowConfig::new(
-            Solution::Dyad,
-            256,
-            Placement::Split { pairs_per_node: 8 },
-        );
+        let cfg = WorkflowConfig::new(Solution::Dyad, 256, Placement::Split { pairs_per_node: 8 });
         assert_eq!(cfg.placement_plan().compute_nodes, 64);
     }
 
     #[test]
     fn with_model_updates_stride() {
-        let cfg = WorkflowConfig::new(Solution::Dyad, 1, Placement::SingleNode)
-            .with_model(Model::Stmv);
+        let cfg =
+            WorkflowConfig::new(Solution::Dyad, 1, Placement::SingleNode).with_model(Model::Stmv);
         assert_eq!(cfg.stride, 28);
         assert!((cfg.frame_period_secs() - 0.82).abs() < 0.01);
     }

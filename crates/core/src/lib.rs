@@ -48,11 +48,14 @@ pub mod workflow;
 pub mod prelude {
     pub use crate::calibration::Calibration;
     pub use crate::campaign::{Campaign, CampaignResult};
-    pub use crate::config::{ManualSync, Placement, Solution, StudyConfig, WorkflowConfig};
+    pub use crate::config::{
+        ManualSync, Placement, Solution, StagingConfig, StudyConfig, WorkflowConfig,
+    };
     pub use crate::report::{speedup, Breakdown, StudyReport};
+    pub use crate::runner::{run_once, run_study, RunMetrics, StagingTotals};
     pub use crate::schedule::FrameSchedule;
-    pub use crate::runner::{run_once, run_study, RunMetrics};
     pub use mdsim::Model;
+    pub use staging::RetentionPolicy;
 }
 
 #[cfg(test)]
@@ -186,8 +189,7 @@ mod tests {
     fn lock_based_sync_pipelines_with_lock_overhead() {
         let frames = 10;
         let split = Placement::Split { pairs_per_node: 8 };
-        let mut coarse_wf =
-            WorkflowConfig::new(Solution::Lustre, 1, split).with_frames(frames);
+        let mut coarse_wf = WorkflowConfig::new(Solution::Lustre, 1, split).with_frames(frames);
         coarse_wf.manual_sync = ManualSync::Coarse;
         let mut lock_wf = coarse_wf.clone();
         lock_wf.manual_sync = ManualSync::LockBased;

@@ -36,6 +36,8 @@ pub struct RunBreakdown {
     pub consumption: Breakdown,
     /// Simulated makespan of the repetition, seconds.
     pub makespan: f64,
+    /// Staging-lifecycle counters (DYAD only; zero otherwise).
+    pub staging: crate::runner::StagingTotals,
 }
 
 /// Sum the inclusive seconds of `path` over a merged profile.
@@ -59,13 +61,17 @@ pub fn reduce_run(wf: &WorkflowConfig, run: &RunMetrics) -> RunBreakdown {
     let consumption;
     match wf.solution {
         Solution::Dyad => {
+            // Staging backpressure is synchronization (the producer
+            // waits on the evictor), not data movement.
+            let backpressure = secs(&prod, &["dyad_produce", "staging_backpressure"]);
             production = Breakdown {
-                movement: secs(&prod, &["dyad_produce"]) / per_frame,
-                idle: 0.0,
+                movement: (secs(&prod, &["dyad_produce"]) - backpressure) / per_frame,
+                idle: backpressure / per_frame,
             };
             consumption = Breakdown {
                 movement: (secs(&cons, &["dyad_consume", "dyad_get_data"])
                     + secs(&cons, &["dyad_consume", "dyad_cons_store"])
+                    + secs(&cons, &["dyad_consume", "dyad_pfs_fallback"])
                     + secs(&cons, &["dyad_consume", "read_single_buf"]))
                     / per_frame,
                 idle: (secs(&cons, &["dyad_consume", "dyad_fetch"])
@@ -89,8 +95,7 @@ pub fn reduce_run(wf: &WorkflowConfig, run: &RunMetrics) -> RunBreakdown {
                 idle: secs(&prod, &["produce", "explicit_sync"]) / per_frame,
             };
             consumption = Breakdown {
-                movement: secs(&cons, &["consume", "FilesystemReader::read_single_buf"])
-                    / per_frame,
+                movement: secs(&cons, &["consume", "read_single_buf"]) / per_frame,
                 idle: secs(&cons, &["consume", "explicit_sync"]) / per_frame,
             };
         }
@@ -99,6 +104,7 @@ pub fn reduce_run(wf: &WorkflowConfig, run: &RunMetrics) -> RunBreakdown {
         production,
         consumption,
         makespan: run.makespan.as_secs_f64(),
+        staging: run.staging,
     }
 }
 
@@ -139,6 +145,16 @@ pub struct StudyReport {
     pub consumption_idle: MeanStd,
     /// Makespan, seconds.
     pub makespan: MeanStd,
+    /// Frames retired by the staging evictor (per repetition).
+    pub evicted_frames: MeanStd,
+    /// Frames spilled from NVMe to the PFS (per repetition).
+    pub spilled_frames: MeanStd,
+    /// Producer stalls at the staging high watermark (per repetition).
+    pub backpressure_stalls: MeanStd,
+    /// Seconds producers spent stalled (per repetition).
+    pub backpressure_stall_secs: MeanStd,
+    /// Consumes served from a spilled PFS copy (per repetition).
+    pub pfs_fallbacks: MeanStd,
     /// Per-repetition numbers (for variability plots).
     pub runs: Vec<RunBreakdown>,
 }
@@ -158,6 +174,21 @@ impl StudyReport {
             ),
             consumption_idle: MeanStd::from_samples(reduced.iter().map(|r| r.consumption.idle)),
             makespan: MeanStd::from_samples(reduced.iter().map(|r| r.makespan)),
+            evicted_frames: MeanStd::from_samples(
+                reduced.iter().map(|r| r.staging.evicted_frames as f64),
+            ),
+            spilled_frames: MeanStd::from_samples(
+                reduced.iter().map(|r| r.staging.spilled_frames as f64),
+            ),
+            backpressure_stalls: MeanStd::from_samples(
+                reduced.iter().map(|r| r.staging.backpressure_stalls as f64),
+            ),
+            backpressure_stall_secs: MeanStd::from_samples(
+                reduced.iter().map(|r| r.staging.backpressure_stall_secs),
+            ),
+            pfs_fallbacks: MeanStd::from_samples(
+                reduced.iter().map(|r| r.staging.pfs_fallbacks as f64),
+            ),
             runs: reduced,
         }
     }

@@ -11,7 +11,9 @@ use localfs::LocalFs;
 use mdsim::{FrameTemplate, StepClock};
 use pfs::{LdlmClient, LdlmServer, LdlmSpec, ParallelFs};
 use rayon::prelude::*;
+use serde::Serialize;
 use simcore::{Sim, SimDuration, SimTime};
+use staging::{RetentionPolicy, StagingManager, StagingSpec, StagingStats};
 use transport::Transport;
 
 use crate::calibration::Calibration;
@@ -20,6 +22,48 @@ use crate::workflow::{
     consumer_dyad, consumer_dyad_on_pfs, consumer_manual, pair_sync, producer_dyad,
     producer_dyad_on_pfs, producer_manual, ConsumerArgs, ProducerArgs, Storage,
 };
+
+/// Staging-lifecycle counters summed over every node's
+/// [`StagingManager`] (all zero for non-DYAD solutions and for the
+/// unbounded default).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StagingTotals {
+    /// Frames fully retired (unlinked after all consumer acks).
+    pub evicted_frames: u64,
+    /// Bytes those retirements freed.
+    pub evicted_bytes: u64,
+    /// Still-needed frames spilled from NVMe to the PFS.
+    pub spilled_frames: u64,
+    /// Bytes spilled to the PFS.
+    pub spilled_bytes: u64,
+    /// Consumer-side cache copies dropped under pressure.
+    pub cache_evictions: u64,
+    /// Times a producer blocked at the high watermark.
+    pub backpressure_stalls: u64,
+    /// Total simulated seconds producers spent blocked.
+    pub backpressure_stall_secs: f64,
+    /// Consumes that fetched a spilled frame from the PFS.
+    pub pfs_fallbacks: u64,
+    /// Consumption acknowledgements committed to the KVS.
+    pub acks_published: u64,
+    /// Largest staged footprint of any single node, bytes.
+    pub peak_staged_bytes: u64,
+}
+
+impl StagingTotals {
+    fn absorb(&mut self, s: &StagingStats) {
+        self.evicted_frames += s.retired_frames;
+        self.evicted_bytes += s.retired_bytes;
+        self.spilled_frames += s.spilled_frames;
+        self.spilled_bytes += s.spilled_bytes;
+        self.cache_evictions += s.cache_evictions;
+        self.backpressure_stalls += s.backpressure_stalls;
+        self.backpressure_stall_secs += s.backpressure_wait.as_secs_f64();
+        self.pfs_fallbacks += s.pfs_fallbacks;
+        self.acks_published += s.acks_published;
+        self.peak_staged_bytes = self.peak_staged_bytes.max(s.peak_staged_bytes);
+    }
+}
 
 /// Raw result of one repetition.
 pub struct RunMetrics {
@@ -31,6 +75,8 @@ pub struct RunMetrics {
     pub makespan: SimTime,
     /// Discrete events processed (simulator health metric).
     pub events: u64,
+    /// Staging-lifecycle counters (DYAD only).
+    pub staging: StagingTotals,
 }
 
 /// Spawn a process and record the simulated time at which it finished.
@@ -83,7 +129,10 @@ fn run_once_with_tracer(
     let plan = wf.placement_plan();
     let n_compute = plan.compute_nodes;
     let mut n_total = n_compute;
-    let pfs_nodes = if wf.solution.needs_pfs() {
+    // DYAD needs the PFS service nodes too when staging may spill.
+    let needs_pfs =
+        wf.solution.needs_pfs() || (wf.solution == Solution::Dyad && wf.staging.spill_to_pfs);
+    let pfs_nodes = if needs_pfs {
         let mds = n_total as u32;
         let osts: Vec<NodeId> = (0..cal.n_osts as u32)
             .map(|i| NodeId(n_total as u32 + 1 + i))
@@ -109,26 +158,66 @@ fn run_once_with_tracer(
         None
     };
     let kvs_client = |node: u32| KvsClient::new(&ctx, &tp, NodeId(node), NodeId(0), cal.kvs);
+    let pfs = pfs_nodes.map(|(mds, osts)| ParallelFs::start(&ctx, &tp, mds, osts, cal.pfs));
+    // One staging manager per compute node for DYAD: tracks the staged-
+    // frame lifecycle and (when the budget is finite) runs the evictor.
+    let staging_mgrs: Vec<Option<Rc<StagingManager>>> = if wf.solution == Solution::Dyad {
+        let spec = StagingSpec {
+            budget_bytes: wf.staging.budget_bytes.unwrap_or(u64::MAX),
+            low_watermark: cal.staging_low_watermark,
+            high_watermark: cal.staging_high_watermark,
+            evict_interval: cal.staging_evict_interval,
+            retention: wf.staging.retention,
+        };
+        (0..n_compute as u32)
+            .map(|i| {
+                let pfs_client = if wf.staging.spill_to_pfs {
+                    pfs.as_ref().map(|p| p.client(&ctx, NodeId(i)))
+                } else {
+                    None
+                };
+                let mgr = StagingManager::new(
+                    &ctx,
+                    NodeId(i),
+                    local_fs[i as usize].clone(),
+                    kvs_client(i),
+                    pfs_client,
+                    spec,
+                );
+                // Only burn evictor wake-ups when a pass can ever act.
+                if mgr.is_bounded() || wf.staging.retention == RetentionPolicy::EagerRetire {
+                    mgr.spawn_evictor();
+                }
+                Some(mgr)
+            })
+            .collect()
+    } else {
+        vec![None; n_compute]
+    };
     let dyad_services: Vec<Rc<DyadService>> = if wf.solution == Solution::Dyad {
         (0..n_compute as u32)
             .map(|i| {
                 let mut spec = cal.dyad.clone();
                 spec.warm_sync = wf.dyad_warm_sync;
-                DyadService::start(&ctx, &tp, NodeId(i), local_fs[i as usize].clone(), kvs_client(i), spec)
+                DyadService::start_staged(
+                    &ctx,
+                    &tp,
+                    NodeId(i),
+                    local_fs[i as usize].clone(),
+                    kvs_client(i),
+                    spec,
+                    staging_mgrs[i as usize].clone(),
+                )
             })
             .collect()
     } else {
         Vec::new()
     };
-    let pfs = pfs_nodes.map(|(mds, osts)| ParallelFs::start(&ctx, &tp, mds, osts, cal.pfs));
     // Lock service (lock-based manual sync only), colocated with the MDS
     // for Lustre or the KVS broker node otherwise.
     let ldlm_server: Option<std::rc::Rc<LdlmServer>> =
         if wf.manual_sync == crate::config::ManualSync::LockBased {
-            let node = pfs
-                .as_ref()
-                .map(|p| p.mds().node())
-                .unwrap_or(NodeId(0));
+            let node = pfs.as_ref().map(|p| p.mds().node()).unwrap_or(NodeId(0));
             Some(LdlmServer::start(&ctx, &tp, node, LdlmSpec::default()))
         } else {
             None
@@ -184,6 +273,15 @@ fn run_once_with_tracer(
             Solution::Dyad => {
                 let psvc = dyad_services[pn as usize].clone();
                 let csvc = dyad_services[cn as usize].clone();
+                // Retention contract: the producer node's evictor must
+                // hold each of this pair's frames until consumer
+                // `c{pair}` acknowledges it.
+                if let Some(mgr) = &staging_mgrs[pn as usize] {
+                    mgr.register_consumer(
+                        &format!("{}/frames/p{pair:04}", cal.dyad.managed_dir),
+                        &format!("c{pair}"),
+                    );
+                }
                 prod_handles.push(spawn_timed(&ctx, producer_dyad(pargs, psvc, rng_stream)));
                 cons_handles.push(spawn_timed(&ctx, consumer_dyad(cargs, csvc)));
             }
@@ -260,9 +358,8 @@ fn run_once_with_tracer(
     // The PFS interference processes never terminate, so advance the
     // clock in slices and stop as soon as every workload process has
     // finished (the workload, not the background noise, defines the run).
-    let slice = SimDuration::from_secs_f64(
-        (wf.frames as f64 * period.as_secs_f64()).max(1.0) / 4.0,
-    );
+    let slice =
+        SimDuration::from_secs_f64((wf.frames as f64 * period.as_secs_f64()).max(1.0) / 4.0);
     let hard_stop = SimTime::from_nanos(
         ((wf.frames + 16) as f64 * period.as_secs_f64().max(0.001) * 400.0 * 1e9) as u64,
     );
@@ -278,7 +375,7 @@ fn run_once_with_tracer(
             deadline < hard_stop,
             "workload failed to finish by the hard stop — deadlock?"
         );
-        deadline = deadline + slice;
+        deadline += slice;
     };
     // Makespan = when the workload finished, not when the horizon cut
     // off the (never-terminating) background-interference processes.
@@ -290,12 +387,26 @@ fn run_once_with_tracer(
     };
     let producers: Vec<Profile> = prod_handles.into_iter().map(&mut take).collect();
     let consumers: Vec<Profile> = cons_handles.into_iter().map(&mut take).collect();
+    let mut staging_totals = StagingTotals::default();
+    for mgr in staging_mgrs.iter().flatten() {
+        staging_totals.absorb(&mgr.stats());
+        // Retention invariant: nothing retires before every registered
+        // consumer acknowledged it (cheap; guards every study we run).
+        for r in mgr.retire_log() {
+            assert_eq!(
+                r.acks_seen, r.required_acks,
+                "frame {} retired before all acks",
+                r.path
+            );
+        }
+    }
     drop(kvs_server);
     RunMetrics {
         producers,
         consumers,
         makespan,
         events: report.events_processed,
+        staging: staging_totals,
     }
 }
 
@@ -344,11 +455,7 @@ mod tests {
     #[test]
     fn lustre_two_nodes_completes() {
         let cal = Calibration::quiet();
-        let wf = small(
-            Solution::Lustre,
-            2,
-            Placement::Split { pairs_per_node: 8 },
-        );
+        let wf = small(Solution::Lustre, 2, Placement::Split { pairs_per_node: 8 });
         let m = run_once(&wf, &cal, 1);
         assert_eq!(m.producers.len(), 2);
         let t = m.makespan.as_secs_f64();
@@ -387,6 +494,47 @@ mod tests {
         let b = run_once(&wf, &cal, 42);
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn bounded_staging_is_deterministic_and_exercises_the_lifecycle() {
+        // Satellite of the staging tentpole: same seed + same budget ⇒
+        // identical makespans AND identical eviction/spill history; and
+        // a ~3-frame budget must actually trigger the evictor.
+        let cal = Calibration::quiet();
+        let budget = 3 * Model::Jac.frame_bytes();
+        let wf = small(Solution::Dyad, 2, Placement::Split { pairs_per_node: 8 })
+            .with_frames(12)
+            .with_staging_budget(budget)
+            .with_spill(true);
+        let a = run_once(&wf, &cal, 9);
+        let b = run_once(&wf, &cal, 9);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.staging.evicted_frames, b.staging.evicted_frames);
+        assert_eq!(a.staging.spilled_frames, b.staging.spilled_frames);
+        assert_eq!(a.staging.backpressure_stalls, b.staging.backpressure_stalls);
+        assert!(
+            a.staging.evicted_frames > 0,
+            "a 3-frame budget never retired anything: {:?}",
+            a.staging
+        );
+        assert_eq!(a.staging.acks_published, 2 * 12);
+    }
+
+    #[test]
+    fn unbounded_staging_matches_legacy_dyad_timing() {
+        // The default (no budget) must reproduce the paper's DYAD
+        // numbers: no evictions, no stalls, same makespan window as
+        // `dyad_two_nodes_pipelines`.
+        let cal = Calibration::quiet();
+        let wf = small(Solution::Dyad, 2, Placement::Split { pairs_per_node: 8 });
+        let m = run_once(&wf, &cal, 1);
+        assert_eq!(m.staging.evicted_frames, 0);
+        assert_eq!(m.staging.spilled_frames, 0);
+        assert_eq!(m.staging.backpressure_stalls, 0);
+        let t = m.makespan.as_secs_f64();
+        assert!(t > 4.9 && t < 8.0, "makespan {t}");
     }
 
     #[test]

@@ -78,8 +78,7 @@ impl FrameSchedule {
                     0.0
                 };
                 SimDuration::from_secs_f64(
-                    p_burst * burst_gap.as_secs_f64()
-                        + (1.0 - p_burst) * quiet_gap.as_secs_f64(),
+                    p_burst * burst_gap.as_secs_f64() + (1.0 - p_burst) * quiet_gap.as_secs_f64(),
                 )
             }
             FrameSchedule::Trace { gaps } => {
@@ -154,10 +153,7 @@ mod tests {
 
     #[test]
     fn trace_cycles() {
-        let gaps = vec![
-            SimDuration::from_millis(10),
-            SimDuration::from_millis(20),
-        ];
+        let gaps = vec![SimDuration::from_millis(10), SimDuration::from_millis(20)];
         let s = FrameSchedule::Trace { gaps };
         let mut g = s.generator(StdRng::seed_from_u64(1));
         assert_eq!(g.next_gap().millis(), 10);

@@ -151,11 +151,7 @@ pub fn run_steering(cfg: &SteeringConfig, cal: &Calibration, seed: u64) -> Vec<T
             let mut frames_produced = 0;
             for frame_idx in 0..pcfg.max_frames {
                 // Steering check: one cheap lookup per stride.
-                if control
-                    .lookup(&steer_key(pair))
-                    .await
-                    .is_some()
-                {
+                if control.lookup(&steer_key(pair)).await.is_some() {
                     break;
                 }
                 // Real MD, with its cost charged to the simulated clock.
@@ -205,8 +201,7 @@ pub fn run_steering(cfg: &SteeringConfig, cal: &Calibration, seed: u64) -> Vec<T
                         Either::Right(_) => break,
                     }
                 };
-                let frame =
-                    Frame::decode_segments(&data).expect("valid steered frame");
+                let frame = Frame::decode_segments(&data).expect("valid steered frame");
                 assert_eq!(frame.step, frame_idx);
                 let analysis = pipeline.analyze(&frame);
                 frames_analyzed += 1;

@@ -14,9 +14,8 @@
 //! * producers: `md_sim`, then `produce` → { `write_single_buf`,
 //!   `explicit_sync` } for the manual baselines, or DYAD's
 //!   `dyad_produce` tree;
-//! * consumers: `consume` → { `explicit_sync`,
-//!   `FilesystemReader::read_single_buf` } or DYAD's `dyad_consume`
-//!   tree, then `analytics`.
+//! * consumers: `consume` → { `explicit_sync`, `read_single_buf` } or
+//!   DYAD's `dyad_consume` tree, then `analytics`.
 //!
 //! **Coarse-grained manual sync** (the paper's baseline protocol) fully
 //! serializes each pair: the consumer waits for the write to complete
@@ -30,7 +29,7 @@
 use std::rc::Rc;
 
 use bytes::Bytes;
-use dyad::{DyadConsumer, DyadService, FrameMeta};
+use dyad::{DyadConsumer, DyadService, FrameLocation, FrameMeta};
 use instrument::{Profile, Recorder};
 use kvs::KvsClient;
 use localfs::LocalFs;
@@ -176,7 +175,11 @@ pub struct ProducerArgs {
 
 /// The per-frame MD-phase duration: the variable-rate schedule when one
 /// is set, otherwise one jittered stride of Table II steps.
-fn md_phase(args: &ProducerArgs, gen: &mut Option<crate::schedule::ScheduleGen>, rng: &mut rand::rngs::StdRng) -> SimDuration {
+fn md_phase(
+    args: &ProducerArgs,
+    gen: &mut Option<crate::schedule::ScheduleGen>,
+    rng: &mut rand::rngs::StdRng,
+) -> SimDuration {
     match gen {
         Some(g) => g.next_gap(),
         None => SimDuration::from_secs_f64(args.clock.stride_secs(args.stride, rng)),
@@ -290,9 +293,7 @@ pub async fn producer_manual(
                 let s = rec.region("explicit_sync");
                 match mode {
                     ManualSync::Polling => {
-                        storage
-                            .write_marker(&frame_path(args.pair, frame))
-                            .await;
+                        storage.write_marker(&frame_path(args.pair, frame)).await;
                     }
                     ManualSync::LockBased => {
                         ldlm.as_ref()
@@ -362,11 +363,11 @@ pub async fn consumer_dyad(args: ConsumerArgs, svc: Rc<DyadService>) -> Profile 
     );
     let mut rng = args.ctx.rng(args.rng_stream);
     args.ctx.sleep(args.start_offset).await;
-    let mut session: DyadConsumer = svc.consumer();
+    // Ack id must match what the runner registered on the producer
+    // node's staging manager, or frames would never become retireable.
+    let mut session: DyadConsumer = svc.consumer_with_id(&format!("c{}", args.pair));
     for frame in 0..args.frames {
-        let data = session
-            .consume(&rec, &frame_path(args.pair, frame))
-            .await;
+        let data = session.consume(&rec, &frame_path(args.pair, frame)).await;
         deserialize_and_validate(&args, &rec, &data, frame).await;
         {
             let g = rec.region("analytics");
@@ -411,7 +412,7 @@ pub async fn consumer_manual(
                             polls += 1.0;
                             args.ctx.sleep(poll_interval).await;
                         }
-                        rec.annotate("polls", polls);
+                        rec.annotate("sync_polls", polls);
                     }
                     ManualSync::LockBased => {
                         // Take the read lock, check the frame landed; if
@@ -423,8 +424,7 @@ pub async fn consumer_manual(
                         let mut retries = 0f64;
                         loop {
                             ldlm.lock(&lock, LockMode::ProtectedRead).await;
-                            let present =
-                                storage.probe(&frame_path(args.pair, frame)).await;
+                            let present = storage.probe(&frame_path(args.pair, frame)).await;
                             ldlm.unlock(&lock, LockMode::ProtectedRead).await;
                             if present {
                                 break;
@@ -441,7 +441,7 @@ pub async fn consumer_manual(
                 }
                 s.end();
             }
-            let r = rec.region("FilesystemReader::read_single_buf");
+            let r = rec.region("read_single_buf");
             let data = storage.read_frame(&frame_path(args.pair, frame)).await;
             r.end();
             g.end();
@@ -516,7 +516,11 @@ pub async fn producer_dyad_on_pfs(
             }
             {
                 let c = rec.region("dyad_commit");
-                let meta = FrameMeta { owner, size };
+                let meta = FrameMeta {
+                    owner,
+                    size,
+                    location: FrameLocation::Pfs,
+                };
                 kvs.commit(&frame_path(args.pair, frame), meta.encode())
                     .await;
                 c.end();
@@ -577,12 +581,7 @@ pub async fn consumer_dyad_on_pfs(
 
 /// Deserialize the header, charge the CPU cost, and assert the frame is
 /// exactly what the producer serialized.
-async fn deserialize_and_validate(
-    args: &ConsumerArgs,
-    rec: &Recorder,
-    data: &[Bytes],
-    frame: u64,
-) {
+async fn deserialize_and_validate(args: &ConsumerArgs, rec: &Recorder, data: &[Bytes], frame: u64) {
     let g = rec.region("deserialize");
     args.ctx.sleep(args.deserialize_cpu).await;
     let header = FrameHeader::decode_segments(data).expect("valid frame");

@@ -28,14 +28,18 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use cluster::NodeId;
 use instrument::Recorder;
 use kvs::KvsClient;
 use localfs::{LocalFs, LockKind};
+use pfs::PfsClient;
 use simcore::resource::FifoResource;
 use simcore::{Ctx, SimDuration};
+use staging::StagingManager;
 use transport::{AmId, Endpoint, LocalBoxFuture, Payload, Transport};
+
+pub use staging::{FrameLocation, FrameMeta};
 
 /// The AM id of the per-node DYAD data service.
 pub const DYAD_AM: AmId = AmId(0x4459);
@@ -96,33 +100,6 @@ pub struct DyadStats {
     pub bytes_consumed: u64,
 }
 
-/// Frame metadata stored in the KVS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FrameMeta {
-    /// Node holding the data in its managed directory.
-    pub owner: NodeId,
-    /// Payload size in bytes.
-    pub size: u64,
-}
-
-impl FrameMeta {
-    /// Encode for the KVS value.
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(12);
-        b.put_u32(self.owner.0);
-        b.put_u64(self.size);
-        b.freeze()
-    }
-
-    /// Decode from a KVS value.
-    pub fn decode(mut raw: Bytes) -> FrameMeta {
-        FrameMeta {
-            owner: NodeId(raw.get_u32()),
-            size: raw.get_u64(),
-        }
-    }
-}
-
 struct ServiceInner {
     stats: DyadStats,
     dirs_made: std::collections::HashSet<String>,
@@ -137,12 +114,13 @@ pub struct DyadService {
     kvs: KvsClient,
     ep: Endpoint,
     spec: Rc<DyadSpec>,
+    staging: Option<Rc<StagingManager>>,
     inner: Rc<RefCell<ServiceInner>>,
 }
 
 impl DyadService {
-    /// Start DYAD on `node`: registers the data-service handler that
-    /// answers `dyad_get_data` requests from consumers on other nodes.
+    /// Start DYAD on `node` with unbounded staging (the paper's
+    /// configuration: frames stay on NVMe forever).
     pub fn start(
         ctx: &Ctx,
         tp: &Transport,
@@ -150,6 +128,24 @@ impl DyadService {
         fs: LocalFs,
         kvs: KvsClient,
         spec: DyadSpec,
+    ) -> Rc<DyadService> {
+        Self::start_staged(ctx, tp, node, fs, kvs, spec, None)
+    }
+
+    /// Start DYAD on `node` under a [`StagingManager`]: produces pass
+    /// admission control (backpressure) and register in the staged-frame
+    /// lifecycle; consumes publish acknowledgements and fall back to the
+    /// PFS copy when the evictor spilled a frame. Registers the
+    /// data-service handler that answers `dyad_get_data` requests from
+    /// consumers on other nodes.
+    pub fn start_staged(
+        ctx: &Ctx,
+        tp: &Transport,
+        node: NodeId,
+        fs: LocalFs,
+        kvs: KvsClient,
+        spec: DyadSpec,
+        staging: Option<Rc<StagingManager>>,
     ) -> Rc<DyadService> {
         let spec = Rc::new(spec);
         let inner = Rc::new(RefCell::new(ServiceInner {
@@ -164,6 +160,7 @@ impl DyadService {
             kvs,
             ep: tp.endpoint(node),
             spec: spec.clone(),
+            staging,
             inner: inner.clone(),
         });
         let hfs = fs;
@@ -230,6 +227,17 @@ impl DyadService {
         let path = self.managed_path(name);
         let size = transport::payload_len(&frame);
         let g = rec.region("dyad_produce");
+        // Admission control: above the staging high watermark the
+        // producer blocks here until the evictor frees space. The stall
+        // is its own region so `report` can split it out of production
+        // time as idle rather than movement.
+        if let Some(st) = &self.staging {
+            if st.would_block(size) {
+                let b = rec.region("staging_backpressure");
+                st.admit(size).await;
+                b.end();
+            }
+        }
         {
             // Write to a temp name and rename: the frame becomes visible
             // atomically, so a same-node consumer can never observe a
@@ -245,6 +253,9 @@ impl DyadService {
             self.fs.rename(&tmp, &path).await.expect("publish rename");
             w.end();
         }
+        if let Some(st) = &self.staging {
+            st.frame_written(&path, size);
+        }
         {
             let c = rec.region("dyad_commit");
             // Global-namespace bookkeeping (hashing, path registration).
@@ -252,9 +263,13 @@ impl DyadService {
             let meta = FrameMeta {
                 owner: self.node,
                 size,
+                location: FrameLocation::Nvme,
             };
             self.kvs.commit(&path, meta.encode()).await;
             c.end();
+        }
+        if let Some(st) = &self.staging {
+            st.frame_published(&path);
         }
         g.end();
         let mut inner = self.inner.borrow_mut();
@@ -263,10 +278,19 @@ impl DyadService {
     }
 
     /// Open a consumer session (tracks warm/cold synchronization state,
-    /// one per consumer process).
+    /// one per consumer process). The session id defaults to the node
+    /// name; sessions whose acks feed staging retention should use
+    /// [`DyadService::consumer_with_id`] with the id the workflow
+    /// registered on the producer's staging manager.
     pub fn consumer(self: &Rc<Self>) -> DyadConsumer {
+        self.consumer_with_id(&format!("n{}", self.node.0))
+    }
+
+    /// Open a consumer session with an explicit consumption-ack id.
+    pub fn consumer_with_id(self: &Rc<Self>, id: &str) -> DyadConsumer {
         DyadConsumer {
             svc: self.clone(),
+            id: id.to_string(),
             warmed: false,
         }
     }
@@ -275,6 +299,7 @@ impl DyadService {
 /// Consumer-side session state for multi-protocol synchronization.
 pub struct DyadConsumer {
     svc: Rc<DyadService>,
+    id: String,
     warmed: bool,
 }
 
@@ -292,8 +317,8 @@ impl DyadConsumer {
         // --- Synchronization ------------------------------------------
         // Local presence first (single-node deployments): a flock probe
         // suffices once the producer shares our filesystem.
-        let local = svc.fs.exists(&path);
-        let meta = if local {
+        let mut data: Option<Payload> = None;
+        if svc.fs.exists(&path) {
             let f = rec.region("dyad_sync_flock");
             svc.fs
                 .flock(&path, LockKind::Shared)
@@ -304,13 +329,23 @@ impl DyadConsumer {
                 .await
                 .expect("funlock");
             f.end();
-            svc.inner.borrow_mut().stats.local_hits += 1;
-            self.warmed = true;
-            None
-        } else {
-            // Remote data: resolve the owner through the KVS.
+            // Node-local: direct read. Under staging, the evictor may
+            // retire or spill the frame between the probe and the read;
+            // a miss falls through to metadata resolution below.
+            let r = rec.region("read_single_buf");
+            data = try_read_local(&svc.fs, &path).await;
+            r.end();
+            if data.is_some() {
+                svc.inner.borrow_mut().stats.local_hits += 1;
+                self.warmed = true;
+            }
+        }
+
+        if data.is_none() {
+            // Remote (or evicted) data: resolve the owner through the
+            // KVS.
             let f = rec.region("dyad_fetch");
-            let meta;
+            let mut meta;
             if self.warmed && svc.spec.warm_sync {
                 // Warm path: data is normally already published — one
                 // cheap, non-blocking lookup.
@@ -337,64 +372,116 @@ impl DyadConsumer {
             }
             f.end();
             self.warmed = true;
-            Some(meta)
-        };
 
-        // --- Data movement --------------------------------------------
-        let data = match meta {
-            None => {
-                // Node-local: direct read.
-                let r = rec.region("read_single_buf");
-                let data = read_local(&svc.fs, &path).await;
-                r.end();
-                data
-            }
-            Some(meta) if meta.owner == svc.node => {
-                // Published by a producer on our own node.
-                let r = rec.region("read_single_buf");
-                let data = read_local(&svc.fs, &path).await;
-                r.end();
-                data
-            }
-            Some(meta) => {
-                // RDMA fetch from the owner's node-local storage.
-                let fetched = {
-                    let r = rec.region("dyad_get_data");
-                    let (_, data) = svc
-                        .ep
-                        .bulk_rpc(
-                            meta.owner,
-                            DYAD_AM,
-                            Bytes::copy_from_slice(path.as_bytes()),
-                            Vec::new(),
-                        )
-                        .await;
-                    r.end();
-                    data
-                };
-                // Stage into our node-local cache, with the same atomic
-                // rename publication (other consumer sessions on this
-                // node must never see a partial cache file).
-                {
-                    let s = rec.region("dyad_cons_store");
-                    svc.ensure_dirs(&path).await;
-                    let tmp = format!("{path}.tmp-{}", svc.node.0);
-                    let fd = svc.fs.create(&tmp).await.expect("managed dir");
-                    for seg in fetched {
-                        svc.fs.write_bytes(fd, seg).await.expect("store");
+            // --- Data movement ----------------------------------------
+            // The staging evictor can move a frame between our metadata
+            // read and the data fetch (NVMe → PFS on spill). The spill
+            // republishes metadata *before* unlinking the NVMe copy, so
+            // one re-lookup always observes the new location; the bound
+            // is a defensive backstop.
+            let mut attempts = 0;
+            let fetched = loop {
+                attempts += 1;
+                assert!(
+                    attempts <= 8,
+                    "frame {path} unresolvable (evicted mid-consume?)"
+                );
+                match meta.location {
+                    FrameLocation::Pfs => {
+                        // Spilled: fetch the PFS copy directly.
+                        let pfs = svc
+                            .staging
+                            .as_ref()
+                            .and_then(|st| st.pfs_client())
+                            .expect("spilled frame but no PFS client configured");
+                        let r = rec.region("dyad_pfs_fallback");
+                        let got = read_pfs(pfs, &path).await;
+                        r.end();
+                        if let Some(got) = got {
+                            if let Some(st) = &svc.staging {
+                                st.note_pfs_fallback();
+                            }
+                            break got;
+                        }
                     }
-                    svc.fs.close(fd).await.expect("close");
-                    svc.fs.rename(&tmp, &path).await.expect("cache rename");
-                    s.end();
+                    FrameLocation::Nvme if meta.owner == svc.node => {
+                        // Published by a producer on our own node.
+                        let r = rec.region("read_single_buf");
+                        let got = try_read_local(&svc.fs, &path).await;
+                        r.end();
+                        if let Some(got) = got {
+                            break got;
+                        }
+                    }
+                    FrameLocation::Nvme => {
+                        // RDMA fetch from the owner's node-local
+                        // storage. An empty payload means the owner no
+                        // longer holds the file (spilled underneath us).
+                        let r = rec.region("dyad_get_data");
+                        let (_, got) = svc
+                            .ep
+                            .bulk_rpc(
+                                meta.owner,
+                                DYAD_AM,
+                                Bytes::copy_from_slice(path.as_bytes()),
+                                Vec::new(),
+                            )
+                            .await;
+                        r.end();
+                        if transport::payload_len(&got) > 0 {
+                            // Stage into our node-local cache, with the
+                            // same atomic rename publication (other
+                            // consumer sessions on this node must never
+                            // see a partial cache file).
+                            let s = rec.region("dyad_cons_store");
+                            svc.ensure_dirs(&path).await;
+                            let tmp = format!("{path}.tmp-{}", svc.node.0);
+                            let fd = svc.fs.create(&tmp).await.expect("managed dir");
+                            let size = transport::payload_len(&got);
+                            for seg in got {
+                                svc.fs.write_bytes(fd, seg).await.expect("store");
+                            }
+                            svc.fs.close(fd).await.expect("close");
+                            svc.fs.rename(&tmp, &path).await.expect("cache rename");
+                            if let Some(st) = &svc.staging {
+                                st.cache_inserted(&path, size);
+                            }
+                            s.end();
+                            // Application read from the warm local cache.
+                            let r = rec.region("read_single_buf");
+                            let got = try_read_local(&svc.fs, &path).await;
+                            r.end();
+                            if let Some(got) = got {
+                                break got;
+                            }
+                        }
+                    }
                 }
-                // Application read from the warm local cache.
-                let r = rec.region("read_single_buf");
-                let data = read_local(&svc.fs, &path).await;
-                r.end();
-                data
-            }
-        };
+                // Re-read the metadata and try again at its new home.
+                let v = svc
+                    .kvs
+                    .lookup(&path)
+                    .await
+                    .unwrap_or_else(|| panic!("frame {path} retired before consume"));
+                meta = FrameMeta::decode(v.value);
+            };
+            data = Some(fetched);
+        }
+        let data = data.expect("consume resolved a payload");
         g.end();
+
+        // Publish the consumption ack asynchronously: retention cares,
+        // the application does not, so the commit must not add to the
+        // consume latency.
+        if let Some(st) = &svc.staging {
+            let st = st.clone();
+            let p = path.clone();
+            let id = self.id.clone();
+            svc.ctx.spawn(async move {
+                st.publish_ack(&p, &id).await;
+            });
+        }
+
         let size = transport::payload_len(&data);
         let mut inner = svc.inner.borrow_mut();
         inner.stats.consumes += 1;
@@ -410,11 +497,7 @@ impl DyadConsumer {
 
 /// The cold synchronization: a parked server-side watch by default, or
 /// client-side polling under the `cold_sync_poll` ablation.
-async fn cold_wait(
-    svc: &Rc<DyadService>,
-    rec: &Recorder,
-    path: &str,
-) -> kvs::VersionedValue {
+async fn cold_wait(svc: &Rc<DyadService>, rec: &Recorder, path: &str) -> kvs::VersionedValue {
     if svc.spec.cold_sync_poll {
         let (v, polls) = svc.kvs.wait_key_poll(path).await;
         rec.annotate("kvs_polls", polls as f64);
@@ -424,11 +507,22 @@ async fn cold_wait(
     }
 }
 
-async fn read_local(fs: &LocalFs, path: &str) -> Payload {
-    let fd = fs.open(path).await.expect("frame present");
-    let data = fs.read_segments(fd).await.expect("read");
+/// Read a whole local file; `None` when it vanished (staging eviction
+/// between probe and open — the orphaned-inode semantics in `localfs`
+/// cover an unlink *after* the open).
+async fn try_read_local(fs: &LocalFs, path: &str) -> Option<Payload> {
+    let fd = fs.open(path).await.ok()?;
+    let data = fs.read_segments(fd).await.ok()?;
     let _ = fs.close(fd).await;
-    data
+    Some(data)
+}
+
+/// Read a spilled frame's PFS copy; `None` when it is already retired.
+async fn read_pfs(pfs: &PfsClient, path: &str) -> Option<Payload> {
+    let fd = pfs.open(&staging::spill_path(path)).await.ok()?;
+    let data = pfs.read_segments(fd).await.ok()?;
+    let _ = pfs.close(fd).await;
+    Some(data)
 }
 
 #[cfg(test)]
@@ -497,9 +591,7 @@ mod tests {
         // Local path: flock sync, no fetch/store regions.
         assert!(profile.node(&["dyad_consume", "dyad_sync_flock"]).is_some());
         assert!(profile.node(&["dyad_consume", "dyad_get_data"]).is_none());
-        assert!(profile
-            .node(&["dyad_consume", "read_single_buf"])
-            .is_some());
+        assert!(profile.node(&["dyad_consume", "read_single_buf"]).is_some());
     }
 
     #[test]
@@ -520,7 +612,12 @@ mod tests {
         sim.run();
         let (ok, profile) = h.try_take().unwrap();
         assert!(ok);
-        for region in ["dyad_fetch", "dyad_get_data", "dyad_cons_store", "read_single_buf"] {
+        for region in [
+            "dyad_fetch",
+            "dyad_get_data",
+            "dyad_cons_store",
+            "read_single_buf",
+        ] {
             assert!(
                 profile.node(&["dyad_consume", region]).is_some(),
                 "missing {region}"
@@ -630,9 +727,7 @@ mod tests {
         let write = p
             .inclusive(&["dyad_produce", "dyad_prod_write"])
             .as_secs_f64();
-        let commit = p
-            .inclusive(&["dyad_produce", "dyad_commit"])
-            .as_secs_f64();
+        let commit = p.inclusive(&["dyad_produce", "dyad_commit"]).as_secs_f64();
         assert!(commit > 0.0);
         assert!((write + commit - total).abs() < 1e-9);
         let ratio = total / write;
@@ -662,6 +757,107 @@ mod tests {
         });
         sim.run();
         assert!(h.try_take().unwrap());
+    }
+
+    #[test]
+    fn consume_falls_back_to_pfs_after_spill() {
+        // Tight staging budget on the producer node: the evictor spills
+        // unconsumed frames to the PFS; a cross-node consumer must still
+        // get every frame bit-identical, via the KVS → RDMA → PFS
+        // fallback chain, and its acks must let frames retire.
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let cl = Cluster::build(&ctx, &ClusterSpec::corona(4));
+        let tp = Transport::new(&ctx, cl.fabric().clone(), TransportSpec::default());
+        let _kvs_server = KvsServer::start(&ctx, &tp, NodeId(0), KvsSpec::default());
+        let pfs = pfs::ParallelFs::start(
+            &ctx,
+            &tp,
+            NodeId(2),
+            vec![NodeId(3)],
+            pfs::PfsSpec::default(),
+        );
+        let frame_bytes = Model::Jac.frame_bytes();
+        let mk = |i: u32, budget: u64| {
+            let fs = LocalFs::new(
+                &ctx,
+                cl.node(NodeId(i)).nvme.clone(),
+                LocalFsSpec::default(),
+            );
+            let kc = KvsClient::new(&ctx, &tp, NodeId(i), NodeId(0), KvsSpec::default());
+            let sspec = staging::StagingSpec {
+                budget_bytes: budget,
+                low_watermark: 0.4,
+                high_watermark: 0.8,
+                ..staging::StagingSpec::default()
+            };
+            let mgr = staging::StagingManager::new(
+                &ctx,
+                NodeId(i),
+                fs.clone(),
+                kc.clone(),
+                Some(pfs.client(&ctx, NodeId(i))),
+                sspec,
+            );
+            mgr.spawn_evictor();
+            let svc = DyadService::start_staged(
+                &ctx,
+                &tp,
+                NodeId(i),
+                fs,
+                kc,
+                DyadSpec::default(),
+                Some(mgr.clone()),
+            );
+            (svc, mgr)
+        };
+        let (prod, pmgr) = mk(0, 2 * frame_bytes);
+        let (cons, cmgr) = mk(1, u64::MAX);
+        pmgr.register_consumer("/dyad/s", "c0");
+        {
+            let prod = prod.clone();
+            let ctx = sim.ctx();
+            sim.spawn(async move {
+                let rec = Recorder::new(&ctx);
+                for i in 0..4u64 {
+                    let (_, f) = frame(i);
+                    prod.produce(&rec, &format!("s/{i}"), f).await;
+                    ctx.sleep(SimDuration::from_millis(300)).await;
+                }
+            });
+        }
+        let ctx2 = sim.ctx();
+        let h = sim.spawn(async move {
+            // Start late so the evictor has had to spill.
+            ctx2.sleep(SimDuration::from_secs_f64(2.0)).await;
+            let rec = Recorder::new(&ctx2);
+            let mut session = cons.consumer_with_id("c0");
+            let mut all_ok = true;
+            for i in 0..4u64 {
+                let t = FrameTemplate::generate(Model::Jac, 5);
+                let got = session.consume(&rec, &format!("s/{i}")).await;
+                all_ok &= t.validate(&got, i);
+            }
+            all_ok
+        });
+        sim.run_until(SimTime::from_nanos(20_000_000_000));
+        assert_eq!(h.try_take(), Some(true), "corrupted or missing frame");
+        assert!(
+            pmgr.stats().spilled_frames >= 1,
+            "budget never forced a spill"
+        );
+        assert!(
+            cmgr.stats().pfs_fallbacks >= 1,
+            "no consume took the PFS fallback"
+        );
+        assert_eq!(cmgr.stats().acks_published, 4);
+        for r in pmgr.retire_log() {
+            assert_eq!(
+                r.acks_seen, r.required_acks,
+                "premature retire of {}",
+                r.path
+            );
+        }
     }
 
     #[test]
@@ -702,10 +898,7 @@ mod tests {
         // 10 fetches; the first ~one period (cold), the rest ~10 µs each.
         assert_eq!(fetch.count, 10);
         let total = fetch.inclusive.as_secs_f64();
-        assert!(
-            total < 0.12,
-            "sync cost {total}s — warm path not engaging"
-        );
+        assert!(total < 0.12, "sync cost {total}s — warm path not engaging");
         assert!(total > 0.09, "even the cold sync vanished: {total}s");
     }
 }

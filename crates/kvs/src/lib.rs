@@ -159,7 +159,8 @@ async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response {
             let mut st = store.borrow_mut();
             st.version += 1;
             let version = st.version;
-            st.map.insert(key.clone(), VersionedValue { version, value });
+            st.map
+                .insert(key.clone(), VersionedValue { version, value });
             st.stats.commits += 1;
             if let Some(n) = st.watches.remove(&key) {
                 n.notify_all();
@@ -438,9 +439,7 @@ mod tests {
         let ctx = sim.ctx();
         sim.spawn(async move {
             ctx.sleep(SimDuration::from_millis(50)).await;
-            producer
-                .commit("frame0", Bytes::from_static(b"meta"))
-                .await;
+            producer.commit("frame0", Bytes::from_static(b"meta")).await;
         });
         sim.run();
         let (t, v) = h.try_take().unwrap();

@@ -13,7 +13,7 @@
 //! the content is resident, otherwise the device.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
@@ -101,6 +101,20 @@ pub struct Stat {
     pub is_dir: bool,
     /// Number of extents backing the file.
     pub extents: usize,
+}
+
+/// Volume-level usage snapshot returned by [`LocalFs::statfs`] — the
+/// `statfs(2)`-style free-space query the staging watermark logic polls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatVfs {
+    /// Volume capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bytes not allocated to any extent.
+    pub free_bytes: u64,
+    /// Bytes allocated to file extents (block-granular).
+    pub used_bytes: u64,
+    /// Volume block size.
+    pub block_size: u64,
 }
 
 /// Aggregate filesystem statistics.
@@ -191,6 +205,37 @@ struct FsInner {
     alloc: ExtentAllocator,
     journal: Journal,
     stats: FsStats,
+    /// Blocks currently allocated to file extents, tracked independently
+    /// of the allocator so fsck can cross-check the two accountings.
+    used_blocks: u64,
+    /// Unlinked (or rename-replaced) inodes still referenced by an open
+    /// descriptor. POSIX semantics: the extents are freed only when the
+    /// last descriptor closes, so a concurrent reader — e.g. a consumer
+    /// mid-fetch while the staging evictor retires the frame — keeps a
+    /// consistent view of the data.
+    orphans: HashSet<Ino>,
+}
+
+impl FsInner {
+    /// Return extents to the allocator and the usage counter together.
+    fn free_extents(&mut self, extents: &[Extent]) {
+        self.used_blocks -= extents.iter().map(|e| e.len).sum::<u64>();
+        self.alloc.free(extents);
+    }
+
+    /// Drop an inode whose last name just went away: free immediately
+    /// when no descriptor references it, otherwise park it as an orphan
+    /// until the last [`LocalFs::close`].
+    fn remove_or_orphan(&mut self, ino: Ino) {
+        if self.fds.values().any(|of| of.ino == ino) {
+            self.orphans.insert(ino);
+            return;
+        }
+        let node = self.inodes.remove(&ino).unwrap();
+        if let InodeKind::File { extents, .. } = node.kind {
+            self.free_extents(&extents);
+        }
+    }
 }
 
 /// A node-local XFS-like filesystem bound to one NVMe device.
@@ -226,6 +271,8 @@ impl LocalFs {
                 alloc: ExtentAllocator::new(total_blocks, spec.ag_count),
                 journal: Journal::new(spec.journal_record_bytes),
                 stats: FsStats::default(),
+                used_blocks: 0,
+                orphans: HashSet::new(),
             })),
         }
     }
@@ -250,11 +297,33 @@ impl LocalFs {
         self.inner.borrow().alloc.free_blocks() * self.spec.block_size
     }
 
+    /// `statfs(2)`-style volume usage query. Zero sim-time cost: the
+    /// superblock counters are in memory, as on a real kernel, and the
+    /// staging watermark logic polls this on every admission check.
+    pub fn statvfs(&self) -> StatVfs {
+        let inner = self.inner.borrow();
+        StatVfs {
+            // Whole blocks only, like statvfs(2)'s f_blocks × f_frsize:
+            // a device tail smaller than one block is not allocatable.
+            capacity_bytes: (self.spec.capacity_bytes / self.spec.block_size)
+                * self.spec.block_size,
+            free_bytes: inner.alloc.free_blocks() * self.spec.block_size,
+            used_bytes: inner.used_blocks * self.spec.block_size,
+            block_size: self.spec.block_size,
+        }
+    }
+
+    /// [`LocalFs::statvfs`] as a syscall: charges one metadata-op CPU
+    /// cost, for callers modelling an actual `statfs(2)` round trip.
+    pub async fn statfs(&self) -> StatVfs {
+        self.ctx.sleep(self.spec.meta_cpu).await;
+        self.statvfs()
+    }
+
     /// Snapshot the structures fsck needs: per-inode entries, total
-    /// blocks, allocator-reported free blocks, and the block size.
-    pub(crate) fn fsck_snapshot(
-        &self,
-    ) -> (Vec<crate::fsck::FsckEntry>, u64, u64, u64) {
+    /// blocks, allocator-reported free blocks, the block size, and the
+    /// superblock's independent used-blocks counter.
+    pub(crate) fn fsck_snapshot(&self) -> (Vec<crate::fsck::FsckEntry>, u64, u64, u64, u64) {
         let inner = self.inner.borrow();
         let mut entries = Vec::new();
         // Reachability: which inodes do directory entries reference?
@@ -302,6 +371,7 @@ impl LocalFs {
             total_blocks,
             inner.alloc.free_blocks(),
             self.spec.block_size,
+            inner.used_blocks,
         )
     }
 
@@ -401,7 +471,7 @@ impl LocalFs {
                         InodeKind::Dir { .. } => return Err(FsError::IsDirectory),
                     }
                 };
-                inner.alloc.free(&freed);
+                inner.free_extents(&freed);
                 inner.journal.append(RecordKind::InodeUpdate);
                 ino
             }
@@ -491,6 +561,7 @@ impl LocalFs {
             let need_blocks = end.div_ceil(self.spec.block_size);
             if need_blocks > cur_blocks {
                 let new = inner.alloc.alloc(need_blocks - cur_blocks)?;
+                inner.used_blocks += need_blocks - cur_blocks;
                 let n_new = new.len();
                 match &mut inner.inodes.get_mut(&ino).unwrap().kind {
                     InodeKind::File { extents, .. } => extents.extend(new),
@@ -724,6 +795,15 @@ impl LocalFs {
         let was_write = {
             let mut inner = self.inner.borrow_mut();
             let of = inner.fds.remove(&fd).ok_or(FsError::BadDescriptor)?;
+            // Reap an orphaned inode once its last descriptor closes.
+            if inner.orphans.contains(&of.ino) && !inner.fds.values().any(|o| o.ino == of.ino) {
+                inner.orphans.remove(&of.ino);
+                let node = inner.inodes.remove(&of.ino).unwrap();
+                if let InodeKind::File { extents, .. } = node.kind {
+                    inner.free_extents(&extents);
+                }
+                inner.journal.append(RecordKind::ExtentMap);
+            }
             of.mode != OpenMode::Read
         };
         if was_write {
@@ -742,9 +822,7 @@ impl LocalFs {
         let ino = {
             let node = inner.inodes.get(&src_parent).ok_or(FsError::NotFound)?;
             match &node.kind {
-                InodeKind::Dir { children } => {
-                    *children.get(src_name).ok_or(FsError::NotFound)?
-                }
+                InodeKind::Dir { children } => *children.get(src_name).ok_or(FsError::NotFound)?,
                 InodeKind::File { .. } => return Err(FsError::NotDirectory),
             }
         };
@@ -766,10 +844,7 @@ impl LocalFs {
             if matches!(inner.inodes[&old].kind, InodeKind::Dir { .. }) {
                 return Err(FsError::IsDirectory);
             }
-            let node = inner.inodes.remove(&old).unwrap();
-            if let InodeKind::File { extents, .. } = node.kind {
-                inner.alloc.free(&extents);
-            }
+            inner.remove_or_orphan(old);
         }
         match &mut inner.inodes.get_mut(&src_parent).unwrap().kind {
             InodeKind::Dir { children } => {
@@ -796,9 +871,7 @@ impl LocalFs {
         let ino = {
             let node = inner.inodes.get(&parent).ok_or(FsError::NotFound)?;
             match &node.kind {
-                InodeKind::Dir { children } => {
-                    *children.get(name).ok_or(FsError::NotFound)?
-                }
+                InodeKind::Dir { children } => *children.get(name).ok_or(FsError::NotFound)?,
                 InodeKind::File { .. } => return Err(FsError::NotDirectory),
             }
         };
@@ -811,10 +884,7 @@ impl LocalFs {
             }
             InodeKind::File { .. } => unreachable!(),
         }
-        let node = inner.inodes.remove(&ino).unwrap();
-        if let InodeKind::File { extents, .. } = node.kind {
-            inner.alloc.free(&extents);
-        }
+        inner.remove_or_orphan(ino);
         inner.journal.append(RecordKind::DirEntry);
         inner.journal.append(RecordKind::ExtentMap);
         inner.stats.unlinks += 1;

@@ -34,6 +34,15 @@ pub enum FsckIssue {
         /// The missing inode number.
         ino: u64,
     },
+    /// The superblock's running used-blocks counter disagrees with the
+    /// sum of all inode extents (catches lost/double frees after
+    /// unlink-heavy workloads such as staging eviction).
+    UsageCounterMismatch {
+        /// Blocks the superblock counter reports used.
+        counter: u64,
+        /// Blocks actually claimed by inode extents.
+        extents: u64,
+    },
 }
 
 /// Result of a consistency check.
@@ -63,7 +72,8 @@ impl LocalFs {
     /// facility, not an I/O operation).
     pub fn fsck(&self) -> FsckReport {
         let mut report = FsckReport::default();
-        let (entries, total_blocks, allocator_free, block_size) = self.fsck_snapshot();
+        let (entries, total_blocks, allocator_free, block_size, used_counter) =
+            self.fsck_snapshot();
         report.files = entries.iter().filter(|e| !e.is_dir).count();
         report.dirs = entries.iter().filter(|e| e.is_dir).count();
 
@@ -75,7 +85,9 @@ impl LocalFs {
                 capacity += len * block_size;
                 for b in start..start + len {
                     if claimed.insert(b, e.ino).is_some() {
-                        report.issues.push(FsckIssue::OverlappingExtents { block: b });
+                        report
+                            .issues
+                            .push(FsckIssue::OverlappingExtents { block: b });
                     }
                 }
             }
@@ -98,6 +110,13 @@ impl LocalFs {
             report.issues.push(FsckIssue::FreeSpaceMismatch {
                 allocator_free,
                 implied_free,
+            });
+        }
+        // Superblock usage counter vs. the extents themselves.
+        if used_counter != report.used_blocks {
+            report.issues.push(FsckIssue::UsageCounterMismatch {
+                counter: used_counter,
+                extents: report.used_blocks,
             });
         }
         report
@@ -146,7 +165,9 @@ mod tests {
             for i in 0..10 {
                 let path = format!("/a/b/f{i}");
                 let fd = f2.create(&path).await.unwrap();
-                f2.write(fd, &vec![i as u8; 10_000 * (i + 1)]).await.unwrap();
+                f2.write(fd, &vec![i as u8; 10_000 * (i + 1)])
+                    .await
+                    .unwrap();
                 f2.close(fd).await.unwrap();
             }
             // Churn: delete some, rewrite others, append to one.
@@ -167,6 +188,57 @@ mod tests {
         let r = f.fsck();
         assert!(r.is_clean(), "{:?}", r.issues);
         assert_eq!(r.files, 5);
+    }
+
+    #[test]
+    fn statvfs_tracks_usage_through_unlink_churn() {
+        let sim = Sim::new(0);
+        let f = fs(&sim);
+        let f2 = f.clone();
+        sim.spawn(async move {
+            assert_eq!(f2.statvfs().used_bytes, 0);
+            for i in 0..32 {
+                let fd = f2.create(&format!("/x{i}")).await.unwrap();
+                f2.write(fd, &vec![1u8; 100_000]).await.unwrap();
+                f2.close(fd).await.unwrap();
+            }
+            let v = f2.statvfs();
+            // 100 000 B rounds up to 25 blocks of 4 KiB.
+            assert_eq!(v.used_bytes, 32 * 25 * 4096);
+            assert_eq!(v.free_bytes + v.used_bytes, v.capacity_bytes);
+            for i in 0..32 {
+                f2.unlink(&format!("/x{i}")).await.unwrap();
+            }
+            assert_eq!(f2.statvfs().used_bytes, 0);
+        });
+        sim.run();
+        assert!(f.fsck().is_clean());
+    }
+
+    #[test]
+    fn unlink_with_open_fd_defers_extent_free_until_close() {
+        let sim = Sim::new(0);
+        let f = fs(&sim);
+        let f2 = f.clone();
+        sim.spawn(async move {
+            let fd = f2.create("/victim").await.unwrap();
+            f2.write(fd, &vec![3u8; 40_960]).await.unwrap();
+            f2.close(fd).await.unwrap();
+            let rd = f2.open("/victim").await.unwrap();
+            // Evictor-style unlink while the reader holds a descriptor.
+            f2.unlink("/victim").await.unwrap();
+            assert!(!f2.exists("/victim"));
+            // Blocks stay allocated and the data stays readable.
+            assert_eq!(f2.statvfs().used_bytes, 40_960);
+            assert!(f2.fsck().is_clean(), "{:?}", f2.fsck().issues);
+            let data = f2.read_to_end(rd).await.unwrap();
+            assert_eq!(data.len(), 40_960);
+            f2.close(rd).await.unwrap();
+            // Last close reaps the orphan.
+            assert_eq!(f2.statvfs().used_bytes, 0);
+        });
+        sim.run();
+        assert!(f.fsck().is_clean(), "{:?}", f.fsck().issues);
     }
 
     #[cfg(test)]

@@ -26,7 +26,7 @@ mod journal;
 
 pub use alloc::{Extent, ExtentAllocator};
 pub use error::{FsError, FsResult};
-pub use fs::{Fd, FsStats, LocalFs, LocalFsSpec, LockKind, OpenMode, Stat};
+pub use fs::{Fd, FsStats, LocalFs, LocalFsSpec, LockKind, OpenMode, Stat, StatVfs};
 pub use fsck::{FsckIssue, FsckReport};
 pub use journal::{Journal, JournalStats, RecordKind};
 

@@ -46,7 +46,7 @@ impl CaptureHook {
     pub fn run(&mut self, engine: &mut MdEngine, steps: u64, sink: &mut dyn FrameSink) {
         for _ in 0..steps {
             engine.step();
-            if engine.step_count() % self.stride == 0 {
+            if engine.step_count().is_multiple_of(self.stride) {
                 sink.on_frame(engine.capture(self.model));
                 self.captured += 1;
             }

@@ -174,8 +174,8 @@ mod tests {
         // Positions are inside the synthetic box.
         let l = f.box_lengths[0] as f64;
         for p in f.positions.iter().take(100) {
-            for k in 0..3 {
-                assert!(p[k] >= 0.0 && p[k] <= l);
+            for c in p {
+                assert!(*c >= 0.0 && *c <= l);
             }
         }
     }

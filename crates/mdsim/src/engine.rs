@@ -103,8 +103,8 @@ impl MdEngine {
                 com[k] += v[k];
             }
         }
-        for k in 0..3 {
-            com[k] /= cfg.n_atoms as f64;
+        for c in &mut com {
+            *c /= cfg.n_atoms as f64;
         }
         for v in &mut vel {
             for k in 0..3 {
@@ -153,8 +153,8 @@ impl MdEngine {
     fn cell_index(&self, p: &[f64; 3]) -> usize {
         let n = self.cells_per_side;
         let mut idx = 0usize;
-        for k in 0..3 {
-            let mut c = ((p[k] / self.box_len) * n as f64).floor() as isize;
+        for coord in p {
+            let mut c = ((coord / self.box_len) * n as f64).floor() as isize;
             c = c.rem_euclid(n as isize);
             idx = idx * n + c as usize;
         }
@@ -266,13 +266,13 @@ impl MdEngine {
         if self.cfg.thermostat_tau > 0.0 {
             let t_now = self.temperature();
             if t_now > 1e-12 {
-                let lambda =
-                    (1.0 + dt / self.cfg.thermostat_tau * (self.cfg.temperature / t_now - 1.0))
-                        .max(0.0)
-                        .sqrt();
+                let lambda = (1.0
+                    + dt / self.cfg.thermostat_tau * (self.cfg.temperature / t_now - 1.0))
+                    .max(0.0)
+                    .sqrt();
                 for v in &mut self.vel {
-                    for k in 0..3 {
-                        v[k] *= lambda;
+                    for vk in v {
+                        *vk *= lambda;
                     }
                 }
             }
@@ -317,8 +317,8 @@ impl MdEngine {
                         continue;
                     }
                     let mut r2 = 0.0;
-                    for k in 0..3 {
-                        let mut d = pos[i][k] - pos[j][k];
+                    for (a, b) in pos[i].iter().zip(&pos[j]) {
+                        let mut d = a - b;
                         d -= box_len * (d / box_len).round();
                         r2 += d * d;
                     }

@@ -70,7 +70,8 @@ impl Frame {
     /// Serialize to wire bytes. The result is exactly
     /// [`Model::frame_bytes`] long.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity((HEADER_BYTES + ATOM_BYTES * self.ids.len() as u64) as usize);
+        let mut buf =
+            BytesMut::with_capacity((HEADER_BYTES + ATOM_BYTES * self.ids.len() as u64) as usize);
         buf.put_u64_le(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u32_le(self.model.id());

@@ -17,15 +17,15 @@
 #![warn(missing_docs)]
 
 mod capture;
-mod engine;
 mod emulator;
+mod engine;
 mod frame;
 mod models;
 mod neighbor;
 
 pub use capture::{CaptureHook, FrameSink};
-pub use engine::{EngineConfig, MdEngine};
 pub use emulator::{FrameTemplate, StepClock};
+pub use engine::{EngineConfig, MdEngine};
 pub use frame::{Frame, FrameError, FrameHeader, MAGIC, VERSION};
-pub use neighbor::VerletList;
 pub use models::{Model, ATOM_BYTES, HEADER_BYTES};
+pub use neighbor::VerletList;

@@ -136,12 +136,7 @@ impl PfsClient {
         MdsResponse::decode(self.ep.rpc(self.mds, MDS_AM, req.encode()).await)
     }
 
-    async fn oss_rpc(
-        &self,
-        ost: u32,
-        req: OssRequest,
-        payload: Payload,
-    ) -> (OssResponse, Payload) {
+    async fn oss_rpc(&self, ost: u32, req: OssRequest, payload: Payload) -> (OssResponse, Payload) {
         let node = self.ost_nodes[ost as usize];
         let (hdr, data) = self
             .ep
@@ -312,7 +307,7 @@ impl PfsClient {
             }
             let ropes = join_all(handles).await;
             h.await;
-            return ropes.into_iter().flatten().collect();
+            ropes.into_iter().flatten().collect()
         }
     }
 

@@ -348,9 +348,7 @@ impl OssResponse {
     pub fn decode(mut raw: Bytes) -> OssResponse {
         match raw.get_u8() {
             1 => OssResponse::Ok,
-            2 => OssResponse::Data {
-                len: raw.get_u64(),
-            },
+            2 => OssResponse::Data { len: raw.get_u64() },
             op => panic!("unknown oss response {op}"),
         }
     }

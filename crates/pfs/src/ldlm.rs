@@ -117,12 +117,7 @@ impl LdlmServer {
                 Box::pin(async move {
                     service.request(spec.service_time).await;
                     let (op, path) = decode_req(raw);
-                    let lock = state
-                        .borrow_mut()
-                        .locks
-                        .entry(path)
-                        .or_default()
-                        .clone();
+                    let lock = state.borrow_mut().locks.entry(path).or_default().clone();
                     match op {
                         OP_LOCK_PR | OP_LOCK_EX => {
                             let exclusive = op == OP_LOCK_EX;
@@ -208,7 +203,9 @@ impl LdlmClient {
             LockMode::ProtectedRead => OP_LOCK_PR,
             LockMode::Exclusive => OP_LOCK_EX,
         };
-        self.ep.rpc(self.server, LDLM_AM, encode_req(op, path)).await;
+        self.ep
+            .rpc(self.server, LDLM_AM, encode_req(op, path))
+            .await;
     }
 
     /// Release a previously granted lock.
@@ -217,7 +214,9 @@ impl LdlmClient {
             LockMode::ProtectedRead => OP_UNLOCK_PR,
             LockMode::Exclusive => OP_UNLOCK_EX,
         };
-        self.ep.rpc(self.server, LDLM_AM, encode_req(op, path)).await;
+        self.ep
+            .rpc(self.server, LDLM_AM, encode_req(op, path))
+            .await;
     }
 }
 

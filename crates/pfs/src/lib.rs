@@ -25,8 +25,8 @@ mod ldlm;
 mod server;
 
 pub use client::{PfsClient, PfsError, PfsFd};
-pub use ldlm::{LdlmClient, LdlmServer, LdlmSpec, LdlmStats, LockMode, LDLM_AM};
 pub use codec::{Layout, MdsRequest, MdsResponse, OssRequest, OssResponse};
+pub use ldlm::{LdlmClient, LdlmServer, LdlmSpec, LdlmStats, LockMode, LDLM_AM};
 pub use server::{MdsServer, MdsStats, OstServer, OstStats, PfsSpec, MDS_AM, OSS_AM_BASE};
 
 use cluster::NodeId;

@@ -442,9 +442,8 @@ impl OstServer {
             let write_bw = self.write_bw.clone();
             let read_bw = self.read_bw.clone();
             let ctx2 = ctx.clone();
-            let mut rng = ctx.rng(
-                0x1F57 ^ stream ^ ((self.index as u64) << 32) ^ ((s as u64) << 48),
-            );
+            let mut rng =
+                ctx.rng(0x1F57 ^ stream ^ ((self.index as u64) << 32) ^ ((s as u64) << 48));
             ctx.spawn(async move {
                 // Stagger stream start.
                 let lead: u64 = rng.random_range(0..20_000_000);
@@ -487,12 +486,20 @@ mod tests {
         let ep = tp.endpoint(NodeId(1));
         let h = sim.spawn(async move {
             let r1 = MdsResponse::decode(
-                ep.rpc(NodeId(0), MDS_AM, MdsRequest::Create { path: "/a".into() }.encode())
-                    .await,
+                ep.rpc(
+                    NodeId(0),
+                    MDS_AM,
+                    MdsRequest::Create { path: "/a".into() }.encode(),
+                )
+                .await,
             );
             let r2 = MdsResponse::decode(
-                ep.rpc(NodeId(0), MDS_AM, MdsRequest::Create { path: "/b".into() }.encode())
-                    .await,
+                ep.rpc(
+                    NodeId(0),
+                    MDS_AM,
+                    MdsRequest::Create { path: "/b".into() }.encode(),
+                )
+                .await,
             );
             (r1, r2)
         });

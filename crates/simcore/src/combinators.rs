@@ -36,11 +36,7 @@ impl std::error::Error for TimedOut {}
 /// sim.run();
 /// assert!(h.try_take().unwrap());
 /// ```
-pub fn timeout<F: Future>(
-    ctx: &Ctx,
-    deadline: SimDuration,
-    fut: F,
-) -> Timeout<F> {
+pub fn timeout<F: Future>(ctx: &Ctx, deadline: SimDuration, fut: F) -> Timeout<F> {
     Timeout {
         fut,
         sleep: ctx.sleep(deadline),
@@ -169,9 +165,7 @@ mod tests {
     #[test]
     fn race_ties_go_left() {
         let sim = Sim::new(0);
-        let h = sim.spawn(async move {
-            race(async { 1 }, async { 2 }).await
-        });
+        let h = sim.spawn(async move { race(async { 1 }, async { 2 }).await });
         sim.run();
         assert_eq!(h.try_take().unwrap(), Either::Left(1));
     }

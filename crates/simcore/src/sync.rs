@@ -590,7 +590,7 @@ mod tests {
         let sim = Sim::new(0);
         let (tx, rx) = oneshot::<u32>();
         let ctx = sim.ctx();
-        let h = sim.spawn(async move { rx.await });
+        let h = sim.spawn(rx);
         sim.spawn(async move {
             ctx.sleep(SimDuration::from_nanos(5)).await;
             tx.send(9).unwrap();
@@ -603,7 +603,7 @@ mod tests {
     fn oneshot_sender_drop_errors() {
         let sim = Sim::new(0);
         let (tx, rx) = oneshot::<u32>();
-        let h = sim.spawn(async move { rx.await });
+        let h = sim.spawn(rx);
         drop(tx);
         sim.run();
         assert_eq!(h.try_take().unwrap(), Err(RecvError));

@@ -257,7 +257,9 @@ mod tests {
         let evs = tracer.events();
         assert_eq!(evs.len(), 1);
         match &evs[0] {
-            TraceEvent::Span { start, end, name, .. } => {
+            TraceEvent::Span {
+                start, end, name, ..
+            } => {
                 assert_eq!(name, "write");
                 assert_eq!((*end - *start).micros(), 250);
             }

@@ -1,0 +1,685 @@
+//! # staging — bounded NVMe staging lifecycle management
+//!
+//! The paper's DYAD results assume every frame stays on node-local NVMe
+//! for the whole campaign. Corona's NVMe is 3.5 TB/node; an STMV
+//! campaign at 28.5 MiB/frame with 8 producer/consumer pairs per node
+//! (plus consumer-side cache copies) outgrows that within a few thousand
+//! frames. This crate adds the production concern the paper motivates
+//! but never ran: a per-node staged-data lifecycle manager sitting
+//! between `dyad` and `localfs`/`pfs`.
+//!
+//! Every staged frame moves through a lifecycle:
+//!
+//! ```text
+//! written → published → consumed-by-all-registered-consumers → retireable
+//! ```
+//!
+//! Consumption is tracked with **acknowledgement keys** committed through
+//! the same Flux-like [`kvs`] that carries frame metadata: consumer `c`
+//! acks frame `p` by committing `__staging/ack/c<p>`. A background
+//! **evictor** process (plain simulated time, one per node) enforces a
+//! configurable staging budget with low/high watermarks:
+//!
+//! * above the low watermark it *retires* fully-acked frames
+//!   (oldest-first), unlinking the local file, the KVS metadata, and the
+//!   ack keys;
+//! * if retirement cannot reach the low watermark it *spills*
+//!   still-needed frames to the Lustre-like [`pfs`], republishing their
+//!   metadata with [`FrameLocation::Pfs`] so consumer refetches fall
+//!   back KVS → NVMe-RDMA → PFS transparently;
+//! * producers exceeding the **high** watermark block in
+//!   [`StagingManager::admit`] until the evictor frees space
+//!   (backpressure), so the workflow degrades gracefully instead of
+//!   dying with `NoSpace`.
+//!
+//! Frame metadata ([`FrameMeta`]) lives here rather than in `dyad`
+//! because the evictor rewrites it on spill; `dyad` re-exports it.
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cluster::NodeId;
+use kvs::KvsClient;
+use localfs::LocalFs;
+use pfs::PfsClient;
+use simcore::sync::Notify;
+use simcore::{race, Ctx, SimDuration};
+
+/// Where a published frame's bytes currently live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameLocation {
+    /// On the owner's node-local NVMe (managed directory).
+    Nvme,
+    /// Spilled to (or written directly on) the parallel filesystem.
+    Pfs,
+}
+
+/// Frame metadata stored in the KVS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Node that produced the frame (and holds it while on NVMe).
+    pub owner: NodeId,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// Current home of the bytes.
+    pub location: FrameLocation,
+}
+
+impl FrameMeta {
+    /// Encode for the KVS value.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(13);
+        b.put_u32(self.owner.0);
+        b.put_u64(self.size);
+        b.put_u8(match self.location {
+            FrameLocation::Nvme => 0,
+            FrameLocation::Pfs => 1,
+        });
+        b.freeze()
+    }
+
+    /// Decode from a KVS value.
+    pub fn decode(mut raw: Bytes) -> FrameMeta {
+        let owner = NodeId(raw.get_u32());
+        let size = raw.get_u64();
+        let location = match raw.get_u8() {
+            0 => FrameLocation::Nvme,
+            _ => FrameLocation::Pfs,
+        };
+        FrameMeta {
+            owner,
+            size,
+            location,
+        }
+    }
+}
+
+/// What the evictor may do with staged frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetentionPolicy {
+    /// Never retire or spill — the unbounded baseline the paper ran.
+    KeepAll,
+    /// Retire/spill only under watermark pressure (default).
+    #[default]
+    WatermarkOnly,
+    /// Retire fully-acked frames on every evictor pass even without
+    /// pressure (minimises NVMe footprint; more KVS traffic).
+    EagerRetire,
+}
+
+impl RetentionPolicy {
+    /// Stable lowercase name (used in reports and CLI output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RetentionPolicy::KeepAll => "keep_all",
+            RetentionPolicy::WatermarkOnly => "watermark_only",
+            RetentionPolicy::EagerRetire => "eager_retire",
+        }
+    }
+}
+
+/// Staging-manager tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StagingSpec {
+    /// NVMe bytes the workflow may stage on this node. `u64::MAX`
+    /// means unbounded (watermarks never trigger).
+    pub budget_bytes: u64,
+    /// Fraction of the budget the evictor frees down to.
+    pub low_watermark: f64,
+    /// Fraction of the budget above which producers block.
+    pub high_watermark: f64,
+    /// Period of the background evictor pass.
+    pub evict_interval: SimDuration,
+    /// What the evictor may do.
+    pub retention: RetentionPolicy,
+}
+
+impl Default for StagingSpec {
+    fn default() -> Self {
+        StagingSpec {
+            budget_bytes: u64::MAX,
+            low_watermark: 0.7,
+            high_watermark: 0.9,
+            evict_interval: SimDuration::from_millis(200),
+            retention: RetentionPolicy::WatermarkOnly,
+        }
+    }
+}
+
+/// Why a frame is on this node's NVMe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Produced here; the KVS metadata points at this copy.
+    Produced,
+    /// Consumer-side cache copy of a remote frame; evictable without
+    /// acks (a refetch can always rebuild it).
+    Cache,
+}
+
+/// Lifecycle state of a tracked frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameState {
+    /// Bytes written to NVMe, metadata not yet committed.
+    Written,
+    /// Metadata committed; consumers can find it.
+    Published,
+    /// Moved to the PFS; local copy gone.
+    Spilled,
+}
+
+#[derive(Debug, Clone)]
+struct Staged {
+    path: String,
+    size: u64,
+    kind: FrameKind,
+    state: FrameState,
+    seq: u64,
+}
+
+/// One retirement decision, kept for auditing: the evictor must never
+/// remove a frame before every registered consumer acked it, and tests
+/// assert exactly that over this log.
+#[derive(Debug, Clone)]
+pub struct RetireRecord {
+    /// Managed path of the retired frame.
+    pub path: String,
+    /// Registered consumers covering this path at retirement time.
+    pub required_acks: usize,
+    /// Ack keys observed present.
+    pub acks_seen: usize,
+    /// True when the copy removed was a spilled PFS copy.
+    pub was_spilled: bool,
+}
+
+/// Counters exposed to `mdflow::report`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StagingStats {
+    /// Frames ever tracked (produced + cached).
+    pub frames_tracked: u64,
+    /// Bytes of tracked frames currently on NVMe.
+    pub staged_bytes: u64,
+    /// High-water mark of `staged_bytes`.
+    pub peak_staged_bytes: u64,
+    /// Fully-acked frames retired.
+    pub retired_frames: u64,
+    /// Bytes retired.
+    pub retired_bytes: u64,
+    /// Still-needed frames spilled to the PFS.
+    pub spilled_frames: u64,
+    /// Bytes spilled.
+    pub spilled_bytes: u64,
+    /// Consumer-side cache copies evicted.
+    pub cache_evictions: u64,
+    /// `admit` calls that blocked on the high watermark.
+    pub backpressure_stalls: u64,
+    /// Total time producers spent blocked.
+    pub backpressure_wait: SimDuration,
+    /// Consumer fetches served from the PFS after a spill.
+    pub pfs_fallbacks: u64,
+    /// Consumption acks committed through this manager.
+    pub acks_published: u64,
+}
+
+struct Inner {
+    frames: HashMap<String, Staged>,
+    /// Insertion order — eviction scans oldest-first.
+    order: BTreeMap<u64, String>,
+    next_seq: u64,
+    /// `(path prefix, consumer id)` registrations.
+    consumers: Vec<(String, String)>,
+    /// Bytes producers currently blocked in [`StagingManager::admit`]
+    /// are waiting to write — extra pressure the evictor must relieve.
+    pending_demand: u64,
+    stats: StagingStats,
+    retire_log: Vec<RetireRecord>,
+}
+
+/// Per-node staged-data lifecycle manager.
+///
+/// One per compute node; `dyad` calls into it on every produce/consume
+/// and the background evictor (see [`StagingManager::spawn_evictor`])
+/// enforces the budget.
+pub struct StagingManager {
+    ctx: Ctx,
+    node: NodeId,
+    fs: LocalFs,
+    kvs: KvsClient,
+    pfs: Option<PfsClient>,
+    spec: StagingSpec,
+    inner: RefCell<Inner>,
+    /// Producer hit the high watermark — wake the evictor early.
+    pressure: Notify,
+    /// Evictor freed space — wake blocked producers.
+    release: Notify,
+}
+
+/// The KVS key consumer `consumer` commits to ack frame `path`.
+pub fn ack_key(path: &str, consumer: &str) -> String {
+    // `path` starts with '/', giving "__staging/ack/<consumer>/<path>".
+    format!("__staging/ack/{consumer}{path}")
+}
+
+/// Where frame `path` lives on the PFS after a spill.
+pub fn spill_path(path: &str) -> String {
+    format!("/spill{path}")
+}
+
+impl StagingManager {
+    /// Create a manager for `node`. `pfs` enables spilling; without it
+    /// the evictor can only retire fully-acked frames.
+    pub fn new(
+        ctx: &Ctx,
+        node: NodeId,
+        fs: LocalFs,
+        kvs: KvsClient,
+        pfs: Option<PfsClient>,
+        spec: StagingSpec,
+    ) -> Rc<StagingManager> {
+        assert!(
+            spec.low_watermark <= spec.high_watermark,
+            "low watermark above high"
+        );
+        Rc::new(StagingManager {
+            ctx: ctx.clone(),
+            node,
+            fs,
+            kvs,
+            pfs,
+            spec,
+            inner: RefCell::new(Inner {
+                frames: HashMap::new(),
+                order: BTreeMap::new(),
+                next_seq: 0,
+                consumers: Vec::new(),
+                pending_demand: 0,
+                stats: StagingStats::default(),
+                retire_log: Vec::new(),
+            }),
+            pressure: Notify::new(),
+            release: Notify::new(),
+        })
+    }
+
+    /// The node this manager serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The spec the manager was built with.
+    pub fn spec(&self) -> StagingSpec {
+        self.spec
+    }
+
+    /// The PFS client used for spills/fallback fetches, if any.
+    pub fn pfs_client(&self) -> Option<&PfsClient> {
+        self.pfs.as_ref()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StagingStats {
+        self.inner.borrow().stats
+    }
+
+    /// The audit log of every retirement decision.
+    pub fn retire_log(&self) -> Vec<RetireRecord> {
+        self.inner.borrow().retire_log.clone()
+    }
+
+    /// Whether a finite budget is being enforced.
+    pub fn is_bounded(&self) -> bool {
+        self.spec.budget_bytes != u64::MAX && self.spec.retention != RetentionPolicy::KeepAll
+    }
+
+    fn high_bytes(&self) -> u64 {
+        (self.spec.budget_bytes as f64 * self.spec.high_watermark) as u64
+    }
+
+    fn low_bytes(&self) -> u64 {
+        (self.spec.budget_bytes as f64 * self.spec.low_watermark) as u64
+    }
+
+    /// Declare that `consumer` will consume every frame under `prefix`.
+    /// The evictor refuses to retire such frames until the consumer's
+    /// ack key appears.
+    pub fn register_consumer(&self, prefix: &str, consumer: &str) {
+        self.inner
+            .borrow_mut()
+            .consumers
+            .push((prefix.to_string(), consumer.to_string()));
+    }
+
+    /// Consumer ids registered for `path`.
+    pub fn consumers_for(&self, path: &str) -> Vec<String> {
+        self.inner
+            .borrow()
+            .consumers
+            .iter()
+            .filter(|(p, _)| path.starts_with(p.as_str()))
+            .map(|(_, c)| c.clone())
+            .collect()
+    }
+
+    /// True when admitting `incoming` bytes would cross the high
+    /// watermark (cheap, non-blocking — callers use it to decide
+    /// whether to open a backpressure instrumentation region).
+    pub fn would_block(&self, incoming: u64) -> bool {
+        self.is_bounded() && self.fs.statvfs().used_bytes + incoming > self.high_bytes()
+    }
+
+    /// Has any tracked frame still on local NVMe (i.e. could an evictor
+    /// pass possibly free space)?
+    fn has_local_frames(&self) -> bool {
+        self.inner
+            .borrow()
+            .frames
+            .values()
+            .any(|f| f.state != FrameState::Spilled)
+    }
+
+    /// Producer-side admission control: block while staging `incoming`
+    /// more bytes would exceed the high watermark, waking the evictor
+    /// and waiting for it to free space. Guarantees progress: when no
+    /// tracked frame remains on NVMe there is nothing the evictor could
+    /// free, so the write is admitted (it may still hit `NoSpace` at
+    /// the filesystem, exactly as a real over-committed node would).
+    pub async fn admit(&self, incoming: u64) {
+        if !self.is_bounded() {
+            return;
+        }
+        let mut stalled = false;
+        let start = self.ctx.now();
+        loop {
+            let used = self.fs.statvfs().used_bytes;
+            if used + incoming <= self.high_bytes() || !self.has_local_frames() {
+                break;
+            }
+            if !stalled {
+                stalled = true;
+                let mut inner = self.inner.borrow_mut();
+                inner.stats.backpressure_stalls += 1;
+                // Publish the demand so the evictor can see pressure
+                // even when current usage sits below the low watermark
+                // (small budgets: one frame can span the whole
+                // low..high hysteresis band).
+                inner.pending_demand += incoming;
+            }
+            self.pressure.notify_all();
+            // Wake on release, or re-check after one evictor period in
+            // case the pass could not reach the watermark.
+            race(
+                self.release.wait(),
+                self.ctx.sleep(self.spec.evict_interval),
+            )
+            .await;
+        }
+        if stalled {
+            let waited = self.ctx.now() - start;
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.backpressure_wait += waited;
+            inner.pending_demand -= incoming;
+        }
+    }
+
+    fn track(&self, path: &str, size: u64, kind: FrameKind, state: FrameState) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.frames.contains_key(path) {
+            return; // idempotent (refetch of an evicted cache copy)
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.order.insert(seq, path.to_string());
+        inner.frames.insert(
+            path.to_string(),
+            Staged {
+                path: path.to_string(),
+                size,
+                kind,
+                state,
+                seq,
+            },
+        );
+        inner.stats.frames_tracked += 1;
+        inner.stats.staged_bytes += size;
+        inner.stats.peak_staged_bytes = inner.stats.peak_staged_bytes.max(inner.stats.staged_bytes);
+    }
+
+    /// A producer finished writing `path` (post-rename, pre-commit).
+    pub fn frame_written(&self, path: &str, size: u64) {
+        self.track(path, size, FrameKind::Produced, FrameState::Written);
+    }
+
+    /// The frame's KVS metadata was committed — it is now visible to
+    /// consumers and enters the retention lifecycle.
+    pub fn frame_published(&self, path: &str) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(f) = inner.frames.get_mut(path) {
+            if f.state == FrameState::Written {
+                f.state = FrameState::Published;
+            }
+        }
+    }
+
+    /// A consumer-side cache copy of a remote frame landed on this
+    /// node's NVMe. Tracked as [`FrameKind::Cache`]: evictable without
+    /// acks once the budget tightens.
+    pub fn cache_inserted(&self, path: &str, size: u64) {
+        self.track(path, size, FrameKind::Cache, FrameState::Published);
+    }
+
+    /// Commit the consumption acknowledgement for (`path`, `consumer`).
+    pub async fn publish_ack(&self, path: &str, consumer: &str) {
+        self.kvs
+            .commit(&ack_key(path, consumer), Bytes::from_static(b"1"))
+            .await;
+        self.inner.borrow_mut().stats.acks_published += 1;
+    }
+
+    /// Note a consumer fetch that fell back to the PFS copy.
+    pub fn note_pfs_fallback(&self) {
+        self.inner.borrow_mut().stats.pfs_fallbacks += 1;
+    }
+
+    /// Spawn the background evictor: a per-node process in simulated
+    /// time that runs a pass every `evict_interval`, or sooner when a
+    /// producer signals watermark pressure. Runs for the lifetime of
+    /// the simulation (drive it with `run_until`, as the runner does).
+    pub fn spawn_evictor(self: &Rc<Self>) {
+        if self.spec.retention == RetentionPolicy::KeepAll {
+            return;
+        }
+        let mgr = self.clone();
+        let ctx = self.ctx.clone();
+        self.ctx.spawn(async move {
+            loop {
+                race(ctx.sleep(mgr.spec.evict_interval), mgr.pressure.wait()).await;
+                mgr.evict_pass().await;
+            }
+        });
+    }
+
+    /// How many acks are present for `path` right now.
+    async fn count_acks(&self, path: &str) -> (usize, usize) {
+        let consumers = self.consumers_for(path);
+        let mut seen = 0;
+        for c in &consumers {
+            if self.kvs.lookup(&ack_key(path, c)).await.is_some() {
+                seen += 1;
+            }
+        }
+        (seen, consumers.len())
+    }
+
+    /// Remove every trace of a fully-consumed frame: the data copy
+    /// (NVMe or PFS), the KVS metadata, and the ack keys.
+    async fn retire(&self, frame: &Staged, acks_seen: usize, required: usize) {
+        match frame.state {
+            FrameState::Spilled => {
+                if let Some(pfs) = &self.pfs {
+                    let _ = pfs.unlink(&spill_path(&frame.path)).await;
+                }
+            }
+            _ => {
+                let _ = self.fs.unlink(&frame.path).await;
+            }
+        }
+        if frame.kind == FrameKind::Produced {
+            self.kvs.unlink(&frame.path).await;
+            for c in self.consumers_for(&frame.path) {
+                self.kvs.unlink(&ack_key(&frame.path, &c)).await;
+            }
+        }
+        let mut inner = self.inner.borrow_mut();
+        let was_spilled = frame.state == FrameState::Spilled;
+        if !was_spilled {
+            inner.stats.staged_bytes -= frame.size;
+        }
+        inner.stats.retired_frames += 1;
+        inner.stats.retired_bytes += frame.size;
+        inner.retire_log.push(RetireRecord {
+            path: frame.path.clone(),
+            required_acks: required,
+            acks_seen,
+            was_spilled,
+        });
+        inner.order.remove(&frame.seq);
+        inner.frames.remove(&frame.path);
+    }
+
+    /// Move a still-needed frame to the PFS and republish its metadata
+    /// so consumer refetches find it there.
+    async fn spill(&self, frame: &Staged) -> bool {
+        let Some(pfs) = &self.pfs else { return false };
+        let Ok(fd) = self.fs.open(&frame.path).await else {
+            return false;
+        };
+        let segs = self.fs.read_segments(fd).await.unwrap_or_default();
+        let _ = self.fs.close(fd).await;
+        let spath = spill_path(&frame.path);
+        let Ok(sfd) = pfs.create(&spath).await else {
+            return false;
+        };
+        if pfs.write_segments(sfd, segs).await.is_err() {
+            let _ = pfs.close(sfd).await;
+            return false;
+        }
+        let _ = pfs.close(sfd).await;
+        // Republish before unlinking the local copy: a consumer that
+        // reads the updated metadata goes straight to the PFS; one that
+        // raced ahead with the old metadata gets a not-found from the
+        // owner's data service and retries through the KVS.
+        let meta = FrameMeta {
+            owner: self.node,
+            size: frame.size,
+            location: FrameLocation::Pfs,
+        };
+        self.kvs.commit(&frame.path, meta.encode()).await;
+        let _ = self.fs.unlink(&frame.path).await;
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.staged_bytes -= frame.size;
+        inner.stats.spilled_frames += 1;
+        inner.stats.spilled_bytes += frame.size;
+        if let Some(f) = inner.frames.get_mut(&frame.path) {
+            f.state = FrameState::Spilled;
+        }
+        true
+    }
+
+    /// Drop a consumer-side cache copy (rebuildable via refetch).
+    async fn evict_cache(&self, frame: &Staged) {
+        let _ = self.fs.unlink(&frame.path).await;
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.staged_bytes -= frame.size;
+        inner.stats.cache_evictions += 1;
+        inner.order.remove(&frame.seq);
+        inner.frames.remove(&frame.path);
+    }
+
+    /// Oldest-first snapshot of frames currently on local NVMe.
+    fn local_frames_oldest_first(&self) -> Vec<Staged> {
+        let inner = self.inner.borrow();
+        inner
+            .order
+            .values()
+            .filter_map(|p| inner.frames.get(p))
+            .filter(|f| f.state != FrameState::Spilled)
+            .cloned()
+            .collect()
+    }
+
+    /// One evictor pass: retire fully-acked frames first, then spill
+    /// (or drop cache copies of) still-needed ones until usage reaches
+    /// the low watermark.
+    pub async fn evict_pass(&self) {
+        let eager = self.spec.retention == RetentionPolicy::EagerRetire;
+        let bounded = self.is_bounded();
+        // Pressure = usage above the low watermark, or blocked
+        // producers whose pending writes would cross the high one (a
+        // tight budget can block a producer while usage still sits
+        // below low — the demand term closes that livelock).
+        let demand = self.inner.borrow().pending_demand;
+        let under_pressure = |used: u64| {
+            bounded && (used > self.low_bytes() || used.saturating_add(demand) > self.high_bytes())
+        };
+
+        let used0 = self.fs.statvfs().used_bytes;
+        if !eager && !under_pressure(used0) {
+            return;
+        }
+
+        // Phase 1 — retirement: published, fully-acked frames go first.
+        for frame in self.local_frames_oldest_first() {
+            let used = self.fs.statvfs().used_bytes;
+            if !eager && !under_pressure(used) {
+                break;
+            }
+            if frame.state != FrameState::Published {
+                continue;
+            }
+            match frame.kind {
+                FrameKind::Produced => {
+                    let (seen, required) = self.count_acks(&frame.path).await;
+                    if required > 0 && seen == required {
+                        self.retire(&frame, seen, required).await;
+                    }
+                }
+                FrameKind::Cache => {
+                    // Cache copies already served their consumer at
+                    // least once only if acked by this node's own
+                    // consumers — without that knowledge, treat them
+                    // as pressure-only evictable (phase 2).
+                }
+            }
+        }
+
+        // Phase 2 — pressure relief: drop cache copies, then spill
+        // still-needed produced frames to the PFS.
+        if bounded {
+            for frame in self.local_frames_oldest_first() {
+                if !under_pressure(self.fs.statvfs().used_bytes) {
+                    break;
+                }
+                match frame.kind {
+                    FrameKind::Cache => self.evict_cache(&frame).await,
+                    FrameKind::Produced => {
+                        if frame.state == FrameState::Published {
+                            self.spill(&frame).await;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Unblock producers once below the high watermark (hysteresis:
+        // the pass above aims for low, producers re-check against high).
+        if !bounded || self.fs.statvfs().used_bytes <= self.high_bytes() {
+            self.release.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

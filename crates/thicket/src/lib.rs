@@ -102,7 +102,11 @@ impl Ensemble {
                 let var = if acc.inclusive.len() < 2 {
                     0.0
                 } else {
-                    acc.inclusive.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+                    acc.inclusive
+                        .iter()
+                        .map(|x| (x - mean).powi(2))
+                        .sum::<f64>()
+                        / (n - 1.0)
                 };
                 let stats = PathStats {
                     appearances: acc.inclusive.len() as u64,
@@ -339,10 +343,8 @@ mod tests {
         let ctx = sim.ctx();
         let rec = Recorder::new(&ctx);
         let rec2 = rec.clone();
-        let regions: Vec<(String, u64)> = regions
-            .iter()
-            .map(|(n, u)| (n.to_string(), *u))
-            .collect();
+        let regions: Vec<(String, u64)> =
+            regions.iter().map(|(n, u)| (n.to_string(), *u)).collect();
         let ctx2 = ctx.clone();
         sim.spawn(async move {
             for (name, us) in regions {
@@ -438,10 +440,9 @@ mod tests {
 
     #[test]
     fn compare_aligns_paths_and_computes_ratios() {
-        let a = Ensemble::from_profiles(vec![profile_with(&[("io", 10), ("sync", 5)])])
-            .aggregate();
-        let b = Ensemble::from_profiles(vec![profile_with(&[("io", 30), ("extra", 1)])])
-            .aggregate();
+        let a = Ensemble::from_profiles(vec![profile_with(&[("io", 10), ("sync", 5)])]).aggregate();
+        let b =
+            Ensemble::from_profiles(vec![profile_with(&[("io", 30), ("extra", 1)])]).aggregate();
         let rows = a.compare(&b);
         let io = rows.iter().find(|r| r.path == "io").unwrap();
         assert!((io.ratio - 3.0).abs() < 1e-9);

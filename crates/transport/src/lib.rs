@@ -267,10 +267,7 @@ impl Endpoint {
         } else {
             // Rendezvous: RTS header now; the receiver RDMA-reads the
             // payload and FINs. `done` resolves at FIN.
-            self.tp
-                .fabric
-                .send(self.node, dst, spec.header_bytes)
-                .await;
+            self.tp.fabric.send(self.node, dst, spec.header_bytes).await;
             let (done_tx, done_rx) = oneshot();
             deliver_send(
                 &self.tp,
@@ -588,7 +585,7 @@ mod tests {
         // Two fabric messages, each 1 µs overhead + 3 µs wire + 64 B
         // payload streaming (16 ns at 4 GB/s each).
         let t = h.try_take().unwrap();
-        assert!(t >= 8_000 && t < 9_000, "took {t} ns");
+        assert!((8_000..9_000).contains(&t), "took {t} ns");
     }
 
     #[test]
@@ -641,8 +638,9 @@ mod tests {
         tp.register_bulk(
             NodeId(1),
             AmId(10),
-            Rc::new(|_h, p| Box::pin(async move { (Bytes::new(), p) })
-                as LocalBoxFuture<(Bytes, Payload)>),
+            Rc::new(|_h, p| {
+                Box::pin(async move { (Bytes::new(), p) }) as LocalBoxFuture<(Bytes, Payload)>
+            }),
         );
         let rx_ep = tp.endpoint(NodeId(1));
         sim.spawn(async move {
@@ -651,11 +649,18 @@ mod tests {
         });
         let ep = tp.endpoint(NodeId(0));
         sim.spawn(async move {
-            ep.tag_send(NodeId(1), Tag(1), Bytes::from(vec![0u8; 100])).await;
-            ep.tag_send(NodeId(1), Tag(2), Bytes::from(vec![0u8; 100_000])).await;
-            ep.rpc(NodeId(1), AmId(9), Bytes::new()).await;
-            ep.bulk_rpc(NodeId(1), AmId(10), Bytes::new(), vec![Bytes::from(vec![1u8; 500])])
+            ep.tag_send(NodeId(1), Tag(1), Bytes::from(vec![0u8; 100]))
                 .await;
+            ep.tag_send(NodeId(1), Tag(2), Bytes::from(vec![0u8; 100_000]))
+                .await;
+            ep.rpc(NodeId(1), AmId(9), Bytes::new()).await;
+            ep.bulk_rpc(
+                NodeId(1),
+                AmId(10),
+                Bytes::new(),
+                vec![Bytes::from(vec![1u8; 500])],
+            )
+            .await;
         });
         assert!(sim.run().is_clean());
         let st = tp.stats();
@@ -685,7 +690,11 @@ mod tests {
             let tx_ep = tp.endpoint(NodeId(0));
             sim.spawn(async move {
                 tx_ep
-                    .tag_send(NodeId(dst), Tag(dst as u64), Bytes::from(vec![0u8; 400_000_000]))
+                    .tag_send(
+                        NodeId(dst),
+                        Tag(dst as u64),
+                        Bytes::from(vec![0u8; 400_000_000]),
+                    )
                     .await;
             });
         }

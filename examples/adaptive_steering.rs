@@ -25,7 +25,10 @@ fn main() {
         ..SteeringConfig::default()
     };
 
-    println!("running {} free trajectories ({} frames max)...", base.pairs, base.max_frames);
+    println!(
+        "running {} free trajectories ({} frames max)...",
+        base.pairs, base.max_frames
+    );
     let free = run_steering(&base, &cal, 11);
 
     // Pick a mid-distribution threshold from the free run so trajectories
@@ -48,7 +51,10 @@ fn main() {
     };
     let steered = run_steering(&steered_cfg, &cal, 11);
 
-    println!("{:<6} {:>12} {:>12} {:>12}", "pair", "free frames", "steered", "trigger@");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12}",
+        "pair", "free frames", "steered", "trigger@"
+    );
     let mut saved = 0u64;
     for (f, s) in free.iter().zip(&steered) {
         println!(

@@ -54,8 +54,12 @@ fn main() {
             let rec = Recorder::new(&ctx2);
             for frame in 0..FRAMES {
                 ctx2.sleep(period).await;
-                svc.produce(&rec, &format!("traj/f{frame}"), template.frame_segments(frame))
-                    .await;
+                svc.produce(
+                    &rec,
+                    &format!("traj/f{frame}"),
+                    template.frame_segments(frame),
+                )
+                .await;
             }
         });
     }
@@ -98,9 +102,7 @@ fn main() {
         let fetch = profile
             .inclusive(&["dyad_consume", "dyad_fetch"])
             .as_millis_f64();
-        println!(
-            "  consumer {c}: dyad_consume {consume:8.3} ms total (sync {fetch:7.3} ms)"
-        );
+        println!("  consumer {c}: dyad_consume {consume:8.3} ms total (sync {fetch:7.3} ms)");
         ens.push(profile);
     }
     let agg = ens.aggregate();

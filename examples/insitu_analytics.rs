@@ -34,7 +34,11 @@ fn main() {
     hook.run(&mut engine, 600, &mut |f: Frame| {
         wire_frames.push(f.encode());
     });
-    println!("captured {} frames ({} B each)", wire_frames.len(), wire_frames[0].len());
+    println!(
+        "captured {} frames ({} B each)",
+        wire_frames.len(),
+        wire_frames[0].len()
+    );
 
     // Consumer side: deserialize + analyze, frame by frame.
     let mut pipeline = Pipeline::new(60, 1.7);

@@ -11,10 +11,8 @@ use mdflow::prelude::*;
 fn main() {
     // 2 producer-consumer pairs on one node, 32 JAC frames, 3 reps.
     let scale = |solution| {
-        StudyConfig::paper(
-            WorkflowConfig::new(solution, 2, Placement::SingleNode).with_frames(32),
-        )
-        .with_repetitions(3)
+        StudyConfig::paper(WorkflowConfig::new(solution, 2, Placement::SingleNode).with_frames(32))
+            .with_repetitions(3)
     };
 
     println!("running DYAD...");
@@ -40,6 +38,10 @@ fn main() {
         xfs.consumption_total() / dyad.consumption_total(),
     );
     let check = mdflow::findings::finding1(&dyad, &xfs);
-    assert!(check.holds, "Finding 1 did not reproduce: {}", check.evidence);
+    assert!(
+        check.holds,
+        "Finding 1 did not reproduce: {}",
+        check.evidence
+    );
     println!("Finding 1 reproduced ✓");
 }

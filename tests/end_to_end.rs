@@ -49,12 +49,10 @@ fn runs_are_deterministic_across_repetition() {
 #[test]
 fn dyad_pipelines_while_manual_sync_serializes() {
     let frames = 8;
-    let dyad = quick(
-        WorkflowConfig::new(Solution::Dyad, 1, Placement::SingleNode).with_frames(frames),
-    );
-    let xfs = quick(
-        WorkflowConfig::new(Solution::Xfs, 1, Placement::SingleNode).with_frames(frames),
-    );
+    let dyad =
+        quick(WorkflowConfig::new(Solution::Dyad, 1, Placement::SingleNode).with_frames(frames));
+    let xfs =
+        quick(WorkflowConfig::new(Solution::Xfs, 1, Placement::SingleNode).with_frames(frames));
     // DYAD: ~1 period per frame. Coarse manual sync: ~2 periods.
     let period = 0.82;
     assert!(
@@ -71,9 +69,7 @@ fn dyad_pipelines_while_manual_sync_serializes() {
 
 #[test]
 fn consumption_idle_equals_frame_period_for_manual_sync() {
-    let xfs = quick(
-        WorkflowConfig::new(Solution::Xfs, 1, Placement::SingleNode).with_frames(8),
-    );
+    let xfs = quick(WorkflowConfig::new(Solution::Xfs, 1, Placement::SingleNode).with_frames(8));
     let idle = xfs.consumption_idle.mean;
     assert!(
         (0.7..1.0).contains(&idle),
@@ -110,7 +106,10 @@ fn larger_models_move_more_slowly_but_sublinearly() {
     );
     let time_ratio = stmv.consumption_movement.mean / jac.consumption_movement.mean;
     let data_ratio = Model::Stmv.frame_bytes() as f64 / Model::Jac.frame_bytes() as f64;
-    assert!(time_ratio > 5.0, "bigger frames must cost more: {time_ratio}");
+    assert!(
+        time_ratio > 5.0,
+        "bigger frames must cost more: {time_ratio}"
+    );
     assert!(
         time_ratio < data_ratio,
         "movement should scale sublinearly (fixed overheads amortize): \
@@ -120,9 +119,7 @@ fn larger_models_move_more_slowly_but_sublinearly() {
 
 #[test]
 fn study_report_statistics_are_consistent() {
-    let r = quick(
-        WorkflowConfig::new(Solution::Dyad, 2, Placement::SingleNode).with_frames(4),
-    );
+    let r = quick(WorkflowConfig::new(Solution::Dyad, 2, Placement::SingleNode).with_frames(4));
     assert_eq!(r.runs.len(), 2);
     for run in &r.runs {
         assert!(run.production.movement > 0.0);
@@ -144,8 +141,7 @@ fn traced_runs_produce_per_process_timelines() {
     assert_eq!(metrics.producers.len(), 2);
     assert!(!tracer.is_empty());
     let events = tracer.events();
-    let tracks: std::collections::HashSet<&str> =
-        events.iter().map(|e| e.track()).collect();
+    let tracks: std::collections::HashSet<&str> = events.iter().map(|e| e.track()).collect();
     for expected in [
         "producer-000",
         "producer-001",

@@ -89,7 +89,10 @@ fn pfs_client_errors_on_unknown_paths_and_bad_fds() {
         assert_eq!(c.close(fd).await.unwrap_err(), PfsError::BadDescriptor);
         // Writing through a read-only descriptor.
         let fd = c.open("/f").await.unwrap();
-        assert_eq!(c.write(fd, b"x").await.unwrap_err(), PfsError::BadDescriptor);
+        assert_eq!(
+            c.write(fd, b"x").await.unwrap_err(),
+            PfsError::BadDescriptor
+        );
         true
     });
     sim.run();
@@ -147,7 +150,9 @@ fn slow_producer_forces_cold_fallbacks_but_no_data_loss() {
             for i in 0..5u64 {
                 // Slow producer: 50 ms per frame.
                 ctx.sleep(SimDuration::from_millis(50)).await;
-                prod2.produce(&rec, &format!("s/{i}"), t.frame_segments(i)).await;
+                prod2
+                    .produce(&rec, &format!("s/{i}"), t.frame_segments(i))
+                    .await;
             }
         });
     }

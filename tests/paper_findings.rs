@@ -54,9 +54,7 @@ fn finding3_dyad_wins_at_scale() {
 
 #[test]
 fn finding4_gap_grows_with_model_size() {
-    let split = Placement::Split {
-        pairs_per_node: 16,
-    };
+    let split = Placement::Split { pairs_per_node: 16 };
     let mut by_model = Vec::new();
     for model in [Model::Jac, Model::Stmv] {
         let dyad = study(
@@ -75,9 +73,7 @@ fn finding4_gap_grows_with_model_size() {
 
 #[test]
 fn finding5_sync_dominates_at_low_frequency() {
-    let split = Placement::Split {
-        pairs_per_node: 16,
-    };
+    let split = Placement::Split { pairs_per_node: 16 };
     let mut by_stride = Vec::new();
     for stride in [1u64, 50] {
         let dyad = study(

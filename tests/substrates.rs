@@ -145,7 +145,7 @@ fn kvs_watch_synchronizes_across_transport() {
     });
     assert!(r.sim.run().is_clean());
     let (t, v) = h.try_take().unwrap();
-    assert!(t >= 0.077 && t < 0.078, "woke at {t}");
+    assert!((0.077..0.078).contains(&t), "woke at {t}");
     assert_eq!(v, Bytes::from_static(b"go"));
     assert_eq!(srv.stats().waits_parked, 1);
 }
@@ -168,7 +168,9 @@ fn nvme_contention_visible_through_localfs() {
         for fs in [fs_a, fs_b] {
             r.sim.spawn(async move {
                 let fd = fs.create("/x").await.unwrap();
-                fs.write_bytes(fd, Bytes::from(vec![0u8; 30_000_000])).await.unwrap();
+                fs.write_bytes(fd, Bytes::from(vec![0u8; 30_000_000]))
+                    .await
+                    .unwrap();
                 fs.close(fd).await.unwrap();
             });
         }

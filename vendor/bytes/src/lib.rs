@@ -1,0 +1,426 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`] (immutable, cheaply cloneable view over shared
+//! storage), [`BytesMut`] (growable builder), and the [`Buf`]/[`BufMut`]
+//! cursor traits — covering the subset of the real crate's API that this
+//! workspace uses. Clones and `slice`/`split_to` are O(1): they share one
+//! `Arc` allocation and adjust an offset/length window.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Repr {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Repr::Static(s) => s,
+            Repr::Shared(v) => v,
+        }
+    }
+}
+
+/// An immutable, reference-counted view of a byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Self {
+        Bytes {
+            repr: Repr::Static(&[]),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Wrap a `'static` slice without copying.
+    pub const fn from_static(s: &'static [u8]) -> Self {
+        Bytes {
+            repr: Repr::Static(s),
+            off: 0,
+            len: s.len(),
+        }
+    }
+
+    /// Copy `data` into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bounds(&self, range: impl RangeBounds<usize>) -> (usize, usize) {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of bounds for Bytes of length {}",
+            self.len
+        );
+        (start, end)
+    }
+
+    /// O(1) sub-view sharing the same storage.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let (start, end) = self.bounds(range);
+        Bytes {
+            repr: self.repr.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        let head = self.slice(..at);
+        self.off += at;
+        self.len -= at;
+        head
+    }
+
+    /// Copy the view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.repr.as_slice()[self.off..self.off + self.len]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            repr: Repr::Shared(Arc::new(v)),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+/// A growable byte buffer used to build [`Bytes`] values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub const fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the builder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Reserve room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Split off and return the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let tail = self.buf.split_off(at);
+        BytesMut {
+            buf: std::mem::replace(&mut self.buf, tail),
+        }
+    }
+
+    /// Grow or shrink to `new_len`, filling new space with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.buf.resize(new_len, value);
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+macro_rules! buf_get {
+    ($($name:ident -> $t:ty, $conv:ident;)*) => {$(
+        /// Read the next value, advancing the cursor.
+        fn $name(&mut self) -> $t {
+            const N: usize = std::mem::size_of::<$t>();
+            let mut raw = [0u8; N];
+            let chunk = self.chunk();
+            assert!(chunk.len() >= N, "buffer underflow reading {}", stringify!($name));
+            raw.copy_from_slice(&chunk[..N]);
+            self.advance(N);
+            <$t>::$conv(raw)
+        }
+    )*};
+}
+
+/// Read cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skip `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    buf_get! {
+        get_u8 -> u8, from_be_bytes;
+        get_u16 -> u16, from_be_bytes;
+        get_u32 -> u32, from_be_bytes;
+        get_u64 -> u64, from_be_bytes;
+        get_u16_le -> u16, from_le_bytes;
+        get_u32_le -> u32, from_le_bytes;
+        get_u64_le -> u64, from_le_bytes;
+        get_f32_le -> f32, from_le_bytes;
+        get_f64_le -> f64, from_le_bytes;
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len, "advance past end of Bytes");
+        self.off += cnt;
+        self.len -= cnt;
+    }
+}
+
+macro_rules! buf_put {
+    ($($name:ident($t:ty), $conv:ident;)*) => {$(
+        /// Append one value.
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.$conv());
+        }
+    )*};
+}
+
+/// Append cursor over a growable byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    buf_put! {
+        put_u16(u16), to_be_bytes;
+        put_u32(u32), to_be_bytes;
+        put_u64(u64), to_be_bytes;
+        put_u16_le(u16), to_le_bytes;
+        put_u32_le(u32), to_le_bytes;
+        put_u64_le(u64), to_le_bytes;
+        put_f32_le(f32), to_le_bytes;
+        put_f64_le(f64), to_le_bytes;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_codec() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u16(0x0102);
+        b.put_u32_le(0xAABBCCDD);
+        b.put_u64(42);
+        b.put_f64_le(1.5);
+        b.put_slice(b"xyz");
+        let mut raw = b.freeze();
+        assert_eq!(raw.get_u8(), 7);
+        assert_eq!(raw.get_u16(), 0x0102);
+        assert_eq!(raw.get_u32_le(), 0xAABBCCDD);
+        assert_eq!(raw.get_u64(), 42);
+        assert_eq!(raw.get_f64_le(), 1.5);
+        assert_eq!(raw.split_to(3), Bytes::from_static(b"xyz"));
+        assert!(raw.is_empty());
+    }
+
+    #[test]
+    fn slice_and_split_share_storage() {
+        let whole = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = whole.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        assert_eq!(&whole.slice(..3)[..], &[0, 1, 2]);
+        assert_eq!(&whole.slice(6..)[..], &[6, 7]);
+
+        let mut rest = whole.clone();
+        let head = rest.split_to(5);
+        assert_eq!(&head[..], &[0, 1, 2, 3, 4]);
+        assert_eq!(&rest[..], &[5, 6, 7]);
+    }
+
+    #[test]
+    fn equality_and_to_vec() {
+        let a = Bytes::from_static(b"payload");
+        let b = Bytes::copy_from_slice(b"payload");
+        assert_eq!(a, b);
+        assert_eq!(a.to_vec(), b"payload".to_vec());
+    }
+}

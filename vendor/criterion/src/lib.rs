@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the `criterion_group!`/`criterion_main!` harness surface
+//! this workspace's benches use, backed by a deliberately simple
+//! measurement loop: a short warm-up, then timed batches until either the
+//! sample budget or a wall-clock budget is exhausted, reporting mean and
+//! spread per iteration (plus throughput when configured). No statistics
+//! engine, no HTML reports, no state directory — just numbers on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement budgets (per benchmark).
+const WARMUP_BUDGET: Duration = Duration::from_millis(200);
+const MEASURE_BUDGET: Duration = Duration::from_millis(1000);
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, 100, None, f);
+        self
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Set the target number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (reporting happens eagerly; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Drives the timing loop inside a benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+enum Mode {
+    /// Run the routine a few times to warm caches; don't record.
+    Warmup,
+    /// Record one sample per `iter` call.
+    Measure { target: usize },
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Warmup => {
+                let start = Instant::now();
+                loop {
+                    std::hint::black_box(routine());
+                    if start.elapsed() >= WARMUP_BUDGET {
+                        break;
+                    }
+                }
+            }
+            Mode::Measure { target } => {
+                let budget_start = Instant::now();
+                for _ in 0..target {
+                    let t0 = Instant::now();
+                    std::hint::black_box(routine());
+                    self.samples.push(t0.elapsed());
+                    if budget_start.elapsed() >= MEASURE_BUDGET {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut warm = Bencher {
+        mode: Mode::Warmup,
+        samples: Vec::new(),
+    };
+    f(&mut warm);
+
+    let mut bench = Bencher {
+        mode: Mode::Measure {
+            target: sample_size,
+        },
+        samples: Vec::with_capacity(sample_size),
+    };
+    f(&mut bench);
+
+    if bench.samples.is_empty() {
+        println!("  {name}: no samples collected");
+        return;
+    }
+    let n = bench.samples.len();
+    let total: Duration = bench.samples.iter().sum();
+    let mean = total.as_secs_f64() / n as f64;
+    let min = bench.samples.iter().min().unwrap().as_secs_f64();
+    let max = bench.samples.iter().max().unwrap().as_secs_f64();
+    let mut line = format!(
+        "  {name}: [{} {} {}] ({n} samples)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gibs = bytes as f64 / mean / (1024.0 * 1024.0 * 1024.0);
+            line.push_str(&format!(" {gibs:.3} GiB/s"));
+        }
+        Some(Throughput::Elements(elems)) => {
+            let meps = elems as f64 / mean / 1e6;
+            line.push_str(&format!(" {meps:.3} Melem/s"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundle benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(5);
+        g.throughput(Throughput::Bytes(1024));
+        let mut count = 0u64;
+        g.bench_function("add", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &k| {
+            b.iter(|| k.wrapping_mul(7))
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Exposes the `par_iter`/`into_par_iter` surface this workspace uses, but
+//! executes everything sequentially on the calling thread. That keeps the
+//! build dependency-free and — as a bonus — makes "parallel" sections fully
+//! deterministic. The combinator set mirrors rayon's names and signatures
+//! (`reduce` takes an identity closure, unlike `Iterator::reduce`), so code
+//! written against this stub compiles unchanged against real rayon.
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential [`Iterator`]
+/// exposing rayon-shaped combinators.
+pub struct ParIter<I>(I);
+
+/// `ParIter` is itself iterable, so parallel iterators compose (e.g. as
+/// the argument of [`ParIter::zip`]) through the blanket
+/// [`IntoParallelIterator`] impl. Inherent combinators above shadow the
+/// `Iterator` ones where signatures differ (notably `reduce`).
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Transform each item.
+    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep items satisfying `pred`.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, pred: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(pred))
+    }
+
+    /// Pair items with another parallel iterator.
+    pub fn zip<J>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>>
+    where
+        J: IntoParallelIterator,
+    {
+        ParIter(self.0.zip(other.into_par_iter().0))
+    }
+
+    /// Pair items with their index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Does any item satisfy `pred`?
+    pub fn any<F: FnMut(I::Item) -> bool>(mut self, pred: F) -> bool {
+        self.0.any(pred)
+    }
+
+    /// Do all items satisfy `pred`?
+    pub fn all<F: FnMut(I::Item) -> bool>(mut self, pred: F) -> bool {
+        self.0.all(pred)
+    }
+
+    /// Run `f` on each item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Sum all items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Collect into a container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Fold all items with `op`, starting from `identity()` — rayon's
+    /// reduce signature (identity closure first), not `Iterator::reduce`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+}
+
+/// Conversion into a [`ParIter`] by value, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Iter = C::IntoIter;
+    type Item = C::Item;
+
+    fn into_par_iter(self) -> ParIter<C::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Conversion into a borrowing [`ParIter`], mirroring
+/// `rayon::iter::IntoParallelRefIterator` (the `par_iter` method).
+pub trait IntoParallelRefIterator<'a> {
+    /// Underlying sequential iterator type.
+    type Iter: Iterator;
+
+    /// Iterate the container by reference.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let v: Vec<u32> = (0u32..10).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(v, (0u32..10).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_uses_identity() {
+        let hist = (0..4usize)
+            .into_par_iter()
+            .map(|i| vec![i as u64; 3])
+            .reduce(
+                || vec![0u64; 3],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        assert_eq!(hist, vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn zip_and_any() {
+        let a = [1.0f64, 2.0, 3.0];
+        let b = [1.0f64, 2.5, 3.0];
+        assert!(a.par_iter().zip(b.par_iter()).any(|(x, y)| x != y));
+        let s: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x + y).sum();
+        assert!((s - 12.5).abs() < 1e-12);
+    }
+}

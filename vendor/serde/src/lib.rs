@@ -1,0 +1,255 @@
+//! Offline stand-in for the `serde` crate (serialize side only).
+//!
+//! Instead of serde's visitor-based zero-copy design, this stand-in
+//! lowers every value to an owned [`Content`] tree which downstream
+//! formats (the vendored `serde_json`) render. That keeps the API the
+//! workspace relies on — `#[derive(Serialize)]`, `#[serde(skip)]`,
+//! `#[serde(serialize_with = "...")]`, and hand-written
+//! `fn serialize<S: Serializer>` helpers — while fitting in a few
+//! hundred dependency-free lines.
+
+use std::collections::{BTreeMap, HashMap};
+use std::convert::Infallible;
+
+pub use serde_derive::Serialize;
+
+/// An owned, format-independent serialization tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / a skipped optional.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered key → value map (struct fields, map entries).
+    Map(Vec<(String, Content)>),
+}
+
+/// A value that can lower itself to a [`Content`] tree.
+pub trait Serialize {
+    /// Lower `self` to a [`Content`] tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Receiver side of serialization, mirroring `serde::Serializer` for the
+/// methods this workspace's hand-written helpers call.
+pub trait Serializer: Sized {
+    /// Successful result type.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Accept a fully built [`Content`] tree.
+    fn collect_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.collect_content(Content::Str(v.to_string()))
+    }
+
+    /// Serialize a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.collect_content(Content::Bool(v))
+    }
+
+    /// Serialize a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.collect_content(Content::I64(v))
+    }
+
+    /// Serialize an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.collect_content(Content::U64(v))
+    }
+
+    /// Serialize a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.collect_content(Content::F64(v))
+    }
+}
+
+/// The [`Serializer`] the derive macro feeds `serialize_with` functions:
+/// it simply hands back the [`Content`] it is given, and cannot fail.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = Infallible;
+
+    fn collect_content(self, content: Content) -> Result<Content, Infallible> {
+        Ok(content)
+    }
+}
+
+macro_rules! impl_serialize_prim {
+    ($($t:ty => $variant:ident as $as:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::$variant(*self as $as)
+            }
+        }
+    )*};
+}
+
+impl_serialize_prim! {
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64,
+    i64 => I64 as i64, isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64,
+    f32 => F64 as f64, f64 => F64 as f64,
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+/// Render a map key. JSON keys must be strings, so string-ish content
+/// passes through, scalars are stringified, and string sequences are
+/// joined with `/` (the workspace's call-path keys); anything else is a
+/// caller bug.
+fn key_string(c: Content) -> String {
+    match c {
+        Content::Str(s) => s,
+        Content::Bool(b) => b.to_string(),
+        Content::I64(i) => i.to_string(),
+        Content::U64(u) => u.to_string(),
+        Content::F64(f) => f.to_string(),
+        Content::Seq(parts) => parts
+            .into_iter()
+            .map(key_string)
+            .collect::<Vec<_>>()
+            .join("/"),
+        other => panic!("cannot use {other:?} as a map key"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_content()), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k.to_content()), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(42u32.to_content(), Content::U64(42));
+        assert_eq!((-3i64).to_content(), Content::I64(-3));
+        assert_eq!(1.5f64.to_content(), Content::F64(1.5));
+        assert_eq!("hi".to_content(), Content::Str("hi".into()));
+        assert_eq!(None::<u8>.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn collections_nest() {
+        let v = vec![vec![1u8], vec![2, 3]];
+        assert_eq!(
+            v.to_content(),
+            Content::Seq(vec![
+                Content::Seq(vec![Content::U64(1)]),
+                Content::Seq(vec![Content::U64(2), Content::U64(3)]),
+            ])
+        );
+    }
+
+    #[test]
+    fn map_keys_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(vec!["a".to_string(), "b".to_string()], 1u8);
+        assert_eq!(
+            m.to_content(),
+            Content::Map(vec![("a/b".to_string(), Content::U64(1))])
+        );
+    }
+
+    #[test]
+    fn content_serializer_is_identity() {
+        let c: Content = ContentSerializer.serialize_str("x").unwrap();
+        assert_eq!(c, Content::Str("x".into()));
+    }
+}

@@ -1,0 +1,429 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace uses —
+//! structs with named fields (including lifetime generics), fieldless
+//! enums, and enums with struct variants — honoring `#[serde(skip)]` and
+//! `#[serde(serialize_with = "path")]`. Because the registry is
+//! unreachable, it parses the item's tokens directly instead of using
+//! `syn`/`quote`, and emits the impl through `TokenStream::from_str`.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+use std::str::FromStr;
+
+/// Derive `serde::Serialize` by lowering the item to a `serde::Content`
+/// tree: structs become maps of their fields, unit enum variants become
+/// their name as a string, and struct variants become
+/// `{ "Variant": { fields... } }` — matching serde's externally-tagged
+/// default.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let item = parse_item(&tokens);
+    let code = match &item.body {
+        Body::Struct(fields) => gen_struct(&item, fields),
+        Body::Enum(variants) => gen_enum(&item, variants),
+    };
+    TokenStream::from_str(&code).expect("serde_derive generated invalid Rust")
+}
+
+struct Item {
+    name: String,
+    /// Raw generics, bounds included, e.g. `'a, T: Clone`.
+    generics: Vec<TokenTree>,
+    body: Body,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    serialize_with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field list for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+/// Render tokens back to source, spacing them so the result re-lexes
+/// identically (joint puncts like the `'` of a lifetime stay attached).
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        match t {
+            TokenTree::Ident(i) => {
+                out.push_str(&i.to_string());
+                out.push(' ');
+            }
+            TokenTree::Literal(l) => {
+                out.push_str(&l.to_string());
+                out.push(' ');
+            }
+            TokenTree::Punct(p) => {
+                out.push(p.as_char());
+                if p.spacing() == Spacing::Alone {
+                    out.push(' ');
+                }
+            }
+            TokenTree::Group(g) => {
+                let (open, close) = match g.delimiter() {
+                    Delimiter::Parenthesis => ('(', ')'),
+                    Delimiter::Brace => ('{', '}'),
+                    Delimiter::Bracket => ('[', ']'),
+                    Delimiter::None => (' ', ' '),
+                };
+                out.push(open);
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                out.push_str(&tokens_to_string(&inner));
+                out.push(close);
+                out.push(' ');
+            }
+        }
+    }
+    out
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skip attributes starting at `i`, returning the parsed serde options.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut with = None;
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            parse_serde_attr(g, &mut skip, &mut with);
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    (skip, with)
+}
+
+/// If `g` is a `[serde(...)]` attribute body, record its options.
+fn parse_serde_attr(g: &proc_macro::Group, skip: &mut bool, with: &mut Option<String>) {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.len() != 2 || !is_ident(&toks[0], "serde") {
+        return;
+    }
+    let TokenTree::Group(args) = &toks[1] else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        if is_ident(&args[j], "skip") {
+            *skip = true;
+            j += 1;
+        } else if is_ident(&args[j], "serialize_with") {
+            let lit = args
+                .get(j + 2)
+                .unwrap_or_else(|| panic!("serde(serialize_with) expects = \"path\""));
+            let raw = lit.to_string();
+            *with = Some(
+                raw.trim_matches('"')
+                    .replace("\\\"", "\"")
+                    .replace("\\\\", "\\"),
+            );
+            j += 3;
+        } else {
+            // Unknown option (rename, default, …): not used in this
+            // workspace; fail loudly rather than silently mis-serialize.
+            panic!("unsupported serde attribute: {}", args[j]);
+        }
+        if j < args.len() && is_punct(&args[j], ',') {
+            j += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn parse_item(tokens: &[TokenTree]) -> Item {
+    let mut i = 0;
+    skip_attrs(tokens, &mut i);
+    skip_visibility(tokens, &mut i);
+
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!("derive(Serialize) supports only structs and enums");
+    };
+    i += 1;
+
+    let name = tokens[i].to_string();
+    i += 1;
+
+    let mut generics = Vec::new();
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        i += 1;
+        let mut depth = 1usize;
+        while depth > 0 {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            generics.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+
+    // Scan forward to the body group, stepping over any where clause.
+    let body_group = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g,
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                panic!("derive(Serialize) does not support unit/tuple structs")
+            }
+            _ => i += 1,
+        }
+    };
+    let body_tokens: Vec<TokenTree> = body_group.stream().into_iter().collect();
+
+    let body = if is_enum {
+        Body::Enum(parse_variants(&body_tokens))
+    } else {
+        Body::Struct(parse_fields(&body_tokens))
+    };
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn parse_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (skip, serialize_with) = skip_attrs(tokens, &mut i);
+        skip_visibility(tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        assert!(
+            is_punct(&tokens[i], ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: everything to the next comma outside angle
+        // brackets (`->` must not close a bracket).
+        let mut angle = 0i32;
+        let mut prev_dash = false;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if is_punct(t, ',') && angle == 0 {
+                i += 1;
+                break;
+            }
+            if is_punct(t, '<') {
+                angle += 1;
+            } else if is_punct(t, '>') && !prev_dash {
+                angle -= 1;
+            }
+            prev_dash = is_punct(t, '-');
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip,
+            serialize_with,
+        });
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let mut fields = None;
+        if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    fields = Some(parse_fields(&inner));
+                    i += 1;
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    panic!("derive(Serialize) does not support tuple variants (in `{name}`)")
+                }
+                _ => {}
+            }
+        }
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Split raw generics on top-level commas into per-parameter token runs.
+fn split_params(generics: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut params = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in generics {
+        if is_punct(t, '<') {
+            angle += 1;
+        } else if is_punct(t, '>') {
+            angle -= 1;
+        } else if is_punct(t, ',') && angle == 0 {
+            params.push(std::mem::take(&mut cur));
+            continue;
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        params.push(cur);
+    }
+    params
+}
+
+/// `(impl_generics, ty_generics, where_clause)` for the emitted impl.
+fn generics_parts(generics: &[TokenTree]) -> (String, String, String) {
+    if generics.is_empty() {
+        return (String::new(), String::new(), String::new());
+    }
+    let impl_generics = format!("<{}>", tokens_to_string(generics));
+    let mut ty_args = Vec::new();
+    let mut bounds = Vec::new();
+    for param in split_params(generics) {
+        // Strip any `: bounds` / `= default` suffix to get the bare name.
+        let head: Vec<TokenTree> = param
+            .iter()
+            .take_while(|t| !is_punct(t, ':') && !is_punct(t, '='))
+            .cloned()
+            .collect();
+        let name = tokens_to_string(&head).trim().to_string();
+        if name.starts_with('\'') {
+            ty_args.push(name);
+        } else if let Some(n) = name.strip_prefix("const ") {
+            ty_args.push(n.trim().to_string());
+        } else {
+            bounds.push(format!("{name}: ::serde::Serialize"));
+            ty_args.push(name);
+        }
+    }
+    let ty_generics = format!("<{}>", ty_args.join(", "));
+    let where_clause = if bounds.is_empty() {
+        String::new()
+    } else {
+        format!("where {}", bounds.join(", "))
+    };
+    (impl_generics, ty_generics, where_clause)
+}
+
+/// Emit the push of one field into `__fields`, honoring serde options.
+/// `access` is the expression for a reference to the field value.
+fn field_push(f: &Field, access: &str) -> String {
+    if f.skip {
+        return String::new();
+    }
+    let value = match &f.serialize_with {
+        Some(path) => format!(
+            "match {path}({access}, ::serde::ContentSerializer) {{ \
+                 Ok(__c) => __c, Err(__e) => match __e {{}}, }}"
+        ),
+        None => format!("::serde::Serialize::to_content({access})"),
+    };
+    format!("__fields.push((\"{}\".to_string(), {value}));\n", f.name)
+}
+
+fn gen_struct(item: &Item, fields: &[Field]) -> String {
+    let (impl_g, ty_g, where_c) = generics_parts(&item.generics);
+    let mut body = String::from(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        body.push_str(&field_push(f, &format!("&self.{}", f.name)));
+    }
+    body.push_str("::serde::Content::Map(__fields)\n");
+    format!(
+        "impl {impl_g} ::serde::Serialize for {name} {ty_g} {where_c} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}}}\n\
+         }}\n",
+        name = item.name
+    )
+}
+
+fn gen_enum(item: &Item, variants: &[Variant]) -> String {
+    let (impl_g, ty_g, where_c) = generics_parts(&item.generics);
+    assert!(!variants.is_empty(), "cannot serialize an empty enum");
+    let mut arms = String::new();
+    for v in variants {
+        match &v.fields {
+            None => arms.push_str(&format!(
+                "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),\n",
+                name = item.name,
+                v = v.name
+            )),
+            Some(fields) => {
+                let bindings = fields
+                    .iter()
+                    .map(|f| format!("{n}: __f_{n}", n = f.name))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let mut body = String::from(
+                    "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                     ::serde::Content)> = ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    body.push_str(&field_push(f, &format!("__f_{}", f.name)));
+                }
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {bindings} }} => \
+                     ::serde::Content::Map(vec![(\"{v}\".to_string(), {{\n{body}\
+                     ::serde::Content::Map(__fields)\n}})]),\n",
+                    name = item.name,
+                    v = v.name
+                ));
+            }
+        }
+    }
+    format!(
+        "impl {impl_g} ::serde::Serialize for {name} {ty_g} {where_c} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}\n",
+        name = item.name
+    )
+}
