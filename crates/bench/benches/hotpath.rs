@@ -1,0 +1,151 @@
+//! Criterion benches for the simulator hot paths reworked in the
+//! virtual-time overhaul: cancellable timers under churn, fair-share
+//! bandwidth fan-in, the interned instrumentation recorder, and a
+//! figure-6-scale end-to-end run. These are the statistically-sampled
+//! counterparts of the `hotpath` binary (which measures the same grid in
+//! single shots for CI's perf-smoke check).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use instrument::Recorder;
+use mdflow::calibration::Calibration;
+use mdflow::prelude::*;
+use mdflow::runner::run_once;
+use simcore::resource::SharedBandwidth;
+use simcore::{timeout, Sim, SimDuration};
+
+/// Timer churn with cancellation: every iteration arms a far-future
+/// sleep that a short timeout cancels, exercising the tombstone +
+/// compaction path rather than the fire path.
+fn bench_timer_cancellation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_timers");
+    const TASKS: u64 = 100;
+    const ITERS: u64 = 50;
+    g.throughput(Throughput::Elements(TASKS * ITERS));
+    g.bench_function("cancelled_timers_5k", |b| {
+        b.iter(|| {
+            let sim = Sim::new(0);
+            for _ in 0..TASKS {
+                let ctx = sim.ctx();
+                sim.spawn(async move {
+                    for _ in 0..ITERS {
+                        let _ = timeout(
+                            &ctx,
+                            SimDuration::from_nanos(10),
+                            ctx.sleep(SimDuration::from_secs(1)),
+                        )
+                        .await;
+                    }
+                });
+            }
+            let report = sim.run();
+            assert!(report.is_clean());
+            black_box(report.events_processed)
+        })
+    });
+    g.finish();
+}
+
+/// Fair-share link with heavy fan-in: n flows of staggered sizes join
+/// and leave, so the O(log n) virtual-finish-tag model is exercised
+/// through constant membership change, not a static flow set.
+fn bench_shared_bandwidth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_bandwidth");
+    for flows in [64u64, 512] {
+        g.throughput(Throughput::Elements(flows));
+        g.bench_with_input(BenchmarkId::new("fan_in", flows), &flows, |b, &flows| {
+            b.iter(|| {
+                let sim = Sim::new(0);
+                let ctx = sim.ctx();
+                let bw = SharedBandwidth::new(&ctx, 1e9);
+                for i in 0..flows {
+                    let bw = bw.clone();
+                    let ctx = ctx.clone();
+                    sim.spawn(async move {
+                        ctx.sleep(SimDuration::from_nanos(i * 100)).await;
+                        bw.transfer_counted(1_000_000 + i * 1000).await;
+                    });
+                }
+                let report = sim.run();
+                assert!(report.is_clean());
+                black_box(bw.stats().bytes_moved)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Recorder region/annotate churn: nested regions with metric
+/// annotations on every visit — the path that used to allocate a String
+/// per region entry and now runs on interned symbols.
+fn bench_recorder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_recorder");
+    const VISITS: u64 = 1000;
+    g.throughput(Throughput::Elements(VISITS));
+    g.bench_function("region_annotate_1k", |b| {
+        b.iter(|| {
+            let sim = Sim::new(0);
+            let ctx = sim.ctx();
+            let rec = Recorder::new(&ctx);
+            sim.spawn(async move {
+                for i in 0..VISITS {
+                    let outer = rec.region("produce");
+                    {
+                        let _g = rec.region("write");
+                        rec.annotate("bytes", 4096.0);
+                        ctx.sleep(SimDuration::from_nanos(5)).await;
+                    }
+                    {
+                        let _g = rec.region("notify");
+                        rec.annotate("msgs", 1.0);
+                    }
+                    drop(outer);
+                    black_box(i);
+                }
+                black_box(rec.finish())
+            });
+            let report = sim.run();
+            assert!(report.is_clean());
+        })
+    });
+    g.finish();
+}
+
+/// Figure-6-scale end-to-end run (scaled down for sampling): the full
+/// workflow stack over the overhauled executor, link model and recorder.
+fn bench_fig6_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath_fig6");
+    g.sample_size(10);
+    let cal = Calibration::corona();
+    for (name, wf) in [
+        (
+            "dyad_64p",
+            WorkflowConfig::new(Solution::Dyad, 64, Placement::Split { pairs_per_node: 8 })
+                .with_frames(8),
+        ),
+        (
+            "lustre_64p",
+            WorkflowConfig::new(Solution::Lustre, 64, Placement::Split { pairs_per_node: 8 })
+                .with_frames(8),
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &wf, |b, wf| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(wf, &cal, seed).makespan)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_timer_cancellation,
+    bench_shared_bandwidth,
+    bench_recorder,
+    bench_fig6_scale
+);
+criterion_main!(benches);

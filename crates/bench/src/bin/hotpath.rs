@@ -1,0 +1,305 @@
+//! Wall-clock perf harness for the simulator hot path (PR 4).
+//!
+//! Runs the fig5/fig6/capacity hot loops at a fixed grid and emits
+//! `BENCH_PR4.json` with runs/sec, events/sec and peak RSS so future
+//! PRs have a perf trajectory to regress against.
+//!
+//! Modes:
+//!
+//! * `hotpath` — run the grid, print a table, write `BENCH_PR4.json`
+//!   (into `--out DIR`, default the current directory).
+//! * `hotpath --check BASELINE.json` — additionally fail (exit 1) if
+//!   any workload's runs/sec regressed more than `HOTPATH_TOLERANCE`
+//!   (default 0.20) versus the baseline.
+//! * `hotpath --fixtures PATH` — write the same-seed determinism
+//!   fixtures (makespan/events/staging for DYAD, XFS and Lustre at 8
+//!   and 64 pairs) consumed by `tests/determinism_fixtures.rs`.
+//!
+//! Scale knobs: `HOTPATH_PAIRS` (default 256) and `HOTPATH_FRAMES`
+//! (default 24) bound the big fig6 sweep so CI can run a smaller grid
+//! than the perf-trajectory record.
+
+use std::time::Instant;
+
+use mdflow::prelude::*;
+
+/// One measured workload.
+struct Measured {
+    name: &'static str,
+    pairs: u32,
+    frames: u64,
+    reps: u32,
+    wall_secs: f64,
+    events: u64,
+    makespan_ns: u64,
+}
+
+fn rss_peak_bytes() -> u64 {
+    // VmHWM is linux-only; other platforms report 0 rather than lying.
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|kb| kb.parse::<u64>().ok())
+            })
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+fn measure(name: &'static str, wf: WorkflowConfig, cal: &Calibration, reps: u32) -> Measured {
+    let pairs = wf.pairs;
+    let frames = wf.frames;
+    let t0 = Instant::now();
+    let mut events = 0u64;
+    let mut makespan_ns = 0u64;
+    for rep in 0..reps {
+        let m = run_once(&wf, cal, 0x9E37 + rep as u64);
+        events += m.events;
+        makespan_ns = m.makespan.nanos();
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+    Measured {
+        name,
+        pairs,
+        frames,
+        reps,
+        wall_secs,
+        events,
+        makespan_ns,
+    }
+}
+
+fn grid() -> Vec<Measured> {
+    let pairs: u32 = std::env::var("HOTPATH_PAIRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let frames: u64 = std::env::var("HOTPATH_FRAMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let split = Placement::Split { pairs_per_node: 8 };
+    let cal = Calibration::corona();
+    let quiet = Calibration::quiet();
+    vec![
+        // fig6 hot loop: the ensemble scan the paper runs at 1..=256
+        // pairs; this is the simulator's O(n^2)-contention stress case.
+        measure(
+            "fig6_dyad",
+            WorkflowConfig::new(Solution::Dyad, pairs, split).with_frames(frames),
+            &cal,
+            1,
+        ),
+        measure(
+            "fig6_lustre",
+            WorkflowConfig::new(Solution::Lustre, pairs, split).with_frames(frames),
+            &cal,
+            1,
+        ),
+        // fig5 hot loop: single-node DYAD vs XFS.
+        measure(
+            "fig5_dyad",
+            WorkflowConfig::new(Solution::Dyad, 4, Placement::SingleNode).with_frames(frames),
+            &cal,
+            4,
+        ),
+        measure(
+            "fig5_xfs",
+            WorkflowConfig::new(Solution::Xfs, 4, Placement::SingleNode).with_frames(frames),
+            &cal,
+            4,
+        ),
+        // capacity hot loop: bounded staging with spill-to-PFS.
+        measure(
+            "capacity_bounded",
+            WorkflowConfig::new(Solution::Dyad, 8, split)
+                .with_frames(frames)
+                .with_staging_budget(3 * Model::Jac.frame_bytes())
+                .with_spill(true),
+            &quiet,
+            2,
+        ),
+    ]
+}
+
+// The vendored serde_json stand-in has no `json!` macro, so build
+// `Value` trees by hand through these two helpers.
+fn obj(fields: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+    serde_json::Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num_u64(v: u64) -> serde_json::Value {
+    serde_json::Value::Number(serde_json::Number::U64(v))
+}
+
+fn num_f64(v: f64) -> serde_json::Value {
+    serde_json::Value::Number(serde_json::Number::F64(v))
+}
+
+fn to_json(rows: &[Measured]) -> String {
+    let workloads: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|m| {
+            obj(vec![
+                ("name", serde_json::Value::String(m.name.to_string())),
+                ("pairs", num_u64(m.pairs as u64)),
+                ("frames", num_u64(m.frames)),
+                ("reps", num_u64(m.reps as u64)),
+                ("wall_secs", num_f64(m.wall_secs)),
+                ("events", num_u64(m.events)),
+                ("makespan_ns", num_u64(m.makespan_ns)),
+                (
+                    "runs_per_sec",
+                    num_f64(m.reps as f64 / m.wall_secs.max(1e-9)),
+                ),
+                (
+                    "events_per_sec",
+                    num_f64(m.events as f64 / m.wall_secs.max(1e-9)),
+                ),
+            ])
+        })
+        .collect();
+    serde_json::to_string_pretty(&obj(vec![
+        ("bench", serde_json::Value::String("hotpath".to_string())),
+        ("pr", num_u64(4)),
+        ("peak_rss_bytes", num_u64(rss_peak_bytes())),
+        ("workloads", serde_json::Value::Array(workloads)),
+    ]))
+    .expect("json")
+}
+
+fn check_baseline(rows: &[Measured], baseline_path: &str) -> bool {
+    let tolerance: f64 = std::env::var("HOTPATH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20);
+    let raw = match std::fs::read_to_string(baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hotpath: cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let base: serde_json::Value = serde_json::from_str(&raw).expect("baseline json");
+    let mut ok = true;
+    for m in rows {
+        let Some(b) = base["workloads"]
+            .as_array()
+            .into_iter()
+            .flatten()
+            .find(|w| w["name"] == m.name)
+        else {
+            continue;
+        };
+        // Compare per-event wall cost: the baseline may have been
+        // captured at a different grid scale, so runs/sec is only
+        // comparable through the events actually simulated.
+        let base_eps = b["events_per_sec"].as_f64().unwrap_or(0.0);
+        let cur_eps = m.events as f64 / m.wall_secs.max(1e-9);
+        if base_eps > 0.0 && cur_eps < base_eps * (1.0 - tolerance) {
+            eprintln!(
+                "hotpath: REGRESSION {}: {:.0} events/s vs baseline {:.0} (> {:.0}% slower)",
+                m.name,
+                cur_eps,
+                base_eps,
+                tolerance * 100.0
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn write_fixtures(path: &str) {
+    let cal = Calibration::corona();
+    let split = Placement::Split { pairs_per_node: 8 };
+    let mut rows = Vec::new();
+    for &pairs in &[8u32, 64] {
+        let cases = [
+            ("dyad", WorkflowConfig::new(Solution::Dyad, pairs, split)),
+            (
+                "xfs",
+                WorkflowConfig::new(Solution::Xfs, pairs, Placement::SingleNode),
+            ),
+            (
+                "lustre",
+                WorkflowConfig::new(Solution::Lustre, pairs, split),
+            ),
+        ];
+        for (name, wf) in cases {
+            let wf = wf.with_frames(12);
+            let m = run_once(&wf, &cal, 2024);
+            // No `to_value` in the vendored crate: round-trip the staging
+            // struct through its string form to embed it as a Value.
+            let staging: serde_json::Value =
+                serde_json::from_str(&serde_json::to_string(&m.staging).expect("staging json"))
+                    .expect("staging value");
+            rows.push(obj(vec![
+                ("solution", serde_json::Value::String(name.to_string())),
+                ("pairs", num_u64(pairs as u64)),
+                ("frames", num_u64(12)),
+                ("seed", num_u64(2024)),
+                ("makespan_ns", num_u64(m.makespan.nanos())),
+                ("events", num_u64(m.events)),
+                ("staging", staging),
+            ]));
+            println!(
+                "  fixture {name:>6} {pairs:>3}p: makespan {} events {}",
+                m.makespan, m.events
+            );
+        }
+    }
+    let json =
+        serde_json::to_string_pretty(&obj(vec![("fixtures", serde_json::Value::Array(rows))]))
+            .expect("json");
+    std::fs::write(path, json).expect("write fixtures");
+    println!("  [saved {path}]");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    if let Some(path) = flag_value("--fixtures") {
+        write_fixtures(&path);
+        return;
+    }
+    let rows = grid();
+    println!("HOTPATH — simulator core wall-clock benchmark");
+    for m in &rows {
+        println!(
+            "  {:<18} {:>4} pairs {:>4} frames ×{} | {:>8.2} s wall | {:>12} events | {:>10.0} events/s | {:.3} runs/s",
+            m.name,
+            m.pairs,
+            m.frames,
+            m.reps,
+            m.wall_secs,
+            m.events,
+            m.events as f64 / m.wall_secs.max(1e-9),
+            m.reps as f64 / m.wall_secs.max(1e-9),
+        );
+    }
+    println!("  peak RSS: {} MiB", rss_peak_bytes() / (1 << 20));
+    let out_dir = flag_value("--out").unwrap_or_else(|| ".".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let out = format!("{out_dir}/BENCH_PR4.json");
+    std::fs::write(&out, to_json(&rows)).expect("write BENCH_PR4.json");
+    println!("  [saved {out}]");
+    if let Some(baseline) = flag_value("--check") {
+        if !check_baseline(&rows, &baseline) {
+            std::process::exit(1);
+        }
+        println!("  perf check vs {baseline}: OK");
+    }
+}

@@ -109,18 +109,15 @@ impl Fabric {
         if bytes == 0 {
             return;
         }
-        let tx = self.nic(src).tx.clone();
-        let rx = self.nic(dst).rx.clone();
         // Stream through both ports concurrently; completion is gated by
-        // the slower (more contended) of the two.
-        let ht = self
-            .ctx
-            .spawn(async move { tx.transfer_counted(bytes).await });
-        let hr = self
-            .ctx
-            .spawn(async move { rx.transfer_counted(bytes).await });
-        ht.await;
-        hr.await;
+        // the slower (more contended) of the two. Both flows join the
+        // contention model at this same instant, so awaiting the two
+        // receivers in sequence is equivalent to a concurrent join — the
+        // second await returns immediately if its flow already finished.
+        let tx_done = self.nic(src).tx.transfer_counted_start(bytes);
+        let rx_done = self.nic(dst).rx.transfer_counted_start(bytes);
+        tx_done.await;
+        rx_done.await;
     }
 
     /// RDMA read: the initiator on `initiator` pulls `bytes` from memory

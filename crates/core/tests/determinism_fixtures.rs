@@ -1,0 +1,164 @@
+//! Same-seed determinism against pinned fixtures (PR 4).
+//!
+//! Two fixture files guard the hot-path overhaul:
+//!
+//! * `determinism_pr4.json` — captured on the code *before* the
+//!   virtual-time bandwidth model and executor rework. DYAD and XFS
+//!   makespans must match it bit-for-bit (the virtual-time model is
+//!   algebraically identical for their flow patterns); Lustre is allowed
+//!   a tiny relative drift because exact finish tags replace the old
+//!   `FINISH_EPS` residual threshold in a float-sensitive interference
+//!   mix. Staging lifecycle counters must match exactly everywhere.
+//! * `determinism_pr4_pinned.json` — captured on the *current* model.
+//!   Everything, including event counts, must match exactly; any change
+//!   here means a code change silently altered trajectories.
+//!
+//! Run `hotpath --fixtures <path>` to regenerate after an intentional
+//! trajectory change, and say so in the commit message.
+
+use mdflow::prelude::*;
+
+const BEFORE: &str = include_str!("fixtures/determinism_pr4.json");
+const PINNED: &str = include_str!("fixtures/determinism_pr4_pinned.json");
+
+/// Largest relative makespan drift tolerated for Lustre vs the
+/// before-overhaul capture (observed ~1e-4 at 64 pairs).
+const LUSTRE_TOL: f64 = 5e-4;
+
+struct Fixture {
+    solution: &'static str,
+    pairs: u32,
+    frames: u64,
+    seed: u64,
+    makespan_ns: u64,
+    events: u64,
+    staging: serde_json::Value,
+}
+
+fn parse(raw: &'static str) -> Vec<Fixture> {
+    let v: serde_json::Value = serde_json::from_str(raw).expect("fixture json");
+    v["fixtures"]
+        .as_array()
+        .expect("fixtures array")
+        .iter()
+        .map(|f| Fixture {
+            solution: match f["solution"].as_str().expect("solution") {
+                "dyad" => "dyad",
+                "xfs" => "xfs",
+                "lustre" => "lustre",
+                other => panic!("unknown solution {other}"),
+            },
+            pairs: f["pairs"].as_u64().expect("pairs") as u32,
+            frames: f["frames"].as_u64().expect("frames"),
+            seed: f["seed"].as_u64().expect("seed"),
+            makespan_ns: f["makespan_ns"].as_u64().expect("makespan_ns"),
+            events: f["events"].as_u64().expect("events"),
+            staging: f["staging"].clone(),
+        })
+        .collect()
+}
+
+fn run(f: &Fixture) -> RunMetrics {
+    let cal = Calibration::corona();
+    let wf = match f.solution {
+        "dyad" => WorkflowConfig::new(
+            Solution::Dyad,
+            f.pairs,
+            Placement::Split { pairs_per_node: 8 },
+        ),
+        "xfs" => WorkflowConfig::new(Solution::Xfs, f.pairs, Placement::SingleNode),
+        "lustre" => WorkflowConfig::new(
+            Solution::Lustre,
+            f.pairs,
+            Placement::Split { pairs_per_node: 8 },
+        ),
+        other => panic!("unknown solution {other}"),
+    }
+    .with_frames(f.frames);
+    run_once(&wf, &cal, f.seed)
+}
+
+fn staging_value(m: &RunMetrics) -> serde_json::Value {
+    serde_json::from_str(&serde_json::to_string(&m.staging).expect("staging json"))
+        .expect("staging value")
+}
+
+/// DYAD and XFS reproduce the before-overhaul makespans bit-for-bit;
+/// Lustre stays within a float-ulp-scale tolerance; staging counters
+/// match exactly for every case.
+#[test]
+fn results_match_before_overhaul_fixtures() {
+    for f in parse(BEFORE) {
+        let m = run(&f);
+        let got = m.makespan.nanos();
+        match f.solution {
+            "lustre" => {
+                let rel = (got as f64 - f.makespan_ns as f64).abs() / f.makespan_ns as f64;
+                assert!(
+                    rel <= LUSTRE_TOL,
+                    "lustre {}p makespan drifted: {} vs {} (rel {rel:.2e})",
+                    f.pairs,
+                    got,
+                    f.makespan_ns
+                );
+            }
+            _ => assert_eq!(
+                got, f.makespan_ns,
+                "{} {}p makespan changed vs before-overhaul capture",
+                f.solution, f.pairs
+            ),
+        }
+        assert_eq!(
+            staging_value(&m),
+            f.staging,
+            "{} {}p staging counters changed",
+            f.solution,
+            f.pairs
+        );
+    }
+}
+
+/// The current model reproduces its own pinned capture exactly —
+/// makespans, event counts and staging counters. A failure here means a
+/// change altered simulation trajectories; re-pin deliberately or fix
+/// the regression.
+#[test]
+fn results_match_pinned_fixtures_exactly() {
+    for f in parse(PINNED) {
+        let m = run(&f);
+        assert_eq!(
+            m.makespan.nanos(),
+            f.makespan_ns,
+            "{} {}p makespan changed vs pinned capture",
+            f.solution,
+            f.pairs
+        );
+        assert_eq!(
+            m.events, f.events,
+            "{} {}p event count changed vs pinned capture",
+            f.solution, f.pairs
+        );
+        assert_eq!(
+            staging_value(&m),
+            f.staging,
+            "{} {}p staging counters changed",
+            f.solution,
+            f.pairs
+        );
+    }
+}
+
+/// Same seed twice in one process ⇒ identical everything (guards against
+/// accidental nondeterminism from map iteration order, interner state or
+/// wake ordering).
+#[test]
+fn back_to_back_runs_are_identical() {
+    let wf = WorkflowConfig::new(Solution::Dyad, 8, Placement::Split { pairs_per_node: 8 })
+        .with_frames(6);
+    let cal = Calibration::corona();
+    let a = run_once(&wf, &cal, 7);
+    let b = run_once(&wf, &cal, 7);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.events, b.events);
+    assert_eq!(staging_value(&a), staging_value(&b));
+}

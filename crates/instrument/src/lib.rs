@@ -20,6 +20,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use simcore::intern::{intern, FxHashMap, Symbol};
 use simcore::trace::{SpanGuard, Tracer};
 use simcore::{Ctx, SimDuration, SimTime};
 
@@ -105,10 +106,41 @@ impl Profile {
     }
 }
 
+/// Internal tree node: region names stay interned while recording so
+/// the per-region hot path never allocates; [`Recorder::finish`]
+/// resolves symbols back to strings when building the public
+/// [`Profile`].
+#[derive(Default)]
+struct RecNode {
+    count: u64,
+    inclusive: SimDuration,
+    metrics: FxHashMap<Symbol, f64>,
+    children: FxHashMap<Symbol, RecNode>,
+}
+
+impl RecNode {
+    fn to_profile(&self) -> ProfileNode {
+        ProfileNode {
+            count: self.count,
+            inclusive: self.inclusive,
+            metrics: self
+                .metrics
+                .iter()
+                .map(|(k, v)| (k.resolve().to_string(), *v))
+                .collect(),
+            children: self
+                .children
+                .iter()
+                .map(|(k, v)| (k.resolve().to_string(), v.to_profile()))
+                .collect(),
+        }
+    }
+}
+
 struct RecState {
-    root: ProfileNode,
+    root: RecNode,
     /// Names of the currently open regions, outermost first.
-    stack: Vec<String>,
+    stack: Vec<Symbol>,
 }
 
 /// A per-process region recorder.
@@ -133,7 +165,7 @@ impl Recorder {
         Recorder {
             ctx: ctx.clone(),
             state: Rc::new(RefCell::new(RecState {
-                root: ProfileNode::default(),
+                root: RecNode::default(),
                 stack: Vec::new(),
             })),
             tracer,
@@ -145,7 +177,7 @@ impl Recorder {
     /// must be closed in LIFO order (guards enforce this naturally when
     /// kept in scope).
     pub fn region(&self, name: &str) -> RegionGuard {
-        self.state.borrow_mut().stack.push(name.to_string());
+        self.state.borrow_mut().stack.push(intern(name));
         let span = if self.tracer.is_enabled() {
             Some(self.tracer.span(&self.ctx, &self.track, "region", name))
         } else {
@@ -168,15 +200,17 @@ impl Recorder {
     /// Attach a numeric metric to the current path (summed across calls).
     pub fn annotate(&self, key: &str, value: f64) {
         let mut st = self.state.borrow_mut();
-        let stack = st.stack.clone();
-        let node = Self::node_at(&mut st.root, &stack);
-        *node.metrics.entry(key.to_string()).or_insert(0.0) += value;
+        // Split-borrow so the stack can be read while the tree is walked
+        // mutably — no clone of the path on this hot call.
+        let RecState { root, stack } = &mut *st;
+        let node = Self::node_at(root, stack);
+        *node.metrics.entry(intern(key)).or_insert(0.0) += value;
     }
 
-    fn node_at<'a>(root: &'a mut ProfileNode, path: &[String]) -> &'a mut ProfileNode {
+    fn node_at<'a>(root: &'a mut RecNode, path: &[Symbol]) -> &'a mut RecNode {
         let mut cur = root;
         for comp in path {
-            cur = cur.children.entry(comp.clone()).or_default();
+            cur = cur.children.entry(*comp).or_default();
         }
         cur
     }
@@ -184,9 +218,9 @@ impl Recorder {
     fn close_region(&self, start: SimTime) {
         let now = self.ctx.now();
         let mut st = self.state.borrow_mut();
-        let stack = st.stack.clone();
-        assert!(!stack.is_empty(), "region closed with empty stack");
-        let node = Self::node_at(&mut st.root, &stack);
+        assert!(!st.stack.is_empty(), "region closed with empty stack");
+        let RecState { root, stack } = &mut *st;
+        let node = Self::node_at(root, stack);
         node.count += 1;
         node.inclusive += now - start;
         st.stack.pop();
@@ -198,17 +232,17 @@ impl Recorder {
         assert!(
             st.stack.is_empty(),
             "finish() with open regions: {:?}",
-            st.stack
+            st.stack.iter().map(|s| s.resolve()).collect::<Vec<_>>()
         );
         Profile {
-            root: st.root.clone(),
+            root: st.root.to_profile(),
         }
     }
 
     /// Snapshot without consuming (open regions are not included).
     pub fn snapshot(&self) -> Profile {
         Profile {
-            root: self.state.borrow().root.clone(),
+            root: self.state.borrow().root.to_profile(),
         }
     }
 }

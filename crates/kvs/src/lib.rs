@@ -22,11 +22,11 @@ mod codec;
 pub use codec::{Request, Response};
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
 use cluster::NodeId;
+use simcore::intern::{intern, FxHashMap, Symbol};
 use simcore::resource::FifoResource;
 use simcore::sync::Notify;
 use simcore::{Ctx, SimDuration};
@@ -83,9 +83,11 @@ pub struct KvsStats {
 }
 
 struct Store {
-    map: HashMap<String, VersionedValue>,
+    // Keys are interned once per request; per-frame publishes and waits
+    // then hash a 4-byte symbol instead of re-hashing the full path.
+    map: FxHashMap<Symbol, VersionedValue>,
     version: u64,
-    watches: HashMap<String, Notify>,
+    watches: FxHashMap<Symbol, Notify>,
     stats: KvsStats,
 }
 
@@ -99,9 +101,9 @@ impl KvsServer {
     /// Start a broker on `node`, registering its AM handler.
     pub fn start(ctx: &Ctx, tp: &Transport, node: NodeId, spec: KvsSpec) -> Rc<KvsServer> {
         let store = Rc::new(RefCell::new(Store {
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             version: 0,
-            watches: HashMap::new(),
+            watches: FxHashMap::default(),
             stats: KvsStats::default(),
         }));
         let service = FifoResource::new(ctx, spec.server_threads);
@@ -156,11 +158,11 @@ impl KvsServer {
 async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response {
     match req {
         Request::Commit { key, value } => {
+            let key = intern(&key);
             let mut st = store.borrow_mut();
             st.version += 1;
             let version = st.version;
-            st.map
-                .insert(key.clone(), VersionedValue { version, value });
+            st.map.insert(key, VersionedValue { version, value });
             st.stats.commits += 1;
             if let Some(n) = st.watches.remove(&key) {
                 n.notify_all();
@@ -168,6 +170,7 @@ async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response {
             Response::Committed { version }
         }
         Request::Lookup { key } => {
+            let key = intern(&key);
             let mut st = store.borrow_mut();
             st.stats.lookups += 1;
             let found = st.map.get(&key).cloned();
@@ -180,6 +183,7 @@ async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response {
             }
         }
         Request::WaitKey { key } => {
+            let key = intern(&key);
             let mut first = true;
             loop {
                 let notify = {
@@ -195,12 +199,13 @@ async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response {
                         st.stats.waits_parked += 1;
                         first = false;
                     }
-                    st.watches.entry(key.clone()).or_default().clone()
+                    st.watches.entry(key).or_default().clone()
                 };
                 notify.wait().await;
             }
         }
         Request::Unlink { key } => {
+            let key = intern(&key);
             let mut st = store.borrow_mut();
             st.map.remove(&key);
             st.stats.unlinks += 1;
@@ -216,7 +221,7 @@ pub struct KvsClient {
     ep: Endpoint,
     broker: NodeId,
     spec: KvsSpec,
-    cache: Rc<RefCell<HashMap<String, VersionedValue>>>,
+    cache: Rc<RefCell<FxHashMap<Symbol, VersionedValue>>>,
 }
 
 impl KvsClient {
@@ -242,7 +247,7 @@ impl KvsClient {
             Response::Committed { version } => {
                 self.cache
                     .borrow_mut()
-                    .insert(key.to_string(), VersionedValue { version, value });
+                    .insert(intern(key), VersionedValue { version, value });
                 version
             }
             other => panic!("unexpected commit response {other:?}"),
@@ -259,7 +264,7 @@ impl KvsClient {
         match resp {
             Response::Value { version, value } => {
                 let v = VersionedValue { version, value };
-                self.cache.borrow_mut().insert(key.to_string(), v.clone());
+                self.cache.borrow_mut().insert(intern(key), v.clone());
                 Some(v)
             }
             Response::NotFound => None,
@@ -270,7 +275,7 @@ impl KvsClient {
     /// Read `key` from the local cache only (no simulated cost). Used on
     /// DYAD's warm synchronization path.
     pub fn lookup_cached(&self, key: &str) -> Option<VersionedValue> {
-        self.cache.borrow().get(key).cloned()
+        self.cache.borrow().get(&intern(key)).cloned()
     }
 
     /// Block until `key` exists, using a **server-side watch**: one RPC
@@ -283,7 +288,7 @@ impl KvsClient {
         match resp {
             Response::Value { version, value } => {
                 let v = VersionedValue { version, value };
-                self.cache.borrow_mut().insert(key.to_string(), v.clone());
+                self.cache.borrow_mut().insert(intern(key), v.clone());
                 v
             }
             other => panic!("unexpected wait response {other:?}"),
@@ -311,7 +316,7 @@ impl KvsClient {
             key: key.to_string(),
         };
         let _ = self.ep.rpc(self.broker, KVS_AM, req.encode()).await;
-        self.cache.borrow_mut().remove(key);
+        self.cache.borrow_mut().remove(&intern(key));
     }
 }
 

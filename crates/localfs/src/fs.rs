@@ -12,6 +12,7 @@
 //! `fsync`/`close`; reads hit the page cache (memory-bandwidth cost) when
 //! the content is resident, otherwise the device.
 
+use simcore::intern::{intern, FxHashMap, Symbol};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -158,7 +159,7 @@ enum InodeKind {
         cached: bool,
     },
     Dir {
-        children: HashMap<String, Ino>,
+        children: FxHashMap<Symbol, Ino>,
     },
 }
 
@@ -183,7 +184,7 @@ impl Inode {
     fn new_dir() -> Self {
         Inode {
             kind: InodeKind::Dir {
-                children: HashMap::new(),
+                children: FxHashMap::default(),
             },
             lock: Rc::default(),
         }
@@ -381,7 +382,7 @@ impl LocalFs {
             let node = inner.inodes.get(&cur).ok_or(FsError::NotFound)?;
             match &node.kind {
                 InodeKind::Dir { children } => {
-                    cur = *children.get(comp).ok_or(FsError::NotFound)?;
+                    cur = *children.get(&intern(comp)).ok_or(FsError::NotFound)?;
                 }
                 InodeKind::File { .. } => return Err(FsError::NotDirectory),
             }
@@ -397,7 +398,7 @@ impl LocalFs {
             let node = inner.inodes.get(&cur).ok_or(FsError::NotFound)?;
             match &node.kind {
                 InodeKind::Dir { children } => {
-                    cur = *children.get(*comp).ok_or(FsError::NotFound)?;
+                    cur = *children.get(&intern(comp)).ok_or(FsError::NotFound)?;
                 }
                 InodeKind::File { .. } => return Err(FsError::NotDirectory),
             }
@@ -414,7 +415,7 @@ impl LocalFs {
             let next = {
                 let node = inner.inodes.get(&cur).ok_or(FsError::NotFound)?;
                 match &node.kind {
-                    InodeKind::Dir { children } => children.get(comp).copied(),
+                    InodeKind::Dir { children } => children.get(&intern(comp)).copied(),
                     InodeKind::File { .. } => return Err(FsError::NotDirectory),
                 }
             };
@@ -426,7 +427,7 @@ impl LocalFs {
                     inner.inodes.insert(ino, Inode::new_dir());
                     match &mut inner.inodes.get_mut(&cur).unwrap().kind {
                         InodeKind::Dir { children } => {
-                            children.insert(comp.to_string(), ino);
+                            children.insert(intern(comp), ino);
                         }
                         InodeKind::File { .. } => unreachable!(),
                     }
@@ -447,7 +448,7 @@ impl LocalFs {
         let existing = {
             let node = inner.inodes.get(&parent).ok_or(FsError::NotFound)?;
             match &node.kind {
-                InodeKind::Dir { children } => children.get(name).copied(),
+                InodeKind::Dir { children } => children.get(&intern(name)).copied(),
                 InodeKind::File { .. } => return Err(FsError::NotDirectory),
             }
         };
@@ -481,7 +482,7 @@ impl LocalFs {
                 inner.inodes.insert(ino, Inode::new_file());
                 match &mut inner.inodes.get_mut(&parent).unwrap().kind {
                     InodeKind::Dir { children } => {
-                        children.insert(name.to_string(), ino);
+                        children.insert(intern(name), ino);
                     }
                     InodeKind::File { .. } => unreachable!(),
                 }
@@ -822,7 +823,9 @@ impl LocalFs {
         let ino = {
             let node = inner.inodes.get(&src_parent).ok_or(FsError::NotFound)?;
             match &node.kind {
-                InodeKind::Dir { children } => *children.get(src_name).ok_or(FsError::NotFound)?,
+                InodeKind::Dir { children } => {
+                    *children.get(&intern(src_name)).ok_or(FsError::NotFound)?
+                }
                 InodeKind::File { .. } => return Err(FsError::NotDirectory),
             }
         };
@@ -830,8 +833,8 @@ impl LocalFs {
             return Err(FsError::IsDirectory);
         }
         let (dst_parent, dst_name) = Self::lookup_parent(&inner, to)?;
-        let dst_name = dst_name.to_string();
-        let src_name = src_name.to_string();
+        let dst_name = intern(dst_name);
+        let src_name = intern(src_name);
         // Replace any existing destination, freeing its extents.
         let replaced = {
             let node = inner.inodes.get(&dst_parent).ok_or(FsError::NotFound)?;
@@ -871,7 +874,9 @@ impl LocalFs {
         let ino = {
             let node = inner.inodes.get(&parent).ok_or(FsError::NotFound)?;
             match &node.kind {
-                InodeKind::Dir { children } => *children.get(name).ok_or(FsError::NotFound)?,
+                InodeKind::Dir { children } => {
+                    *children.get(&intern(name)).ok_or(FsError::NotFound)?
+                }
                 InodeKind::File { .. } => return Err(FsError::NotDirectory),
             }
         };
@@ -880,7 +885,7 @@ impl LocalFs {
         }
         match &mut inner.inodes.get_mut(&parent).unwrap().kind {
             InodeKind::Dir { children } => {
-                children.remove(name);
+                children.remove(&intern(name));
             }
             InodeKind::File { .. } => unreachable!(),
         }

@@ -10,11 +10,11 @@
 //! latency in the experiments.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cluster::NodeId;
+use simcore::intern::{intern, FxHashMap, Symbol};
 use simcore::resource::FifoResource;
 use simcore::sync::Notify;
 use simcore::{Ctx, SimDuration};
@@ -51,7 +51,9 @@ struct LockState {
 }
 
 struct ServerState {
-    locks: HashMap<String, Rc<RefCell<LockState>>>,
+    // Lock names intern once per RPC; repeated lock/unlock cycles on the
+    // same resource hash a 4-byte symbol.
+    locks: FxHashMap<Symbol, Rc<RefCell<LockState>>>,
     stats: LdlmStats,
 }
 
@@ -103,7 +105,7 @@ impl LdlmServer {
     /// Start the lock server on `node`.
     pub fn start(ctx: &Ctx, tp: &Transport, node: NodeId, spec: LdlmSpec) -> Rc<LdlmServer> {
         let state = Rc::new(RefCell::new(ServerState {
-            locks: HashMap::new(),
+            locks: FxHashMap::default(),
             stats: LdlmStats::default(),
         }));
         let service = FifoResource::new(ctx, spec.threads);
@@ -117,7 +119,12 @@ impl LdlmServer {
                 Box::pin(async move {
                     service.request(spec.service_time).await;
                     let (op, path) = decode_req(raw);
-                    let lock = state.borrow_mut().locks.entry(path).or_default().clone();
+                    let lock = state
+                        .borrow_mut()
+                        .locks
+                        .entry(intern(&path))
+                        .or_default()
+                        .clone();
                     match op {
                         OP_LOCK_PR | OP_LOCK_EX => {
                             let exclusive = op == OP_LOCK_EX;

@@ -9,12 +9,13 @@
 //! resource in the experiments).
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use bytes::Bytes;
 use cluster::NodeId;
 use rand::RngExt;
+use simcore::intern::{intern, FxHashMap, Symbol};
 use simcore::resource::{FifoResource, SharedBandwidth};
 use simcore::{Ctx, SimDuration};
 use transport::{payload_len, AmId, LocalBoxFuture, Payload, Transport};
@@ -107,7 +108,9 @@ struct FileMeta {
 }
 
 struct MdsState {
-    files: HashMap<String, FileMeta>,
+    // Paths intern once per RPC; repeat opens/stats of the same frame
+    // path hash a 4-byte symbol.
+    files: FxHashMap<Symbol, FileMeta>,
     next_object: u64,
     next_ost: u32,
     n_osts: u32,
@@ -131,7 +134,7 @@ impl MdsServer {
     ) -> Rc<MdsServer> {
         assert!(n_osts >= 1);
         let state = Rc::new(RefCell::new(MdsState {
-            files: HashMap::new(),
+            files: FxHashMap::default(),
             next_object: 1,
             next_ost: 0,
             n_osts,
@@ -191,7 +194,7 @@ fn mds_handle(state: &Rc<RefCell<MdsState>>, spec: &PfsSpec, req: MdsRequest) ->
                 objects,
             };
             st.files.insert(
-                path,
+                intern(&path),
                 FileMeta {
                     layout: layout.clone(),
                     size: 0,
@@ -201,7 +204,7 @@ fn mds_handle(state: &Rc<RefCell<MdsState>>, spec: &PfsSpec, req: MdsRequest) ->
         }
         MdsRequest::Open { path } => {
             st.stats.opens += 1;
-            match st.files.get(&path) {
+            match st.files.get(&intern(&path)) {
                 Some(m) => MdsResponse::Meta {
                     layout: m.layout.clone(),
                     size: m.size,
@@ -211,7 +214,7 @@ fn mds_handle(state: &Rc<RefCell<MdsState>>, spec: &PfsSpec, req: MdsRequest) ->
         }
         MdsRequest::SetSize { path, size } => {
             st.stats.setattrs += 1;
-            match st.files.get_mut(&path) {
+            match st.files.get_mut(&intern(&path)) {
                 Some(m) => {
                     m.size = m.size.max(size);
                     MdsResponse::Ok
@@ -221,14 +224,14 @@ fn mds_handle(state: &Rc<RefCell<MdsState>>, spec: &PfsSpec, req: MdsRequest) ->
         }
         MdsRequest::Unlink { path } => {
             st.stats.unlinks += 1;
-            match st.files.remove(&path) {
+            match st.files.remove(&intern(&path)) {
                 Some(_) => MdsResponse::Ok,
                 None => MdsResponse::NotFound,
             }
         }
         MdsRequest::Stat { path } => {
             st.stats.stats += 1;
-            match st.files.get(&path) {
+            match st.files.get(&intern(&path)) {
                 Some(m) => MdsResponse::Meta {
                     layout: m.layout.clone(),
                     size: m.size,
@@ -254,7 +257,7 @@ pub struct OstStats {
 
 struct OstState {
     /// Object id → segment map (offset → bytes), zero-copy storage.
-    objects: HashMap<u64, BTreeMap<u64, Bytes>>,
+    objects: FxHashMap<u64, BTreeMap<u64, Bytes>>,
     stats: OstStats,
 }
 
@@ -309,7 +312,7 @@ impl OstServer {
         spec: PfsSpec,
     ) -> Rc<OstServer> {
         let state = Rc::new(RefCell::new(OstState {
-            objects: HashMap::new(),
+            objects: FxHashMap::default(),
             stats: OstStats::default(),
         }));
         let write_bw = SharedBandwidth::new(ctx, spec.ost_write_bw).with_flow_cap(spec.burst_cap);

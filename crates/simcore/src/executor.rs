@@ -13,11 +13,13 @@
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::{Rc, Weak};
 use std::sync::Arc;
+
+use crate::intern::FxHashMap;
 use std::task::{Context, Poll, Wake, Waker};
 
 use parking_lot::Mutex;
@@ -30,17 +32,28 @@ pub(crate) type TaskId = u64;
 
 /// What the calendar fires when an event's timestamp is reached.
 enum EventKind {
-    /// Wake a parked future (timer expiry).
-    Wake(Waker),
+    /// Wake a process directly by task id (timer expiry). Nothing in
+    /// this workspace wraps wakers, so a future polled by task `t` is
+    /// always woken via `t`'s own waker — [`Sleep`] exploits that and
+    /// skips the `Waker`/queue indirection (no `Arc` traffic, no
+    /// mutex) for the most common calendar entry by far.
+    WakeTask(TaskId),
     /// Run an arbitrary callback (used by event-driven resources such as
     /// [`crate::resource::SharedBandwidth`]).
     Call(Box<dyn FnOnce()>),
 }
 
+/// A calendar entry. The payload lives in the slot slab so that heap
+/// entries stay small and `Copy`, and so an entry can be cancelled in O(1)
+/// without digging through the heap: cancellation vacates the slot and
+/// bumps its generation, turning the heap entry into a tombstone that is
+/// skipped when popped (and swept early if tombstones pile up).
+#[derive(Copy, Clone)]
 struct Event {
     at: SimTime,
     seq: u64,
-    kind: EventKind,
+    slot: u32,
+    gen: u32,
 }
 
 impl PartialEq for Event {
@@ -68,6 +81,9 @@ impl Ord for Event {
 #[derive(Default)]
 struct WakeQueue {
     woken: Mutex<Vec<TaskId>>,
+    /// Cheap "anything queued?" flag so the dispatch loop can skip the
+    /// lock on the (overwhelmingly common) empty check.
+    nonempty: std::sync::atomic::AtomicBool,
 }
 
 struct TaskWaker {
@@ -77,20 +93,74 @@ struct TaskWaker {
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.queue.woken.lock().push(self.id);
+        self.wake_by_ref();
     }
     fn wake_by_ref(self: &Arc<Self>) {
         self.queue.woken.lock().push(self.id);
+        self.queue
+            .nonempty
+            .store(true, std::sync::atomic::Ordering::Release);
     }
+}
+
+/// A spawned process: its future plus the waker minted for it at spawn
+/// time. Reusing one waker per task keeps the dispatch loop free of
+/// per-poll `Arc` allocations.
+struct Task {
+    fut: Pin<Box<dyn Future<Output = ()>>>,
+    waker: Waker,
+}
+
+/// Slab slot holding the payload of one scheduled calendar entry.
+struct Slot {
+    /// Bumped every time the slot is disarmed (fired or cancelled), so a
+    /// heap entry carrying a stale generation is recognizably dead even if
+    /// the slot has since been reused.
+    gen: u32,
+    state: SlotState,
+}
+
+enum SlotState {
+    Vacant { next_free: u32 },
+    Armed(EventKind),
+}
+
+/// Sentinel for "free list empty".
+const NO_FREE: u32 = u32::MAX;
+
+/// Tombstones are swept eagerly only once at least this many have piled
+/// up; below the floor, lazy deletion on pop is cheaper than a rebuild.
+const COMPACT_FLOOR: usize = 64;
+
+/// Snapshot of event-calendar internals, for health checks and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalendarStats {
+    /// Live (armed, unexpired) entries in the calendar.
+    pub pending: usize,
+    /// Cancelled entries whose heap tombstones have not yet been popped or
+    /// compacted away. Bounded by `max(pending, compaction floor)`.
+    pub tombstones: usize,
+    /// Number of tombstone-triggered heap rebuilds so far.
+    pub compactions: u64,
+    /// Slots currently allocated in the entry slab (high-water mark of
+    /// simultaneously scheduled entries).
+    pub slab_slots: usize,
 }
 
 pub(crate) struct Core {
     now: SimTime,
     seq: u64,
     events: BinaryHeap<Reverse<Event>>,
-    tasks: HashMap<TaskId, Pin<Box<dyn Future<Output = ()>>>>,
+    slots: Vec<Slot>,
+    free_head: u32,
+    tombstones: usize,
+    compactions: u64,
+    tasks: FxHashMap<TaskId, Task>,
     ready: VecDeque<TaskId>,
+    /// Task currently being polled; only meaningful during dispatch.
+    current: TaskId,
     wakes: Arc<WakeQueue>,
+    wake_scratch: Vec<TaskId>,
     next_task: TaskId,
     seed: u64,
     events_processed: u64,
@@ -98,10 +168,108 @@ pub(crate) struct Core {
 }
 
 impl Core {
-    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+    fn push_event(&mut self, at: SimTime, kind: EventKind) -> (u32, u32) {
+        let slot = if self.free_head != NO_FREE {
+            let s = self.free_head;
+            let SlotState::Vacant { next_free } = self.slots[s as usize].state else {
+                unreachable!("free list points at an armed slot");
+            };
+            self.free_head = next_free;
+            self.slots[s as usize].state = SlotState::Armed(kind);
+            s
+        } else {
+            let s = u32::try_from(self.slots.len()).expect("calendar slab overflow");
+            self.slots.push(Slot {
+                gen: 0,
+                state: SlotState::Armed(kind),
+            });
+            s
+        };
+        let gen = self.slots[slot as usize].gen;
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Event { at, seq, kind }));
+        self.events.push(Reverse(Event { at, seq, slot, gen }));
+        (slot, gen)
+    }
+
+    /// Disarm `(slot, gen)` and return its payload (so the caller can drop
+    /// it outside the core borrow). No-op `None` if the entry already fired
+    /// or was already cancelled. The heap entry becomes a tombstone.
+    fn cancel_entry(&mut self, slot: u32, gen: u32) -> Option<EventKind> {
+        let s = self.slots.get_mut(slot as usize)?;
+        if s.gen != gen || matches!(s.state, SlotState::Vacant { .. }) {
+            return None;
+        }
+        let state = std::mem::replace(
+            &mut s.state,
+            SlotState::Vacant {
+                next_free: self.free_head,
+            },
+        );
+        s.gen = s.gen.wrapping_add(1);
+        self.free_head = slot;
+        self.tombstones += 1;
+        self.maybe_compact();
+        match state {
+            SlotState::Armed(kind) => Some(kind),
+            SlotState::Vacant { .. } => unreachable!(),
+        }
+    }
+
+    /// Take the payload of a live entry that just popped off the heap.
+    fn take_fired(&mut self, slot: u32) -> EventKind {
+        let s = &mut self.slots[slot as usize];
+        let state = std::mem::replace(
+            &mut s.state,
+            SlotState::Vacant {
+                next_free: self.free_head,
+            },
+        );
+        s.gen = s.gen.wrapping_add(1);
+        self.free_head = slot;
+        match state {
+            SlotState::Armed(kind) => kind,
+            SlotState::Vacant { .. } => unreachable!("fired event points at a vacant slot"),
+        }
+    }
+
+    fn is_stale(&self, e: &Event) -> bool {
+        self.slots[e.slot as usize].gen != e.gen
+    }
+
+    /// Discard cancelled entries sitting at the top of the heap so `peek`
+    /// always sees the next event that will actually fire.
+    fn skim_stale(&mut self) {
+        while let Some(Reverse(e)) = self.events.peek() {
+            if !self.is_stale(e) {
+                break;
+            }
+            self.events.pop();
+            self.tombstones -= 1;
+        }
+    }
+
+    /// Rebuild the heap without tombstones once they outnumber live
+    /// entries (and exceed the floor). Keeps wasted heap capacity — and
+    /// pop-path skip work — proportional to the live entry count.
+    fn maybe_compact(&mut self) {
+        let live = self.events.len() - self.tombstones;
+        if self.tombstones >= COMPACT_FLOOR && self.tombstones > live {
+            let mut entries = std::mem::take(&mut self.events).into_vec();
+            entries.retain(|Reverse(e)| !self.is_stale(e));
+            self.events = BinaryHeap::from(entries);
+            self.tombstones = 0;
+            self.compactions += 1;
+        }
+    }
+
+    fn calendar_stats(&self) -> CalendarStats {
+        CalendarStats {
+            pending: self.events.len() - self.tombstones,
+            tombstones: self.tombstones,
+            compactions: self.compactions,
+            slab_slots: self.slots.len(),
+        }
     }
 }
 
@@ -156,8 +324,14 @@ impl Sim {
                 now: SimTime::ZERO,
                 seq: 0,
                 events: BinaryHeap::new(),
-                tasks: HashMap::new(),
+                slots: Vec::new(),
+                free_head: NO_FREE,
+                tombstones: 0,
+                compactions: 0,
+                tasks: FxHashMap::default(),
                 ready: VecDeque::new(),
+                current: 0,
+                wake_scratch: Vec::new(),
                 wakes: Arc::new(WakeQueue::default()),
                 next_task: 0,
                 seed,
@@ -195,12 +369,30 @@ impl Sim {
         self.run_inner(None)
     }
 
+    /// Snapshot of event-calendar internals (live entries, tombstones,
+    /// compactions). Intended for health checks: after any amount of timer
+    /// churn, `tombstones` must stay within the compaction bound.
+    pub fn calendar_stats(&self) -> CalendarStats {
+        self.core.borrow().calendar_stats()
+    }
+
     fn drain_wakes(&self) {
         let mut core = self.core.borrow_mut();
-        let woken: Vec<TaskId> = std::mem::take(&mut *core.wakes.woken.lock());
-        for id in woken {
-            core.ready.push_back(id);
+        let core = &mut *core;
+        if !core
+            .wakes
+            .nonempty
+            .swap(false, std::sync::atomic::Ordering::Acquire)
+        {
+            return;
         }
+        // Swap the queue out under the lock, refill `ready` outside it, and
+        // hand the (drained) buffer back so both vectors keep their
+        // capacity: no allocation on the steady-state wake path.
+        let mut woken = std::mem::take(&mut core.wake_scratch);
+        std::mem::swap(&mut woken, &mut *core.wakes.woken.lock());
+        core.ready.extend(woken.drain(..));
+        core.wake_scratch = woken;
     }
 
     fn run_inner(&self, deadline: Option<SimTime>) -> RunReport {
@@ -208,7 +400,7 @@ impl Sim {
             // Dispatch every runnable process at the current instant.
             loop {
                 self.drain_wakes();
-                let (id, fut) = {
+                let (id, mut task) = {
                     let mut core = self.core.borrow_mut();
                     let Some(id) = core.ready.pop_front() else {
                         break;
@@ -216,50 +408,48 @@ impl Sim {
                     // A task may be woken multiple times or woken after
                     // completion; in both cases it is absent from the map.
                     match core.tasks.remove(&id) {
-                        Some(f) => (id, f),
+                        Some(t) => {
+                            core.current = id;
+                            (id, t)
+                        }
                         None => continue,
                     }
                 };
-                let queue = self.core.borrow().wakes.clone();
-                let waker = Waker::from(Arc::new(TaskWaker { id, queue }));
-                let mut cx = Context::from_waker(&waker);
-                let mut fut = fut;
-                match fut.as_mut().poll(&mut cx) {
+                // The waker was built once at spawn and travels with the
+                // future; polling allocates nothing.
+                let mut cx = Context::from_waker(&task.waker);
+                match task.fut.as_mut().poll(&mut cx) {
                     Poll::Ready(()) => {}
                     Poll::Pending => {
-                        self.core.borrow_mut().tasks.insert(id, fut);
+                        self.core.borrow_mut().tasks.insert(id, task);
                     }
                 }
             }
 
             // All processes blocked: advance the clock to the next event.
+            // Cancelled entries are skimmed first — they neither advance
+            // the clock nor count as processed events.
             let ev = {
                 let mut core = self.core.borrow_mut();
+                core.skim_stale();
                 match core.events.peek() {
                     None => None,
                     Some(Reverse(e)) => {
-                        if let Some(d) = deadline {
-                            if e.at > d {
-                                core.now = d;
-                                None
-                            } else {
-                                let Reverse(e) = core.events.pop().unwrap();
-                                core.now = e.at;
-                                core.events_processed += 1;
-                                Some(e)
-                            }
+                        if deadline.is_some_and(|d| e.at > d) {
+                            core.now = deadline.unwrap();
+                            None
                         } else {
                             let Reverse(e) = core.events.pop().unwrap();
                             core.now = e.at;
                             core.events_processed += 1;
-                            Some(e)
+                            Some(core.take_fired(e.slot))
                         }
                     }
                 }
             };
             match ev {
-                Some(e) => match e.kind {
-                    EventKind::Wake(w) => w.wake(),
+                Some(kind) => match kind {
+                    EventKind::WakeTask(id) => self.core.borrow_mut().ready.push_back(id),
                     // Callbacks run with the core unborrowed so they may
                     // schedule further events or wake tasks.
                     EventKind::Call(f) => f(),
@@ -347,7 +537,17 @@ impl Ctx {
         let id = core.next_task;
         core.next_task += 1;
         core.tasks_spawned += 1;
-        core.tasks.insert(id, Box::pin(wrapped));
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            queue: core.wakes.clone(),
+        }));
+        core.tasks.insert(
+            id,
+            Task {
+                fut: Box::pin(wrapped),
+                waker,
+            },
+        );
         core.ready.push_back(id);
         JoinHandle { inner }
     }
@@ -358,7 +558,7 @@ impl Ctx {
         Sleep {
             core: self.core.clone(),
             deadline,
-            registered: false,
+            entry: None,
         }
     }
 
@@ -367,7 +567,7 @@ impl Ctx {
         Sleep {
             core: self.core.clone(),
             deadline,
-            registered: false,
+            entry: None,
         }
     }
 
@@ -380,12 +580,69 @@ impl Ctx {
     }
 
     /// Schedule `f` to run after `d` simulated time, outside any process.
-    /// Primarily for event-driven resources.
-    pub fn call_after(&self, d: SimDuration, f: impl FnOnce() + 'static) {
+    /// Primarily for event-driven resources. The returned handle cancels
+    /// the callback in O(1); it may be dropped freely if cancellation is
+    /// never needed.
+    pub fn call_after(&self, d: SimDuration, f: impl FnOnce() + 'static) -> TimerHandle {
         let core = self.core();
         let mut core = core.borrow_mut();
         let at = core.now + d;
-        core.push_event(at, EventKind::Call(Box::new(f)));
+        let (slot, gen) = core.push_event(at, EventKind::Call(Box::new(f)));
+        TimerHandle {
+            core: self.core.clone(),
+            slot,
+            gen,
+        }
+    }
+
+    /// Id of the task currently being polled. Only meaningful from
+    /// inside a `Future::poll` running on this executor.
+    pub(crate) fn current_task(&self) -> TaskId {
+        self.core().borrow().current
+    }
+
+    /// Enqueue a wake for `id` through the same queue the task's waker
+    /// would use, preserving wake ordering while skipping the `Waker`
+    /// clone/wake/drop round trip.
+    pub(crate) fn wake_task(&self, id: TaskId) {
+        let core = self.core();
+        let core = core.borrow();
+        core.wakes.woken.lock().push(id);
+        core.wakes
+            .nonempty
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Snapshot of event-calendar internals. See [`Sim::calendar_stats`].
+    pub fn calendar_stats(&self) -> CalendarStats {
+        self.core().borrow().calendar_stats()
+    }
+}
+
+/// Handle to a scheduled [`Ctx::call_after`] callback.
+///
+/// Cancelling drops the callback immediately and tombstones its calendar
+/// entry; an already-fired or already-cancelled handle is a no-op. This is
+/// what lets event-driven resources retire a provisional "next completion"
+/// event instead of letting it fire as a stale no-op.
+#[derive(Clone)]
+pub struct TimerHandle {
+    core: Weak<RefCell<Core>>,
+    slot: u32,
+    gen: u32,
+}
+
+impl TimerHandle {
+    /// Cancel the scheduled callback. Returns `true` if the callback had
+    /// not yet fired (i.e. this call actually cancelled it).
+    pub fn cancel(&self) -> bool {
+        let Some(core) = self.core.upgrade() else {
+            return false;
+        };
+        let cancelled = core.borrow_mut().cancel_entry(self.slot, self.gen);
+        // The callback (and anything it captured) drops here, outside the
+        // core borrow, so its Drop impls may touch the simulation.
+        cancelled.is_some()
     }
 }
 
@@ -398,10 +655,18 @@ pub(crate) fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Future returned by [`Ctx::sleep`].
+///
+/// Dropping an unexpired `Sleep` (e.g. the losing arm of a
+/// [`crate::race`] or [`crate::timeout`]) cancels its calendar entry, so
+/// abandoned timers leave at most a tombstone behind instead of a live
+/// waker that fires into nothing.
 pub struct Sleep {
     core: Weak<RefCell<Core>>,
     deadline: SimTime,
-    registered: bool,
+    /// `(slot, gen)` of the registered wake entry, if any. Stays set after
+    /// the entry fires; the generation check makes the Drop cancel a no-op
+    /// in that case.
+    entry: Option<(u32, u32)>,
 }
 
 impl Future for Sleep {
@@ -415,13 +680,29 @@ impl Future for Sleep {
         if core.now >= self.deadline {
             return Poll::Ready(());
         }
-        if !self.registered {
+        if self.entry.is_none() {
             let deadline = self.deadline;
-            core.push_event(deadline, EventKind::Wake(cx.waker().clone()));
+            let task = core.current;
+            let entry = core.push_event(deadline, EventKind::WakeTask(task));
             drop(core);
-            self.registered = true;
+            self.entry = Some(entry);
         }
+        let _ = cx; // woken through the calendar entry, not the waker
         Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        let Some((slot, gen)) = self.entry.take() else {
+            return;
+        };
+        let Some(core) = self.core.upgrade() else {
+            return;
+        };
+        let cancelled = core.borrow_mut().cancel_entry(slot, gen);
+        // Waker drops outside the core borrow.
+        drop(cancelled);
     }
 }
 
@@ -444,7 +725,9 @@ impl Future for YieldNow {
             .expect("YieldNow polled after Sim was dropped");
         let mut core = core.borrow_mut();
         let now = core.now;
-        core.push_event(now, EventKind::Wake(cx.waker().clone()));
+        let task = core.current;
+        core.push_event(now, EventKind::WakeTask(task));
+        let _ = cx;
         Poll::Pending
     }
 }
@@ -750,5 +1033,74 @@ mod tests {
         let report = sim.run();
         assert!(report.is_clean());
         assert_eq!(report.tasks_spawned, 10_000);
+    }
+
+    /// Executor-health check: heavy timer churn (timeouts cancelling
+    /// long sleeps every iteration) must keep calendar tombstones within
+    /// the compaction bound at every observation point, trigger actual
+    /// compactions, and never let a cancelled timer fire and drag the
+    /// clock out to its stale deadline.
+    #[test]
+    fn calendar_tombstones_stay_bounded_under_timer_churn() {
+        use crate::combinators::timeout;
+
+        let sim = Sim::new(0);
+        for _ in 0..200 {
+            let ctx = sim.ctx();
+            sim.spawn(async move {
+                for _ in 0..30 {
+                    // The 1 s sleep always loses and is cancelled on drop,
+                    // leaving a far-future tombstone in the calendar.
+                    let _ = timeout(
+                        &ctx,
+                        SimDuration::from_nanos(10),
+                        ctx.sleep(SimDuration::from_secs(1)),
+                    )
+                    .await;
+                }
+            });
+        }
+        // Monitor task: the bound must hold mid-run, not just at the end.
+        let worst = Rc::new(Cell::new((0usize, 0usize)));
+        {
+            let ctx = sim.ctx();
+            let worst = worst.clone();
+            sim.spawn(async move {
+                loop {
+                    ctx.sleep(SimDuration::from_nanos(7)).await;
+                    let st = ctx.calendar_stats();
+                    assert!(
+                        st.tombstones <= COMPACT_FLOOR.max(st.pending),
+                        "tombstones {} exceed bound (pending {})",
+                        st.tombstones,
+                        st.pending
+                    );
+                    let (t, _) = worst.get();
+                    if st.tombstones > t {
+                        worst.set((st.tombstones, st.pending));
+                    }
+                    if st.pending <= 1 {
+                        break; // only this monitor's sleep remains
+                    }
+                }
+            });
+        }
+        let report = sim.run();
+        assert!(report.is_clean());
+        let st = sim.calendar_stats();
+        assert!(
+            st.compactions > 0,
+            "6000 cancelled timers should have forced at least one compaction"
+        );
+        assert_eq!(st.pending, 0);
+        assert!(st.tombstones <= COMPACT_FLOOR);
+        // 6000 timeouts of 10 ns each; the cancelled 1 s sleeps must not
+        // have advanced the clock anywhere near their stale deadlines.
+        assert!(
+            report.end_time < SimTime::from_nanos(1_000_000),
+            "stale timers advanced the clock: ended at {:?}",
+            report.end_time
+        );
+        assert!(worst.get().0 > 0, "monitor never saw churn");
     }
 }

@@ -35,6 +35,7 @@
 
 mod combinators;
 mod executor;
+pub mod intern;
 pub mod resource;
 pub mod stats;
 pub mod sync;
@@ -42,7 +43,7 @@ mod time;
 pub mod trace;
 
 pub use combinators::{race, timeout, Either, Race, TimedOut, Timeout};
-pub use executor::{Ctx, JoinHandle, RunReport, Sim, Sleep, YieldNow};
+pub use executor::{CalendarStats, Ctx, JoinHandle, RunReport, Sim, Sleep, TimerHandle, YieldNow};
 pub use time::{SimDuration, SimTime};
 
 /// Await multiple futures of the same type concurrently and collect their

@@ -288,10 +288,17 @@ impl Semaphore {
 
     /// Return `amount` permits and hand them to queued waiters in order.
     pub fn add_permits(&self, amount: u64) {
+        {
+            // Fast path: nobody queued, so this is a pure counter bump.
+            let mut st = self.st.borrow_mut();
+            st.permits += amount;
+            if st.waiters.is_empty() {
+                return;
+            }
+        }
         let mut to_wake = Vec::new();
         {
             let mut st = self.st.borrow_mut();
-            st.permits += amount;
             while let Some(front) = st.waiters.front().cloned() {
                 let mut w = front.borrow_mut();
                 match w.state {

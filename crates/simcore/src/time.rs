@@ -89,6 +89,24 @@ impl SimDuration {
         }
     }
 
+    /// Construct from fractional seconds, rounding *up* to the next
+    /// nanosecond. Used for scheduling completion events: rounding up
+    /// guarantees the event fires at-or-after the exact completion
+    /// instant, so the work is fully done when the event is handled (no
+    /// residual-byte epsilon needed). Negative and non-finite inputs
+    /// clamp to zero.
+    pub fn from_secs_f64_ceil(s: f64) -> Self {
+        if s.is_nan() || s <= 0.0 {
+            return SimDuration(0);
+        }
+        let ns = (s * 1e9).ceil();
+        if ns >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(ns as u64)
+        }
+    }
+
     /// Raw nanoseconds.
     pub const fn nanos(self) -> u64 {
         self.0
@@ -251,6 +269,20 @@ mod tests {
         // Sub-nanosecond values round.
         assert_eq!(SimDuration::from_secs_f64(0.6e-9).nanos(), 1);
         assert_eq!(SimDuration::from_secs_f64(0.4e-9).nanos(), 0);
+    }
+
+    #[test]
+    fn from_secs_f64_ceil_rounds_up() {
+        assert_eq!(SimDuration::from_secs_f64_ceil(0.5).nanos(), 500_000_000);
+        assert_eq!(SimDuration::from_secs_f64_ceil(0.1e-9).nanos(), 1);
+        assert_eq!(SimDuration::from_secs_f64_ceil(0.9e-9).nanos(), 1);
+        assert_eq!(SimDuration::from_secs_f64_ceil(1.1e-9).nanos(), 2);
+        assert_eq!(SimDuration::from_secs_f64_ceil(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64_ceil(f64::NAN), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64_ceil(f64::INFINITY),
+            SimDuration::MAX
+        );
     }
 
     #[test]

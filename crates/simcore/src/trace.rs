@@ -95,7 +95,20 @@ impl Tracer {
     }
 
     /// Open a span; it closes (and records) when the guard drops.
+    /// A disabled tracer returns an inert guard without copying the
+    /// labels, so spans on hot paths cost two empty strings at most.
     pub fn span(&self, ctx: &Ctx, track: &str, category: &'static str, name: &str) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard {
+                tracer: self.clone(),
+                ctx: ctx.clone(),
+                start: SimTime::ZERO,
+                track: String::new(),
+                category,
+                name: String::new(),
+                closed: true,
+            };
+        }
         SpanGuard {
             tracer: self.clone(),
             ctx: ctx.clone(),
@@ -103,7 +116,7 @@ impl Tracer {
             track: track.to_string(),
             category,
             name: name.to_string(),
-            closed: !self.is_enabled(),
+            closed: false,
         }
     }
 

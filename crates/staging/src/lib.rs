@@ -38,7 +38,7 @@
 #![warn(missing_docs)]
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -46,6 +46,7 @@ use cluster::NodeId;
 use kvs::KvsClient;
 use localfs::LocalFs;
 use pfs::PfsClient;
+use simcore::intern::{intern, FxHashMap, Symbol};
 use simcore::sync::Notify;
 use simcore::{race, Ctx, SimDuration};
 
@@ -173,7 +174,7 @@ pub enum FrameState {
 
 #[derive(Debug, Clone)]
 struct Staged {
-    path: String,
+    path: Symbol,
     size: u64,
     kind: FrameKind,
     state: FrameState,
@@ -225,9 +226,11 @@ pub struct StagingStats {
 }
 
 struct Inner {
-    frames: HashMap<String, Staged>,
+    // Paths are interned once on track; every later lifecycle hit
+    // (publish, ack, evict scan) keys on the 4-byte symbol.
+    frames: FxHashMap<Symbol, Staged>,
     /// Insertion order — eviction scans oldest-first.
-    order: BTreeMap<u64, String>,
+    order: BTreeMap<u64, Symbol>,
     next_seq: u64,
     /// `(path prefix, consumer id)` registrations.
     consumers: Vec<(String, String)>,
@@ -291,7 +294,7 @@ impl StagingManager {
             pfs,
             spec,
             inner: RefCell::new(Inner {
-                frames: HashMap::new(),
+                frames: FxHashMap::default(),
                 order: BTreeMap::new(),
                 next_seq: 0,
                 consumers: Vec::new(),
@@ -425,17 +428,18 @@ impl StagingManager {
     }
 
     fn track(&self, path: &str, size: u64, kind: FrameKind, state: FrameState) {
+        let path = intern(path);
         let mut inner = self.inner.borrow_mut();
-        if inner.frames.contains_key(path) {
+        if inner.frames.contains_key(&path) {
             return; // idempotent (refetch of an evicted cache copy)
         }
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.order.insert(seq, path.to_string());
+        inner.order.insert(seq, path);
         inner.frames.insert(
-            path.to_string(),
+            path,
             Staged {
-                path: path.to_string(),
+                path,
                 size,
                 kind,
                 state,
@@ -456,7 +460,7 @@ impl StagingManager {
     /// consumers and enters the retention lifecycle.
     pub fn frame_published(&self, path: &str) {
         let mut inner = self.inner.borrow_mut();
-        if let Some(f) = inner.frames.get_mut(path) {
+        if let Some(f) = inner.frames.get_mut(&intern(path)) {
             if f.state == FrameState::Written {
                 f.state = FrameState::Published;
             }
@@ -516,20 +520,21 @@ impl StagingManager {
     /// Remove every trace of a fully-consumed frame: the data copy
     /// (NVMe or PFS), the KVS metadata, and the ack keys.
     async fn retire(&self, frame: &Staged, acks_seen: usize, required: usize) {
+        let path = frame.path.resolve();
         match frame.state {
             FrameState::Spilled => {
                 if let Some(pfs) = &self.pfs {
-                    let _ = pfs.unlink(&spill_path(&frame.path)).await;
+                    let _ = pfs.unlink(&spill_path(&path)).await;
                 }
             }
             _ => {
-                let _ = self.fs.unlink(&frame.path).await;
+                let _ = self.fs.unlink(&path).await;
             }
         }
         if frame.kind == FrameKind::Produced {
-            self.kvs.unlink(&frame.path).await;
-            for c in self.consumers_for(&frame.path) {
-                self.kvs.unlink(&ack_key(&frame.path, &c)).await;
+            self.kvs.unlink(&path).await;
+            for c in self.consumers_for(&path) {
+                self.kvs.unlink(&ack_key(&path, &c)).await;
             }
         }
         let mut inner = self.inner.borrow_mut();
@@ -540,7 +545,7 @@ impl StagingManager {
         inner.stats.retired_frames += 1;
         inner.stats.retired_bytes += frame.size;
         inner.retire_log.push(RetireRecord {
-            path: frame.path.clone(),
+            path: path.to_string(),
             required_acks: required,
             acks_seen,
             was_spilled,
@@ -553,12 +558,13 @@ impl StagingManager {
     /// so consumer refetches find it there.
     async fn spill(&self, frame: &Staged) -> bool {
         let Some(pfs) = &self.pfs else { return false };
-        let Ok(fd) = self.fs.open(&frame.path).await else {
+        let path = frame.path.resolve();
+        let Ok(fd) = self.fs.open(&path).await else {
             return false;
         };
         let segs = self.fs.read_segments(fd).await.unwrap_or_default();
         let _ = self.fs.close(fd).await;
-        let spath = spill_path(&frame.path);
+        let spath = spill_path(&path);
         let Ok(sfd) = pfs.create(&spath).await else {
             return false;
         };
@@ -576,8 +582,8 @@ impl StagingManager {
             size: frame.size,
             location: FrameLocation::Pfs,
         };
-        self.kvs.commit(&frame.path, meta.encode()).await;
-        let _ = self.fs.unlink(&frame.path).await;
+        self.kvs.commit(&path, meta.encode()).await;
+        let _ = self.fs.unlink(&path).await;
         let mut inner = self.inner.borrow_mut();
         inner.stats.staged_bytes -= frame.size;
         inner.stats.spilled_frames += 1;
@@ -590,7 +596,7 @@ impl StagingManager {
 
     /// Drop a consumer-side cache copy (rebuildable via refetch).
     async fn evict_cache(&self, frame: &Staged) {
-        let _ = self.fs.unlink(&frame.path).await;
+        let _ = self.fs.unlink(&frame.path.resolve()).await;
         let mut inner = self.inner.borrow_mut();
         inner.stats.staged_bytes -= frame.size;
         inner.stats.cache_evictions += 1;
@@ -641,7 +647,7 @@ impl StagingManager {
             }
             match frame.kind {
                 FrameKind::Produced => {
-                    let (seen, required) = self.count_acks(&frame.path).await;
+                    let (seen, required) = self.count_acks(&frame.path.resolve()).await;
                     if required > 0 && seen == required {
                         self.retire(&frame, seen, required).await;
                     }

@@ -21,7 +21,6 @@
 #![warn(missing_docs)]
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
@@ -29,6 +28,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use cluster::{Fabric, NodeId};
+use simcore::intern::FxHashMap;
 use simcore::sync::{oneshot, OneSender};
 use simcore::Ctx;
 
@@ -106,15 +106,15 @@ struct PendingSend {
 
 struct MatchQueues {
     /// Sends that arrived before a matching receive was posted.
-    unexpected: HashMap<Tag, VecDeque<PendingSend>>,
+    unexpected: FxHashMap<Tag, VecDeque<PendingSend>>,
     /// Receives posted before a matching send arrived.
-    expected: HashMap<Tag, VecDeque<OneSender<PendingSend>>>,
+    expected: FxHashMap<Tag, VecDeque<OneSender<PendingSend>>>,
 }
 
 struct WorkerState {
     queues: MatchQueues,
-    handlers: HashMap<AmId, AmHandler>,
-    bulk_handlers: HashMap<AmId, BulkHandler>,
+    handlers: FxHashMap<AmId, AmHandler>,
+    bulk_handlers: FxHashMap<AmId, BulkHandler>,
 }
 
 /// Message counters (whole-transport aggregates).
@@ -156,11 +156,11 @@ impl Transport {
             .map(|_| {
                 RefCell::new(WorkerState {
                     queues: MatchQueues {
-                        unexpected: HashMap::new(),
-                        expected: HashMap::new(),
+                        unexpected: FxHashMap::default(),
+                        expected: FxHashMap::default(),
                     },
-                    handlers: HashMap::new(),
-                    bulk_handlers: HashMap::new(),
+                    handlers: FxHashMap::default(),
+                    bulk_handlers: FxHashMap::default(),
                 })
             })
             .collect();
