@@ -1,0 +1,69 @@
+//! Faulted fig6-style sweep: two nodes, JAC, DYAD vs Lustre, with a
+//! deterministic chaos plan (seeded, all fault classes) injected
+//! mid-run. Prints the usual movement/idle bars next to the
+//! recovery-time split the fault layer separates out — retry backoff is
+//! *recovery*, not data movement — plus the typed-loss accounting.
+//!
+//! `MDFLOW_CHAOS_SEED` / `MDFLOW_CHAOS_EVENTS` pick the plan (defaults
+//! 42 / 2 events per fault class); the same plan is replayed across all
+//! repetitions so the mean/std reflect workload seeds, not schedule
+//! luck.
+
+use bench::{fmt_secs, print_bar, reports_json, run, save_json, Scale};
+use mdflow::prelude::*;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn print_recovery(r: &StudyReport) {
+    println!(
+        "  {:<28} injected {:>5.1} | rpc retries {:>7.1} | recovery {:>11} | frames lost {:>4.1}",
+        "recovery split",
+        r.fault_injections.mean,
+        r.rpc_retries.mean,
+        fmt_secs(r.recovery_secs.mean),
+        r.frames_lost.mean,
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = env_u64("MDFLOW_CHAOS_SEED", 42);
+    let events = env_u64("MDFLOW_CHAOS_EVENTS", 2) as u32;
+    let split = Placement::Split { pairs_per_node: 8 };
+    println!(
+        "CHAOS — two nodes, JAC, stride 880, {} frames, {} reps, plan seed {seed}, {events} events/class",
+        scale.frames, scale.reps
+    );
+    let mut rows = Vec::new();
+    for pairs in [4u32, 8] {
+        for (name, solution) in [("dyad", Solution::Dyad), ("lustre", Solution::Lustre)] {
+            let clean = run(WorkflowConfig::new(solution, pairs, split), scale);
+            let faulted = run(
+                WorkflowConfig::new(solution, pairs, split)
+                    .with_faults(FaultConfig::chaos(seed, events)),
+                scale,
+            );
+            println!("\n{name} {pairs} pairs:");
+            print_bar("fault-free", &clean);
+            print_bar("chaos", &faulted);
+            print_recovery(&faulted);
+            let slow = faulted.makespan.mean / clean.makespan.mean;
+            println!(
+                "  {:<28} {} -> {} ({:+.1}%)",
+                "makespan",
+                fmt_secs(clean.makespan.mean),
+                fmt_secs(faulted.makespan.mean),
+                (slow - 1.0) * 100.0
+            );
+            rows.push((format!("{name}-{pairs}p-clean"), clean));
+            rows.push((format!("{name}-{pairs}p-chaos"), faulted));
+        }
+    }
+    let rows_ref: Vec<(String, &StudyReport)> = rows.iter().map(|(l, r)| (l.clone(), r)).collect();
+    save_json("chaos", &reports_json(&rows_ref));
+}

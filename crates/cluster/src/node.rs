@@ -1,5 +1,7 @@
 //! Compute nodes and their node-local NVMe storage.
 
+use std::rc::Rc;
+
 use simcore::resource::{BwStats, SharedBandwidth};
 use simcore::{Ctx, SimDuration};
 
@@ -65,6 +67,7 @@ pub struct NvmeDevice {
     read_bw: SharedBandwidth,
     write_bw: SharedBandwidth,
     op_latency: SimDuration,
+    slow_probe: Option<Rc<dyn Fn() -> f64>>,
 }
 
 impl NvmeDevice {
@@ -75,19 +78,47 @@ impl NvmeDevice {
             read_bw: SharedBandwidth::new(ctx, spec.nvme_read_bw),
             write_bw: SharedBandwidth::new(ctx, spec.nvme_write_bw),
             op_latency: spec.nvme_op_latency,
+            slow_probe: None,
+        }
+    }
+
+    /// Attach a degradation probe: a closure returning the current
+    /// service-time multiplier (1.0 = healthy). Sampled once per
+    /// operation, at submission. Used by the fault-injection layer;
+    /// without a probe the device behaves exactly as before.
+    pub fn set_slow_probe(&mut self, probe: Rc<dyn Fn() -> f64>) {
+        self.slow_probe = Some(probe);
+    }
+
+    /// Current degradation factor (1.0 when no probe is attached).
+    fn slow_factor(&self) -> f64 {
+        self.slow_probe.as_ref().map_or(1.0, |p| p())
+    }
+
+    /// Stretch a finished operation by `factor − 1` of its duration, so a
+    /// degraded device serves everything proportionally slower. No-op at
+    /// factor 1.0 (adds no events on healthy paths).
+    async fn stretch(&self, started: simcore::SimTime, factor: f64) {
+        if factor > 1.0 {
+            let elapsed = self.ctx.now().since(started);
+            self.ctx.sleep(elapsed.mul_f64(factor - 1.0)).await;
         }
     }
 
     /// Read `bytes` from the device.
     pub async fn read(&self, bytes: u64) {
+        let (t0, factor) = (self.ctx.now(), self.slow_factor());
         self.ctx.sleep(self.op_latency).await;
         self.read_bw.transfer_counted(bytes).await;
+        self.stretch(t0, factor).await;
     }
 
     /// Write `bytes` to the device.
     pub async fn write(&self, bytes: u64) {
+        let (t0, factor) = (self.ctx.now(), self.slow_factor());
         self.ctx.sleep(self.op_latency).await;
         self.write_bw.transfer_counted(bytes).await;
+        self.stretch(t0, factor).await;
     }
 
     /// A small metadata-sized write (journal record, inode update).
@@ -177,6 +208,31 @@ mod tests {
         sim.run();
         assert!((r.try_take().unwrap() - 1.000025).abs() < 1e-6);
         assert!((w.try_take().unwrap() - 1.000025).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slow_probe_stretches_service_time() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let mut dev = NvmeDevice::new(&ctx, &NodeSpec::corona());
+        let factor = Rc::new(std::cell::Cell::new(1.0f64));
+        let f2 = factor.clone();
+        dev.set_slow_probe(Rc::new(move || f2.get()));
+        let ctx2 = ctx.clone();
+        let h = sim.spawn(async move {
+            dev.write(3_000_000_000).await; // 1 s healthy
+            let healthy = ctx2.now().as_secs_f64();
+            factor.set(3.0);
+            dev.write(3_000_000_000).await; // 3 s degraded
+            (healthy, ctx2.now().as_secs_f64())
+        });
+        sim.run();
+        let (healthy, done) = h.try_take().unwrap();
+        assert!((healthy - 1.000025).abs() < 1e-6, "healthy took {healthy}");
+        assert!(
+            (done - healthy - 3.000075).abs() < 1e-6,
+            "degraded end {done}"
+        );
     }
 
     #[test]

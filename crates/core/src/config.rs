@@ -115,6 +115,80 @@ mod retention_serde {
     }
 }
 
+/// Deterministic fault-injection settings for a run. The default is
+/// fully disabled: no fault board is built, no timers are armed, and the
+/// run is event-for-event identical to one without the fault layer.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct FaultConfig {
+    /// Events per fault class in the generated chaos plan; `0` generates
+    /// nothing (injection is still enabled if `scheduled` is set).
+    pub events_per_class: u32,
+    /// Seed for the generated plan. Deliberately independent of the run
+    /// seed so one fault schedule can be replayed across repetitions.
+    pub seed: u64,
+    /// Mean fault-window length as a fraction of the expected workload
+    /// duration (see [`faults::ChaosSpec::mean_window_frac`]).
+    pub mean_window_frac: f64,
+    /// Explicit events appended to the generated plan (exact-schedule
+    /// experiments and tests). Not serialized: reports describe the plan
+    /// through its seed/class knobs.
+    #[serde(skip)]
+    pub scheduled: Vec<faults::FaultEvent>,
+}
+
+impl FaultConfig {
+    /// A generated chaos plan: `events_per_class` events of every fault
+    /// class, windows averaging 10% of the workload duration.
+    pub fn chaos(seed: u64, events_per_class: u32) -> Self {
+        FaultConfig {
+            events_per_class,
+            seed,
+            mean_window_frac: 0.1,
+            scheduled: Vec::new(),
+        }
+    }
+
+    /// An exact schedule, no generated events.
+    pub fn scheduled(events: Vec<faults::FaultEvent>) -> Self {
+        FaultConfig {
+            scheduled: events,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Whether the run should build and arm a fault board at all.
+    pub fn enabled(&self) -> bool {
+        self.events_per_class > 0 || !self.scheduled.is_empty()
+    }
+
+    /// Expand into the concrete plan for a topology and horizon.
+    pub fn build_plan(
+        &self,
+        horizon: simcore::SimDuration,
+        n_nodes: u32,
+        n_osts: u32,
+    ) -> faults::FaultPlan {
+        let mut plan = if self.events_per_class > 0 {
+            faults::FaultPlan::generate(
+                &faults::ChaosSpec {
+                    horizon,
+                    n_nodes,
+                    n_osts,
+                    events_per_class: self.events_per_class as f64,
+                    mean_window_frac: self.mean_window_frac,
+                },
+                self.seed,
+            )
+        } else {
+            faults::FaultPlan::empty()
+        };
+        for e in &self.scheduled {
+            plan.push(e.at, e.kind.clone());
+        }
+        plan
+    }
+}
+
 /// One workflow configuration (one bar/point of a figure).
 #[derive(Debug, Clone, Serialize)]
 pub struct WorkflowConfig {
@@ -138,6 +212,8 @@ pub struct WorkflowConfig {
     /// Staged-data lifecycle settings (DYAD only; ignored by the
     /// manual baselines, which manage their own storage).
     pub staging: StagingConfig,
+    /// Deterministic fault-injection plan (disabled by default).
+    pub faults: FaultConfig,
     /// Optional variable-rate frame schedule (overrides the fixed
     /// stride-based cadence; see [`crate::schedule::FrameSchedule`]).
     #[serde(skip)]
@@ -166,6 +242,7 @@ impl WorkflowConfig {
             manual_sync: ManualSync::Coarse,
             dyad_warm_sync: true,
             staging: StagingConfig::default(),
+            faults: FaultConfig::default(),
             schedule: None,
         }
     }
@@ -211,6 +288,12 @@ impl WorkflowConfig {
     /// staging pressure (DYAD only).
     pub fn with_spill(mut self, spill_to_pfs: bool) -> Self {
         self.staging.spill_to_pfs = spill_to_pfs;
+        self
+    }
+
+    /// Attach a fault-injection plan (see [`FaultConfig`]).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -49,11 +49,12 @@ pub mod prelude {
     pub use crate::calibration::Calibration;
     pub use crate::campaign::{Campaign, CampaignResult};
     pub use crate::config::{
-        ManualSync, Placement, Solution, StagingConfig, StudyConfig, WorkflowConfig,
+        FaultConfig, ManualSync, Placement, Solution, StagingConfig, StudyConfig, WorkflowConfig,
     };
     pub use crate::report::{speedup, Breakdown, StudyReport};
-    pub use crate::runner::{run_once, run_study, RunMetrics, StagingTotals};
+    pub use crate::runner::{run_once, run_study, FaultTotals, RunMetrics, StagingTotals};
     pub use crate::schedule::FrameSchedule;
+    pub use faults::{ChaosSpec, FaultEvent, FaultKind, FaultPlan, RetryPolicy};
     pub use mdsim::Model;
     pub use staging::RetentionPolicy;
 }

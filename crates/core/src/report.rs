@@ -38,6 +38,8 @@ pub struct RunBreakdown {
     pub makespan: f64,
     /// Staging-lifecycle counters (DYAD only; zero otherwise).
     pub staging: crate::runner::StagingTotals,
+    /// Fault-injection and recovery counters (zero when disabled).
+    pub faults: crate::runner::FaultTotals,
 }
 
 /// Sum the inclusive seconds of `path` over a merged profile.
@@ -105,6 +107,7 @@ pub fn reduce_run(wf: &WorkflowConfig, run: &RunMetrics) -> RunBreakdown {
         consumption,
         makespan: run.makespan.as_secs_f64(),
         staging: run.staging,
+        faults: run.faults,
     }
 }
 
@@ -155,6 +158,15 @@ pub struct StudyReport {
     pub backpressure_stall_secs: MeanStd,
     /// Consumes served from a spilled PFS copy (per repetition).
     pub pfs_fallbacks: MeanStd,
+    /// Fault windows injected (per repetition; zero when disabled).
+    pub fault_injections: MeanStd,
+    /// Transport RPC retry attempts (per repetition).
+    pub rpc_retries: MeanStd,
+    /// Seconds spent in retry backoff — the recovery-time half of the
+    /// movement/recovery split for faulted sweeps (per repetition).
+    pub recovery_secs: MeanStd,
+    /// Staged frames lost to crashes (per repetition).
+    pub frames_lost: MeanStd,
     /// Per-repetition numbers (for variability plots).
     pub runs: Vec<RunBreakdown>,
 }
@@ -189,6 +201,14 @@ impl StudyReport {
             pfs_fallbacks: MeanStd::from_samples(
                 reduced.iter().map(|r| r.staging.pfs_fallbacks as f64),
             ),
+            fault_injections: MeanStd::from_samples(
+                reduced.iter().map(|r| r.faults.injected as f64),
+            ),
+            rpc_retries: MeanStd::from_samples(reduced.iter().map(|r| r.faults.rpc_retries as f64)),
+            recovery_secs: MeanStd::from_samples(
+                reduced.iter().map(|r| r.faults.retry_backoff_secs),
+            ),
+            frames_lost: MeanStd::from_samples(reduced.iter().map(|r| r.faults.frames_lost as f64)),
             runs: reduced,
         }
     }

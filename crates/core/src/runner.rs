@@ -65,6 +65,40 @@ impl StagingTotals {
     }
 }
 
+/// Fault-injection and recovery counters for one repetition — the
+/// "recovery time" half of the movement/recovery split. All zero when
+/// the run's [`crate::config::FaultConfig`] is disabled.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct FaultTotals {
+    /// Fault windows actually opened by the armed plan.
+    pub injected: u64,
+    /// Node crash windows.
+    pub crashes: u64,
+    /// Node restarts completed.
+    pub restarts: u64,
+    /// Transport-level RPC retry attempts (all clients).
+    pub rpc_retries: u64,
+    /// RPCs that exhausted their retry budget.
+    pub rpc_giveups: u64,
+    /// Simulated seconds spent in transport retry backoff — recovery
+    /// time that would otherwise be misread as data-movement time.
+    pub retry_backoff_secs: f64,
+    /// Staged frames lost to node crashes before they could spill.
+    pub frames_lost: u64,
+    /// Spilled/lost frames re-published to the KVS by restart hooks.
+    pub republished_frames: u64,
+    /// Producer-side whole-produce retries after a typed error.
+    pub produce_outer_retries: u64,
+    /// Consumer-side whole-consume retries after a typed error.
+    pub consume_outer_retries: u64,
+    /// Frames a producer gave up on (tombstoned, typed).
+    pub produce_failures: u64,
+    /// Frames a consumer gave up on (typed, never a hang).
+    pub consume_failures: u64,
+    /// Lost-frame tombstones consumers observed (typed `FrameLost`).
+    pub frames_lost_observed: u64,
+}
+
 /// Raw result of one repetition.
 pub struct RunMetrics {
     /// One profile per producer process.
@@ -77,6 +111,8 @@ pub struct RunMetrics {
     pub events: u64,
     /// Staging-lifecycle counters (DYAD only).
     pub staging: StagingTotals,
+    /// Fault-injection and recovery counters (zero when disabled).
+    pub faults: FaultTotals,
 }
 
 /// Spawn a process and record the simulated time at which it finished.
@@ -148,9 +184,49 @@ fn run_once_with_tracer(
     );
     let tp = Transport::new(&ctx, cluster.fabric().clone(), cal.transport);
 
+    // ---- fault board -----------------------------------------------------
+    // Built only when the plan is non-empty: a disabled FaultConfig arms
+    // zero timers and leaves every substrate byte-identical to a build
+    // without the fault layer (the determinism fixtures pin this).
+    let fault_board = if wf.faults.enabled() {
+        let board = faults::FaultBoard::new(&ctx, n_total, cal.n_osts);
+        tp.set_faults(board.clone());
+        let horizon =
+            SimDuration::from_secs_f64((wf.frames as f64 * wf.frame_period_secs()).max(1.0));
+        // Generated faults target compute nodes only; service nodes
+        // (MDS/OSTs) have their own fault classes. Scheduled events may
+        // still name any node.
+        let n_osts_for_plan = if needs_pfs { cal.n_osts as u32 } else { 0 };
+        let plan = wf
+            .faults
+            .build_plan(horizon, n_compute as u32, n_osts_for_plan);
+        Some((board, plan))
+    } else {
+        None
+    };
+
     // ---- substrates ------------------------------------------------------
     let local_fs: Vec<LocalFs> = (0..n_compute as u32)
-        .map(|i| LocalFs::new(&ctx, cluster.node(NodeId(i)).nvme.clone(), cal.localfs))
+        .map(|i| {
+            let mut nvme = cluster.node(NodeId(i)).nvme.clone();
+            let mut fs_probe = None;
+            if let Some((board, _)) = &fault_board {
+                let b = board.clone();
+                nvme.set_slow_probe(Rc::new(move || b.nvme_factor(i)));
+                // Device-error injection only for DYAD, whose produce
+                // and consume paths carry typed recovery; the manual
+                // baselines model faults as slowdowns and freezes.
+                if wf.solution == Solution::Dyad {
+                    let b = board.clone();
+                    fs_probe = Some(Rc::new(move || b.nvme_error(i)) as Rc<dyn Fn() -> bool>);
+                }
+            }
+            let mut fs = LocalFs::new(&ctx, nvme, cal.localfs);
+            if let Some(p) = fs_probe {
+                fs.set_io_error_probe(p);
+            }
+            fs
+        })
         .collect();
     let kvs_server = if wf.solution.needs_kvs() {
         Some(KvsServer::start(&ctx, &tp, NodeId(0), cal.kvs))
@@ -213,6 +289,31 @@ fn run_once_with_tracer(
     } else {
         Vec::new()
     };
+    // Crash/restart lifecycle: a node crash loses that node's staged
+    // NVMe frames (spilled copies survive on the PFS); the restart hook
+    // re-publishes what survived and tombstones what did not. Hooks are
+    // registered before the plan is armed so the first event sees them.
+    if let Some((board, plan)) = &fault_board {
+        for (i, mgr) in staging_mgrs.iter().enumerate() {
+            if let Some(mgr) = mgr {
+                let m = mgr.clone();
+                board.on_crash(move |n| {
+                    if n == i as u32 {
+                        m.on_node_crash();
+                    }
+                });
+                let m = mgr.clone();
+                let hctx = ctx.clone();
+                board.on_restart(move |n| {
+                    if n == i as u32 {
+                        let m = m.clone();
+                        hctx.spawn(async move { m.on_node_restart().await });
+                    }
+                });
+            }
+        }
+        board.arm(plan);
+    }
     // Lock service (lock-based manual sync only), colocated with the MDS
     // for Lustre or the KVS broker node otherwise.
     let ldlm_server: Option<std::rc::Rc<LdlmServer>> =
@@ -255,6 +356,8 @@ fn run_once_with_tracer(
             start_offset: stagger,
             tracer: tracer.clone(),
             schedule: wf.schedule.clone(),
+            faults: fault_board.as_ref().map(|(b, _)| b.clone()),
+            node: pn,
         };
         let cargs = ConsumerArgs {
             ctx: ctx.clone(),
@@ -267,6 +370,8 @@ fn run_once_with_tracer(
             tracer: tracer.clone(),
             template: template.clone(),
             deserialize_cpu: cal.deserialize_cpu,
+            faults: fault_board.as_ref().map(|(b, _)| b.clone()),
+            node: cn,
         };
         let rng_stream = 0x9000 + pair as u64;
         match wf.solution {
@@ -388,8 +493,12 @@ fn run_once_with_tracer(
     let producers: Vec<Profile> = prod_handles.into_iter().map(&mut take).collect();
     let consumers: Vec<Profile> = cons_handles.into_iter().map(&mut take).collect();
     let mut staging_totals = StagingTotals::default();
+    let mut fault_totals = FaultTotals::default();
     for mgr in staging_mgrs.iter().flatten() {
-        staging_totals.absorb(&mgr.stats());
+        let s = mgr.stats();
+        staging_totals.absorb(&s);
+        fault_totals.frames_lost += s.frames_lost;
+        fault_totals.republished_frames += s.republished_frames;
         // Retention invariant: nothing retires before every registered
         // consumer acknowledged it (cheap; guards every study we run).
         for r in mgr.retire_log() {
@@ -400,6 +509,29 @@ fn run_once_with_tracer(
             );
         }
     }
+    if let Some((board, _)) = &fault_board {
+        let s = board.stats();
+        fault_totals.injected = s.injected;
+        fault_totals.crashes = s.crashes;
+        fault_totals.restarts = s.restarts;
+        let t = tp.stats();
+        fault_totals.rpc_retries = t.rpc_retries;
+        fault_totals.rpc_giveups = t.rpc_giveups;
+        fault_totals.retry_backoff_secs = SimDuration::from_nanos(t.retry_backoff_ns).as_secs_f64();
+        let sum = |key: &str| -> u64 {
+            producers
+                .iter()
+                .chain(consumers.iter())
+                .map(|p| p.sum_metric(key))
+                .sum::<f64>()
+                .round() as u64
+        };
+        fault_totals.produce_outer_retries = sum("produce_outer_retries");
+        fault_totals.consume_outer_retries = sum("consume_outer_retries");
+        fault_totals.produce_failures = sum("produce_failures");
+        fault_totals.consume_failures = sum("consume_failures");
+        fault_totals.frames_lost_observed = sum("frames_lost_observed");
+    }
     drop(kvs_server);
     RunMetrics {
         producers,
@@ -407,6 +539,7 @@ fn run_once_with_tracer(
         makespan,
         events: report.events_processed,
         staging: staging_totals,
+        faults: fault_totals,
     }
 }
 

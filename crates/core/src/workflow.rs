@@ -29,7 +29,8 @@
 use std::rc::Rc;
 
 use bytes::Bytes;
-use dyad::{DyadConsumer, DyadService, FrameLocation, FrameMeta};
+use dyad::{DyadConsumer, DyadError, DyadService, FrameLocation, FrameMeta};
+use faults::FaultBoard;
 use instrument::{Profile, Recorder};
 use kvs::KvsClient;
 use localfs::LocalFs;
@@ -171,6 +172,11 @@ pub struct ProducerArgs {
     pub tracer: Tracer,
     /// Optional variable-rate schedule (overrides `stride` × `clock`).
     pub schedule: Option<FrameSchedule>,
+    /// Fault board when injection is armed for this run. `None` keeps
+    /// the process body byte-identical to the fault-free build.
+    pub faults: Option<FaultBoard>,
+    /// The compute-node index this process runs on (fault freezes).
+    pub node: u32,
 }
 
 /// The per-frame MD-phase duration: the variable-rate schedule when one
@@ -223,10 +229,73 @@ pub async fn producer_dyad(args: ProducerArgs, svc: Rc<DyadService>, rng_stream:
             g.end();
             p
         };
-        svc.produce(&rec, &frame_path(args.pair, frame), payload)
-            .await;
+        match &args.faults {
+            None => {
+                svc.produce(&rec, &frame_path(args.pair, frame), payload)
+                    .await;
+            }
+            Some(board) => {
+                // Boxed so the (large, rarely-live) recovery state
+                // machine doesn't inflate every fault-free producer task.
+                Box::pin(produce_dyad_faulted(
+                    &args, board, &svc, &rec, frame, payload, rng_stream,
+                ))
+                .await;
+            }
+        }
     }
     rec.finish()
+}
+
+/// One fault-tolerant DYAD produce. Device-error windows are absorbed
+/// inside [`DyadService::try_produce`]; broker outages that outlast its
+/// budget are absorbed here by re-running the (idempotent) produce with
+/// backoff. Every fault window is finite by construction, so this
+/// terminates; a frame that is truly unwritable is tombstoned by the
+/// service and surfaces to consumers as a typed `FrameLost`.
+async fn produce_dyad_faulted(
+    args: &ProducerArgs,
+    board: &FaultBoard,
+    svc: &Rc<DyadService>,
+    rec: &Recorder,
+    frame: u64,
+    payload: Payload,
+    rng_stream: u64,
+) {
+    let policy = dyad::dyad_retry_policy();
+    let mut frng = args.ctx.rng(rng_stream ^ 0xFA17);
+    let mut outer = 0u32;
+    loop {
+        // A crashed node runs nothing: freeze until the restart.
+        board.hold_until_up(args.node).await;
+        match svc
+            .try_produce(
+                rec,
+                &frame_path(args.pair, frame),
+                payload.clone(),
+                &policy,
+                &mut frng,
+            )
+            .await
+        {
+            Ok(()) => break,
+            Err(DyadError::Storage { .. }) => {
+                // Retry budget exhausted and tombstone published.
+                rec.annotate("produce_failures", 1.0);
+                break;
+            }
+            Err(_) => {
+                outer += 1;
+                if outer >= 64 {
+                    rec.annotate("produce_failures", 1.0);
+                    break;
+                }
+                rec.annotate("produce_outer_retries", 1.0);
+                let pause = policy.backoff(outer.min(9), &mut frng);
+                args.ctx.sleep(pause).await;
+            }
+        }
+    }
 }
 
 /// Manual-baseline producer process (XFS or Lustre).
@@ -256,6 +325,10 @@ pub async fn producer_manual(
         .ensure_dir(&format!("frames/p{:04}", args.pair))
         .await;
     for frame in 0..args.frames {
+        if let Some(board) = &args.faults {
+            // A crashed node runs nothing: freeze until the restart.
+            board.hold_until_up(args.node).await;
+        }
         {
             let g = rec.region("md_sim");
             let d = md_phase(&args, &mut sched, &mut rng);
@@ -342,6 +415,10 @@ pub struct ConsumerArgs {
     pub template: Rc<FrameTemplate>,
     /// CPU cost of deserializing a frame header.
     pub deserialize_cpu: SimDuration,
+    /// Fault board when injection is armed for this run.
+    pub faults: Option<FaultBoard>,
+    /// The compute-node index this process runs on (fault freezes).
+    pub node: u32,
 }
 
 /// One analytics-phase duration with jitter applied.
@@ -367,7 +444,23 @@ pub async fn consumer_dyad(args: ConsumerArgs, svc: Rc<DyadService>) -> Profile 
     // node's staging manager, or frames would never become retireable.
     let mut session: DyadConsumer = svc.consumer_with_id(&format!("c{}", args.pair));
     for frame in 0..args.frames {
-        let data = session.consume(&rec, &frame_path(args.pair, frame)).await;
+        let data = match &args.faults {
+            None => Some(session.consume(&rec, &frame_path(args.pair, frame)).await),
+            // Boxed for the same reason as the producer: keep the
+            // recovery state machine out of fault-free consumer tasks.
+            Some(board) => {
+                Box::pin(consume_dyad_faulted(
+                    &args,
+                    board,
+                    &mut session,
+                    &rec,
+                    frame,
+                ))
+                .await
+            }
+        };
+        // A typed loss has nothing to analyze; move to the next frame.
+        let Some(data) = data else { continue };
         deserialize_and_validate(&args, &rec, &data, frame).await;
         {
             let g = rec.region("analytics");
@@ -377,6 +470,45 @@ pub async fn consumer_dyad(args: ConsumerArgs, svc: Rc<DyadService>) -> Profile 
         }
     }
     rec.finish()
+}
+
+/// One fault-tolerant DYAD consume. Dead-owner and broker-outage errors
+/// from [`DyadConsumer::try_consume`] are retried here with backoff
+/// (fault windows are finite); a `FrameLost` tombstone is terminal and
+/// yields `None`, counted in the `frames_lost_observed` metric.
+async fn consume_dyad_faulted(
+    args: &ConsumerArgs,
+    board: &FaultBoard,
+    session: &mut DyadConsumer,
+    rec: &Recorder,
+    frame: u64,
+) -> Option<Payload> {
+    let policy = dyad::dyad_retry_policy();
+    let mut frng = args.ctx.rng(args.rng_stream ^ 0xFA17 ^ frame);
+    let mut outer = 0u32;
+    loop {
+        board.hold_until_up(args.node).await;
+        match session
+            .try_consume(rec, &frame_path(args.pair, frame))
+            .await
+        {
+            Ok(data) => return Some(data),
+            Err(DyadError::FrameLost { .. }) => {
+                rec.annotate("frames_lost_observed", 1.0);
+                return None;
+            }
+            Err(_) => {
+                outer += 1;
+                if outer >= 64 {
+                    rec.annotate("consume_failures", 1.0);
+                    return None;
+                }
+                rec.annotate("consume_outer_retries", 1.0);
+                let pause = policy.backoff(outer.min(9), &mut frng);
+                args.ctx.sleep(pause).await;
+            }
+        }
+    }
 }
 
 /// Manual-baseline consumer process (XFS or Lustre).
@@ -397,6 +529,9 @@ pub async fn consumer_manual(
     let mut rng = args.ctx.rng(args.rng_stream);
     args.ctx.sleep(args.start_offset).await;
     for frame in 0..args.frames {
+        if let Some(board) = &args.faults {
+            board.hold_until_up(args.node).await;
+        }
         let data = {
             let g = rec.region("consume");
             {
@@ -491,6 +626,9 @@ pub async fn producer_dyad_on_pfs(
         .map(|s| s.generator(args.ctx.rng(rng_stream ^ 0x5C4E)));
     args.ctx.sleep(args.start_offset).await;
     for frame in 0..args.frames {
+        if let Some(board) = &args.faults {
+            board.hold_until_up(args.node).await;
+        }
         {
             let g = rec.region("md_sim");
             let d = md_phase(&args, &mut sched, &mut rng);
@@ -547,6 +685,9 @@ pub async fn consumer_dyad_on_pfs(
     args.ctx.sleep(args.start_offset).await;
     let mut warmed = false;
     for frame in 0..args.frames {
+        if let Some(board) = &args.faults {
+            board.hold_until_up(args.node).await;
+        }
         let path = frame_path(args.pair, frame);
         let data = {
             let g = rec.region("dyad_consume");

@@ -1,0 +1,275 @@
+//! Chaos suite (PR 5): every backend × every fault class terminates —
+//! the workflow either completes or fails with typed, counted errors,
+//! never a deadlock — and the whole fault pipeline is deterministic:
+//! identical seeds give bit-identical fault schedules and bit-identical
+//! reduced reports.
+//!
+//! The companion guarantee — that a *disabled* fault plan leaves runs
+//! event-for-event identical to the pre-fault-layer code — is pinned by
+//! `determinism_fixtures.rs` (its fixtures were captured before the
+//! fault layer existed and every config there carries the default,
+//! empty `FaultConfig`). The tests here add the complementary checks:
+//! different disabled knobs are bit-identical, and an *armed* board
+//! whose events all land after the workload keeps the same trajectory.
+
+use mdflow::prelude::*;
+use simcore::SimDuration;
+
+/// Fixed seeds for the byte-stability sweeps (mirrored in CI).
+const SEEDS: [u64; 3] = [11, 42, 20240807];
+
+/// Pairs × frames of the small chaos workload.
+const PAIRS: u32 = 2;
+const FRAMES: u64 = 8;
+
+fn ms(millis: u64) -> SimDuration {
+    SimDuration::from_millis(millis)
+}
+
+/// The small workload every scenario runs: 2 pairs, 8 frames, quiet
+/// testbed. XFS cannot split across nodes; the others use the paper's
+/// producer/consumer split so faults can hit either side of the wire.
+fn base(solution: Solution) -> WorkflowConfig {
+    let placement = if solution == Solution::Xfs {
+        Placement::SingleNode
+    } else {
+        Placement::Split { pairs_per_node: 8 }
+    };
+    WorkflowConfig::new(solution, PAIRS, placement).with_frames(FRAMES)
+}
+
+/// One scheduled scenario per fault class, all opening mid-workload
+/// (the 8-frame JAC run spans ~6.6 s; windows open at 1 s and close
+/// well before the retry budgets run out).
+fn fault_classes(solution: Solution) -> Vec<(&'static str, FaultKind)> {
+    // On the split placements node 0 runs producers (and the KVS
+    // broker); node 1 runs consumers. Single-node XFS only has node 0.
+    let peer = if solution == Solution::Xfs { 0 } else { 1 };
+    vec![
+        (
+            "node_crash",
+            FaultKind::NodeCrash {
+                node: 0,
+                down_for: ms(400),
+            },
+        ),
+        (
+            "nvme_degrade",
+            FaultKind::NvmeDegrade {
+                node: 0,
+                factor: 8.0,
+                duration: ms(600),
+            },
+        ),
+        (
+            "nvme_error",
+            FaultKind::NvmeError {
+                node: 0,
+                duration: ms(300),
+            },
+        ),
+        (
+            "link_down",
+            FaultKind::LinkDown {
+                node: peer,
+                duration: ms(400),
+            },
+        ),
+        (
+            "ost_degrade",
+            FaultKind::OstDegrade {
+                ost: 0,
+                factor: 6.0,
+                duration: ms(800),
+            },
+        ),
+        ("mds_stall", FaultKind::MdsStall { duration: ms(300) }),
+        (
+            "kvs_delay",
+            FaultKind::KvsDelay {
+                delay: ms(150),
+                duration: ms(400),
+            },
+        ),
+    ]
+}
+
+/// Run one scheduled fault scenario. Returning at all is the core
+/// property: `run_once` panics on its internal hard stop if the
+/// workload deadlocks.
+fn run_scenario(solution: Solution, kind: FaultKind) -> RunMetrics {
+    let wf = base(solution).with_faults(FaultConfig::scheduled(vec![FaultEvent {
+        at: ms(1000),
+        kind,
+    }]));
+    run_once(&wf, &Calibration::quiet(), 7)
+}
+
+/// Shared post-conditions for every scenario.
+fn check_common(class: &str, solution: Solution, m: &RunMetrics) {
+    assert!(
+        m.faults.injected >= 1,
+        "{solution:?}/{class}: fault window never opened"
+    );
+    assert!(
+        m.makespan.as_secs_f64() > 0.0,
+        "{solution:?}/{class}: empty run"
+    );
+    if class == "node_crash" {
+        assert_eq!(m.faults.crashes, 1, "{solution:?}/{class}: crash count");
+        assert_eq!(m.faults.restarts, 1, "{solution:?}/{class}: restart count");
+    }
+}
+
+/// DYAD-only accounting: every frame of every pair ends in exactly one
+/// typed state — consumed (acked to the staging evictor), observed lost
+/// via a `FrameLost` tombstone, or given up with a typed failure.
+/// Nothing is consumed twice and nothing silently vanishes.
+fn check_dyad_accounting(class: &str, m: &RunMetrics) {
+    let total = PAIRS as u64 * FRAMES;
+    let accounted =
+        m.staging.acks_published + m.faults.frames_lost_observed + m.faults.consume_failures;
+    assert!(
+        accounted >= total,
+        "dyad/{class}: {accounted} of {total} frames accounted for \
+         (acks {}, lost {}, failures {})",
+        m.staging.acks_published,
+        m.faults.frames_lost_observed,
+        m.faults.consume_failures
+    );
+    assert!(
+        m.staging.acks_published <= total,
+        "dyad/{class}: {} acks for {total} frames — a frame was consumed twice",
+        m.staging.acks_published
+    );
+}
+
+#[test]
+fn dyad_survives_every_fault_class() {
+    for (class, kind) in fault_classes(Solution::Dyad) {
+        let m = run_scenario(Solution::Dyad, kind);
+        check_common(class, Solution::Dyad, &m);
+        check_dyad_accounting(class, &m);
+    }
+}
+
+#[test]
+fn lustre_survives_every_fault_class() {
+    for (class, kind) in fault_classes(Solution::Lustre) {
+        let m = run_scenario(Solution::Lustre, kind);
+        check_common(class, Solution::Lustre, &m);
+    }
+}
+
+#[test]
+fn xfs_survives_every_fault_class() {
+    for (class, kind) in fault_classes(Solution::Xfs) {
+        let m = run_scenario(Solution::Xfs, kind);
+        check_common(class, Solution::Xfs, &m);
+    }
+}
+
+/// Same seed ⇒ byte-identical generated schedule; different seed ⇒ a
+/// different one (the generator actually uses its seed).
+#[test]
+fn same_seed_gives_bit_identical_fault_schedules() {
+    let horizon = SimDuration::from_secs_f64(10.0);
+    for &seed in &SEEDS {
+        let a = FaultConfig::chaos(seed, 3).build_plan(horizon, 4, 2);
+        let b = FaultConfig::chaos(seed, 3).build_plan(horizon, 4, 2);
+        assert!(!a.describe().is_empty(), "seed {seed}: empty plan");
+        assert_eq!(
+            a.describe(),
+            b.describe(),
+            "seed {seed}: schedule not reproducible"
+        );
+        let c = FaultConfig::chaos(seed ^ 1, 3).build_plan(horizon, 4, 2);
+        assert_ne!(
+            a.describe(),
+            c.describe(),
+            "seed {seed}: schedule ignores its seed"
+        );
+    }
+}
+
+/// Generated chaos plans (all classes at once) terminate on every
+/// backend, and rerunning the same seed reduces to a byte-identical
+/// serialized report — fault counters, recovery split and all.
+#[test]
+fn same_seed_chaos_runs_produce_byte_identical_reports() {
+    let cal = Calibration::quiet();
+    for &seed in &SEEDS {
+        for solution in [Solution::Dyad, Solution::Lustre, Solution::Xfs] {
+            let wf = base(solution).with_faults(FaultConfig::chaos(seed, 1));
+            let a = run_once(&wf, &cal, seed);
+            assert!(
+                a.faults.injected > 0,
+                "{solution:?} seed {seed}: generated plan injected nothing"
+            );
+            let b = run_once(&wf, &cal, seed);
+            let ra = StudyReport::from_runs(&wf, &[a]).to_json();
+            let rb = StudyReport::from_runs(&wf, &[b]).to_json();
+            assert_eq!(ra, rb, "{solution:?} seed {seed}: report not byte-stable");
+        }
+    }
+}
+
+/// A disabled `FaultConfig` — whatever its seed/window knobs say — must
+/// leave the run bit-identical to one that never mentioned faults: same
+/// makespan, same event count, same counters.
+#[test]
+fn disabled_fault_config_leaves_runs_bit_identical() {
+    let cal = Calibration::quiet();
+    for solution in [Solution::Dyad, Solution::Lustre, Solution::Xfs] {
+        let plain = base(solution);
+        let disabled = base(solution).with_faults(FaultConfig {
+            events_per_class: 0,
+            seed: 0xDEAD_BEEF,
+            mean_window_frac: 0.5,
+            scheduled: Vec::new(),
+        });
+        let a = run_once(&plain, &cal, 3);
+        let b = run_once(&disabled, &cal, 3);
+        assert_eq!(a.makespan, b.makespan, "{solution:?}: makespan drifted");
+        assert_eq!(a.events, b.events, "{solution:?}: event count drifted");
+        assert_eq!(
+            serde_json::to_string(&a.staging).unwrap(),
+            serde_json::to_string(&b.staging).unwrap(),
+            "{solution:?}: staging counters drifted"
+        );
+    }
+}
+
+/// An *armed* fault board whose only event lands an hour after the
+/// workload finishes must not perturb the trajectory: the retrying
+/// wrappers and recovery hooks are pure overhead-free pass-throughs
+/// until a window actually opens.
+#[test]
+fn armed_board_with_out_of_window_plan_preserves_makespan() {
+    let cal = Calibration::quiet();
+    for solution in [Solution::Dyad, Solution::Lustre, Solution::Xfs] {
+        let plain = base(solution);
+        let late = base(solution).with_faults(FaultConfig::scheduled(vec![FaultEvent {
+            at: SimDuration::from_secs_f64(3600.0),
+            kind: FaultKind::NodeCrash {
+                node: 0,
+                down_for: ms(100),
+            },
+        }]));
+        let a = run_once(&plain, &cal, 5);
+        let b = run_once(&late, &cal, 5);
+        assert_eq!(
+            a.makespan, b.makespan,
+            "{solution:?}: armed-but-idle board changed the makespan"
+        );
+        assert_eq!(
+            serde_json::to_string(&a.staging).unwrap(),
+            serde_json::to_string(&b.staging).unwrap(),
+            "{solution:?}: armed-but-idle board changed staging counters"
+        );
+        assert_eq!(
+            b.faults.injected, 0,
+            "{solution:?}: out-of-window event fired inside the run"
+        );
+    }
+}

@@ -30,16 +30,81 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use cluster::NodeId;
+use faults::RetryPolicy;
 use instrument::Recorder;
 use kvs::KvsClient;
-use localfs::{LocalFs, LockKind};
+use localfs::{FsResult, LocalFs, LockKind};
 use pfs::PfsClient;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use simcore::resource::FifoResource;
 use simcore::{Ctx, SimDuration};
 use staging::StagingManager;
-use transport::{AmId, Endpoint, LocalBoxFuture, Payload, Transport};
+use transport::{AmId, Endpoint, LocalBoxFuture, Payload, Transport, TransportError};
 
 pub use staging::{FrameLocation, FrameMeta};
+
+/// Errors surfaced by the fallible produce/consume paths under a fault
+/// plan. Without faults these paths cannot fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DyadError {
+    /// Every copy of the frame is gone: the owner crashed before the
+    /// frame could spill, or the spill copy itself was dropped.
+    FrameLost {
+        /// Managed path of the lost frame.
+        path: String,
+    },
+    /// A transport-level failure survived the retry budget.
+    Transport(TransportError),
+    /// Local storage kept failing (NVMe device-error window outlasted
+    /// the retry budget).
+    Storage {
+        /// Managed path of the frame being written.
+        path: String,
+    },
+    /// The frame could not be resolved to a live copy within the
+    /// consume retry budget.
+    Unresolvable {
+        /// Managed path of the frame.
+        path: String,
+        /// Fetch attempts made.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for DyadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DyadError::FrameLost { path } => write!(f, "frame {path} lost (no surviving copy)"),
+            DyadError::Transport(e) => write!(f, "transport failure: {e}"),
+            DyadError::Storage { path } => write!(f, "local storage failure writing {path}"),
+            DyadError::Unresolvable { path, attempts } => {
+                write!(f, "frame {path} unresolvable after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DyadError {}
+
+impl From<TransportError> for DyadError {
+    fn from(e: TransportError) -> Self {
+        DyadError::Transport(e)
+    }
+}
+
+/// Retry policy shaping DYAD's own recovery loops (consumer re-resolve,
+/// producer write retry). Wider than the transport policy: node outages
+/// last milliseconds-to-seconds, so the cap and budget stretch further.
+pub fn dyad_retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        base: SimDuration::from_millis(1),
+        cap: SimDuration::from_millis(500),
+        max_attempts: 12,
+        jitter_frac: 0.25,
+        attempt_timeout: SimDuration::from_millis(100),
+    }
+}
 
 /// The AM id of the per-node DYAD data service.
 pub const DYAD_AM: AmId = AmId(0x4459);
@@ -219,6 +284,28 @@ impl DyadService {
         }
     }
 
+    /// Write a frame to the managed directory with atomic tmp+rename
+    /// publication. On failure (device-error window) the tmp file is
+    /// removed so a retry starts clean.
+    async fn write_frame(&self, path: &str, frame: Payload) -> FsResult<()> {
+        self.ensure_dirs(path).await;
+        let tmp = format!("{path}.tmp");
+        let res: FsResult<()> = async {
+            let fd = self.fs.create(&tmp).await?;
+            for seg in frame {
+                self.fs.write_bytes(fd, seg).await?;
+            }
+            self.fs.close(fd).await?;
+            self.fs.rename(&tmp, path).await?;
+            Ok(())
+        }
+        .await;
+        if res.is_err() {
+            let _ = self.fs.unlink(&tmp).await;
+        }
+        res
+    }
+
     /// Produce a frame: write to node-local storage, then publish
     /// metadata to the KVS.
     ///
@@ -243,14 +330,7 @@ impl DyadService {
             // atomically, so a same-node consumer can never observe a
             // partially written file.
             let w = rec.region("dyad_prod_write");
-            self.ensure_dirs(&path).await;
-            let tmp = format!("{path}.tmp");
-            let fd = self.fs.create(&tmp).await.expect("managed dir exists");
-            for seg in frame {
-                self.fs.write_bytes(fd, seg).await.expect("local write");
-            }
-            self.fs.close(fd).await.expect("close");
-            self.fs.rename(&tmp, &path).await.expect("publish rename");
+            self.write_frame(&path, frame).await.expect("local write");
             w.end();
         }
         if let Some(st) = &self.staging {
@@ -277,6 +357,83 @@ impl DyadService {
         inner.stats.bytes_produced += size;
     }
 
+    /// Fallible [`DyadService::produce`] for fault runs: local writes
+    /// retry through NVMe device-error windows with backoff, and the
+    /// metadata commit retries through broker outages. Fails typed once
+    /// the retry budget is exhausted.
+    pub async fn try_produce(
+        &self,
+        rec: &Recorder,
+        name: &str,
+        frame: Payload,
+        policy: &RetryPolicy,
+        rng: &mut StdRng,
+    ) -> Result<(), DyadError> {
+        let path = self.managed_path(name);
+        let size = transport::payload_len(&frame);
+        let g = rec.region("dyad_produce");
+        if let Some(st) = &self.staging {
+            if st.would_block(size) {
+                let b = rec.region("staging_backpressure");
+                st.admit(size).await;
+                b.end();
+            }
+        }
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let w = rec.region("dyad_prod_write");
+            let res = self.write_frame(&path, frame.clone()).await;
+            w.end();
+            match res {
+                Ok(()) => break,
+                Err(_) if attempts < policy.max_attempts => {
+                    rec.annotate("produce_retries", 1.0);
+                    let pause = policy.backoff(attempts - 1, rng);
+                    self.ctx.sleep(pause).await;
+                }
+                Err(_) => {
+                    // The frame can never appear: publish a Lost
+                    // tombstone (best effort) so consumers surface a
+                    // typed FrameLost instead of parking forever on a
+                    // key that will never be committed.
+                    let meta = FrameMeta {
+                        owner: self.node,
+                        size,
+                        location: FrameLocation::Lost,
+                    };
+                    let _ = self.kvs.try_commit(&path, meta.encode()).await;
+                    g.end();
+                    return Err(DyadError::Storage { path });
+                }
+            }
+        }
+        if let Some(st) = &self.staging {
+            st.frame_written(&path, size);
+        }
+        let commit_res = {
+            let c = rec.region("dyad_commit");
+            self.ctx.sleep(self.spec.produce_overhead).await;
+            let meta = FrameMeta {
+                owner: self.node,
+                size,
+                location: FrameLocation::Nvme,
+            };
+            let r = self.kvs.try_commit(&path, meta.encode()).await;
+            c.end();
+            r
+        };
+        commit_res?;
+        if let Some(st) = &self.staging {
+            st.frame_published(&path);
+        }
+        g.end();
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.produces += 1;
+        inner.stats.bytes_produced += size;
+        Ok(())
+    }
+
     /// Open a consumer session (tracks warm/cold synchronization state,
     /// one per consumer process). The session id defaults to the node
     /// name; sessions whose acks feed staging retention should use
@@ -288,10 +445,23 @@ impl DyadService {
 
     /// Open a consumer session with an explicit consumption-ack id.
     pub fn consumer_with_id(self: &Rc<Self>, id: &str) -> DyadConsumer {
+        // FNV-1a over the id gives each session its own deterministic
+        // backoff-jitter stream (only drawn from under a fault plan).
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in id.as_bytes() {
+            h = (h ^ u64::from(*b)).wrapping_mul(0x100000001b3);
+        }
+        let rng = StdRng::seed_from_u64(
+            self.ctx
+                .rng(0x4459_0000 ^ u64::from(self.node.0))
+                .random::<u64>()
+                ^ h,
+        );
         DyadConsumer {
             svc: self.clone(),
             id: id.to_string(),
             warmed: false,
+            rng,
         }
     }
 }
@@ -301,6 +471,7 @@ pub struct DyadConsumer {
     svc: Rc<DyadService>,
     id: String,
     warmed: bool,
+    rng: StdRng,
 }
 
 impl DyadConsumer {
@@ -387,6 +558,11 @@ impl DyadConsumer {
                     "frame {path} unresolvable (evicted mid-consume?)"
                 );
                 match meta.location {
+                    FrameLocation::Lost => {
+                        // Only fault runs mint Lost tombstones, and they
+                        // consume through the fallible path.
+                        panic!("frame {path} lost to a node crash (use try_consume under faults)");
+                    }
                     FrameLocation::Pfs => {
                         // Spilled: fetch the PFS copy directly.
                         let pfs = svc
@@ -489,9 +665,250 @@ impl DyadConsumer {
         data
     }
 
+    /// Fallible [`DyadConsumer::consume`] for fault runs. Differences
+    /// from the infallible path:
+    ///
+    /// * metadata ops ride the retrying KVS client (broker outages are
+    ///   absorbed, then surface as [`DyadError::Transport`]);
+    /// * the RDMA fetch retries with backoff; when the owner node is
+    ///   down the consumer falls back to the frame's PFS spill copy
+    ///   (re-fetching through the spill path) instead of waiting for
+    ///   the restart;
+    /// * a [`FrameLocation::Lost`] tombstone (owner crashed before the
+    ///   frame could spill) surfaces as [`DyadError::FrameLost`] instead
+    ///   of blocking forever;
+    /// * the resolve loop is bounded by the policy's attempt budget and
+    ///   fails typed ([`DyadError::Unresolvable`]) instead of panicking.
+    pub async fn try_consume(&mut self, rec: &Recorder, name: &str) -> Result<Payload, DyadError> {
+        let svc = self.svc.clone();
+        let path = svc.managed_path(name);
+        let policy = dyad_retry_policy();
+        let g = rec.region("dyad_consume");
+
+        // --- Synchronization ------------------------------------------
+        let mut data: Option<Payload> = None;
+        if svc.fs.exists(&path) {
+            let f = rec.region("dyad_sync_flock");
+            let locked = svc.fs.flock(&path, LockKind::Shared).await.is_ok();
+            if locked {
+                let _ = svc.fs.funlock(&path, LockKind::Shared).await;
+            }
+            f.end();
+            if locked {
+                let r = rec.region("read_single_buf");
+                data = try_read_local(&svc.fs, &path).await;
+                r.end();
+                if data.is_some() {
+                    svc.inner.borrow_mut().stats.local_hits += 1;
+                    self.warmed = true;
+                }
+            }
+        }
+
+        if data.is_none() {
+            let meta_res: Result<FrameMeta, DyadError> = {
+                let f = rec.region("dyad_fetch");
+                let r = if self.warmed && svc.spec.warm_sync {
+                    match svc.kvs.try_lookup(&path).await {
+                        Ok(Some(v)) => {
+                            svc.inner.borrow_mut().stats.warm_syncs += 1;
+                            Ok(FrameMeta::decode(v.value))
+                        }
+                        Ok(None) => {
+                            rec.annotate("cold_fallbacks", 1.0);
+                            svc.inner.borrow_mut().stats.cold_syncs += 1;
+                            try_cold_wait(&svc, rec, &path)
+                                .await
+                                .map(|v| FrameMeta::decode(v.value))
+                                .map_err(DyadError::from)
+                        }
+                        Err(e) => Err(e.into()),
+                    }
+                } else {
+                    svc.inner.borrow_mut().stats.cold_syncs += 1;
+                    try_cold_wait(&svc, rec, &path)
+                        .await
+                        .map(|v| FrameMeta::decode(v.value))
+                        .map_err(DyadError::from)
+                };
+                f.end();
+                r
+            };
+            let mut meta = meta_res?;
+            self.warmed = true;
+
+            // --- Data movement with recovery --------------------------
+            let mut attempts = 0;
+            let fetched = loop {
+                attempts += 1;
+                if attempts > policy.max_attempts {
+                    return Err(DyadError::Unresolvable {
+                        path,
+                        attempts: attempts - 1,
+                    });
+                }
+                match meta.location {
+                    FrameLocation::Lost => {
+                        return Err(DyadError::FrameLost { path });
+                    }
+                    FrameLocation::Pfs => {
+                        if let Some(pfs) = svc.staging.as_ref().and_then(|st| st.pfs_client()) {
+                            let r = rec.region("dyad_pfs_fallback");
+                            let got = read_pfs(pfs, &path).await;
+                            r.end();
+                            if let Some(got) = got {
+                                if let Some(st) = &svc.staging {
+                                    st.note_pfs_fallback();
+                                }
+                                break got;
+                            }
+                            // Spill copy gone: the owner (or its
+                            // restart hook) will tombstone or
+                            // re-publish; re-resolve below.
+                        }
+                    }
+                    FrameLocation::Nvme if meta.owner == svc.node => {
+                        let r = rec.region("read_single_buf");
+                        let got = try_read_local(&svc.fs, &path).await;
+                        r.end();
+                        if let Some(got) = got {
+                            break got;
+                        }
+                    }
+                    FrameLocation::Nvme => {
+                        let r = rec.region("dyad_get_data");
+                        let fetch = svc
+                            .ep
+                            .bulk_rpc_retrying(
+                                meta.owner,
+                                DYAD_AM,
+                                Bytes::copy_from_slice(path.as_bytes()),
+                                Vec::new(),
+                                &policy,
+                                &mut self.rng,
+                            )
+                            .await;
+                        r.end();
+                        match fetch {
+                            Ok((_, got)) if transport::payload_len(&got) > 0 => {
+                                let stored = self.store_cache(rec, &path, got).await;
+                                if let Some(got) = stored {
+                                    break got;
+                                }
+                            }
+                            Ok(_) => {
+                                // Owner answered but no longer holds the
+                                // file (spilled or lost underneath us):
+                                // re-resolve through the KVS.
+                            }
+                            Err(_) => {
+                                // Owner unreachable (crashed mid-window):
+                                // try the PFS spill copy before waiting
+                                // out the restart.
+                                rec.annotate("dead_owner_fallbacks", 1.0);
+                                if let Some(pfs) =
+                                    svc.staging.as_ref().and_then(|st| st.pfs_client())
+                                {
+                                    let r = rec.region("dyad_pfs_fallback");
+                                    let got = read_pfs(pfs, &path).await;
+                                    r.end();
+                                    if let Some(got) = got {
+                                        if let Some(st) = &svc.staging {
+                                            st.note_pfs_fallback();
+                                        }
+                                        break got;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Back off, then re-read the metadata and retry at the
+                // frame's (possibly new) home.
+                let pause = policy.backoff(attempts - 1, &mut self.rng);
+                svc.ctx.sleep(pause).await;
+                match svc.kvs.try_lookup(&path).await {
+                    Ok(Some(v)) => meta = FrameMeta::decode(v.value),
+                    // Metadata gone while we hold an unconsumed
+                    // reference: the frame is unrecoverable.
+                    Ok(None) => return Err(DyadError::FrameLost { path }),
+                    Err(e) => return Err(e.into()),
+                }
+            };
+            data = Some(fetched);
+        }
+        let data = data.expect("consume resolved a payload");
+        g.end();
+
+        if let Some(st) = &svc.staging {
+            let st = st.clone();
+            let p = path.clone();
+            let id = self.id.clone();
+            svc.ctx.spawn(async move {
+                let _ = st.try_publish_ack(&p, &id).await;
+            });
+        }
+
+        let size = transport::payload_len(&data);
+        let mut inner = svc.inner.borrow_mut();
+        inner.stats.consumes += 1;
+        inner.stats.bytes_consumed += size;
+        Ok(data)
+    }
+
+    /// Stage a fetched remote frame into the local cache and read it
+    /// back. `None` when the cache write failed (device-error window) —
+    /// the caller re-resolves; meanwhile serve nothing rather than a
+    /// partial frame.
+    async fn store_cache(&self, rec: &Recorder, path: &str, got: Payload) -> Option<Payload> {
+        let svc = &self.svc;
+        let s = rec.region("dyad_cons_store");
+        svc.ensure_dirs(path).await;
+        let tmp = format!("{path}.tmp-{}", svc.node.0);
+        let size = transport::payload_len(&got);
+        let write: FsResult<()> = async {
+            let fd = svc.fs.create(&tmp).await?;
+            for seg in got {
+                svc.fs.write_bytes(fd, seg).await?;
+            }
+            svc.fs.close(fd).await?;
+            svc.fs.rename(&tmp, path).await?;
+            Ok(())
+        }
+        .await;
+        if write.is_err() {
+            let _ = svc.fs.unlink(&tmp).await;
+            s.end();
+            return None;
+        }
+        if let Some(st) = &svc.staging {
+            st.cache_inserted(path, size);
+        }
+        s.end();
+        let r = rec.region("read_single_buf");
+        let got = try_read_local(&svc.fs, path).await;
+        r.end();
+        got
+    }
+
     /// Whether this session has completed its cold first sync.
     pub fn is_warm(&self) -> bool {
         self.warmed
+    }
+}
+
+/// Fallible cold synchronization (see [`cold_wait`]).
+async fn try_cold_wait(
+    svc: &Rc<DyadService>,
+    rec: &Recorder,
+    path: &str,
+) -> Result<kvs::VersionedValue, TransportError> {
+    if svc.spec.cold_sync_poll {
+        let (v, polls) = svc.kvs.try_wait_key_poll(path).await?;
+        rec.annotate("kvs_polls", polls as f64);
+        Ok(v)
+    } else {
+        svc.kvs.try_wait_key(path).await
     }
 }
 
@@ -900,5 +1317,208 @@ mod tests {
         let total = fetch.inclusive.as_secs_f64();
         assert!(total < 0.12, "sync cost {total}s — warm path not engaging");
         assert!(total > 0.09, "even the cold sync vanished: {total}s");
+    }
+
+    /// Staged rig with a fault board: prod=0, cons=1, KVS broker=2,
+    /// PFS MDS=3 + one OST=4 (broker and PFS survive a node-0 crash).
+    struct FaultRig {
+        board: faults::FaultBoard,
+        prod: Rc<DyadService>,
+        cons: Rc<DyadService>,
+        pmgr: Rc<staging::StagingManager>,
+        cmgr: Rc<staging::StagingManager>,
+        tp: Transport,
+    }
+
+    fn fault_setup(sim: &Sim, producer_budget: u64) -> FaultRig {
+        let ctx = sim.ctx();
+        let cl = Cluster::build(&ctx, &ClusterSpec::corona(5));
+        let tp = Transport::new(&ctx, cl.fabric().clone(), TransportSpec::default());
+        let board = faults::FaultBoard::new(&ctx, 5, 1);
+        tp.set_faults(board.clone());
+        let _kvs_server = KvsServer::start(&ctx, &tp, NodeId(2), KvsSpec::default());
+        let pfs = pfs::ParallelFs::start(
+            &ctx,
+            &tp,
+            NodeId(3),
+            vec![NodeId(4)],
+            pfs::PfsSpec::default(),
+        );
+        let mk = |i: u32, budget: u64| {
+            let fs = LocalFs::new(
+                &ctx,
+                cl.node(NodeId(i)).nvme.clone(),
+                LocalFsSpec::default(),
+            );
+            let kc = KvsClient::new(&ctx, &tp, NodeId(i), NodeId(2), KvsSpec::default());
+            let sspec = staging::StagingSpec {
+                budget_bytes: budget,
+                // With a two-frame budget, drain only down to one frame:
+                // the oldest spills, the newest stays NVMe-resident.
+                low_watermark: 0.55,
+                high_watermark: 0.8,
+                ..staging::StagingSpec::default()
+            };
+            let mgr = staging::StagingManager::new(
+                &ctx,
+                NodeId(i),
+                fs.clone(),
+                kc.clone(),
+                Some(pfs.client(&ctx, NodeId(i))),
+                sspec,
+            );
+            mgr.spawn_evictor();
+            let svc = DyadService::start_staged(
+                &ctx,
+                &tp,
+                NodeId(i),
+                fs,
+                kc,
+                DyadSpec::default(),
+                Some(mgr.clone()),
+            );
+            (svc, mgr)
+        };
+        let (prod, pmgr) = mk(0, producer_budget);
+        let (cons, cmgr) = mk(1, u64::MAX);
+        // Wire the staging crash/restart lifecycle the way the runner
+        // does.
+        {
+            let mgr = pmgr.clone();
+            board.on_crash(move |n| {
+                if n == 0 {
+                    mgr.on_node_crash();
+                }
+            });
+            let mgr = pmgr.clone();
+            let hctx = ctx.clone();
+            board.on_restart(move |n| {
+                if n == 0 {
+                    let mgr = mgr.clone();
+                    hctx.spawn(async move { mgr.on_node_restart().await });
+                }
+            });
+        }
+        FaultRig {
+            board,
+            prod,
+            cons,
+            pmgr,
+            cmgr,
+            tp,
+        }
+    }
+
+    #[test]
+    fn try_consume_survives_producer_crash_via_pfs_and_tombstones() {
+        // Producer writes two frames; the tight budget spills frame 0 to
+        // the PFS. Node 0 then crashes with frame 1 still NVMe-resident.
+        // The consumer must fetch frame 0 from the spill copy (dead
+        // owner → PFS fallback) and get a typed FrameLost for frame 1
+        // once the restart publishes its tombstone — never a hang.
+        let sim = Sim::new(7);
+        let frame_bytes = Model::Jac.frame_bytes();
+        let rig = fault_setup(&sim, 2 * frame_bytes);
+        rig.pmgr.register_consumer("/dyad/s", "c0");
+        let plan = faults::FaultPlan::scheduled(vec![faults::FaultEvent {
+            at: SimDuration::from_secs(1),
+            kind: faults::FaultKind::NodeCrash {
+                node: 0,
+                down_for: SimDuration::from_secs(2),
+            },
+        }]);
+        rig.board.arm(&plan);
+        {
+            let prod = rig.prod.clone();
+            let ctx = sim.ctx();
+            sim.spawn(async move {
+                let rec = Recorder::new(&ctx);
+                for i in 0..2u64 {
+                    let (_, f) = frame(i);
+                    prod.produce(&rec, &format!("s/{i}"), f).await;
+                    ctx.sleep(SimDuration::from_millis(200)).await;
+                }
+            });
+        }
+        let ctx2 = sim.ctx();
+        let cons = rig.cons.clone();
+        let h = sim.spawn(async move {
+            // Start inside the outage window.
+            ctx2.sleep(SimDuration::from_millis(1_200)).await;
+            let rec = Recorder::new(&ctx2);
+            let mut session = cons.consumer_with_id("c0");
+            let t = FrameTemplate::generate(Model::Jac, 5);
+            let spilled = session.try_consume(&rec, "s/0").await;
+            let ok0 = matches!(&spilled, Ok(got) if t.validate(got, 0));
+            let lost = session.try_consume(&rec, "s/1").await;
+            (ok0, lost)
+        });
+        sim.run_until(SimTime::from_nanos(60_000_000_000));
+        let (ok0, lost) = h.try_take().expect("chaos consume hung");
+        assert!(ok0, "spilled frame did not survive the crash");
+        assert_eq!(
+            lost,
+            Err(DyadError::FrameLost {
+                path: "/dyad/s/1".to_string()
+            })
+        );
+        assert!(rig.pmgr.stats().spilled_frames >= 1, "no spill happened");
+        assert!(rig.pmgr.stats().frames_lost >= 1, "crash lost no frame");
+        assert!(
+            rig.pmgr.stats().republished_frames >= 1,
+            "restart republished nothing"
+        );
+        assert!(
+            rig.cmgr.stats().pfs_fallbacks >= 1,
+            "no consume took the PFS fallback"
+        );
+        assert!(rig.tp.stats().rpc_retries > 0, "no retry was exercised");
+        assert_eq!(rig.board.stats().crashes, 1);
+    }
+
+    #[test]
+    fn dropped_spill_copy_surfaces_typed_frame_lost() {
+        // A frame whose only remaining copy (the PFS spill) is dropped
+        // must surface FrameLost to consumers instead of parking them
+        // forever on a dangling metadata entry.
+        let sim = Sim::new(3);
+        let frame_bytes = Model::Jac.frame_bytes();
+        let rig = fault_setup(&sim, frame_bytes);
+        rig.pmgr.register_consumer("/dyad/s", "c0");
+        {
+            let prod = rig.prod.clone();
+            let pmgr = rig.pmgr.clone();
+            let ctx = sim.ctx();
+            sim.spawn(async move {
+                let rec = Recorder::new(&ctx);
+                let (_, f) = frame(0);
+                prod.produce(&rec, "s/0", f).await;
+                // Wait out the evictor (budget of one frame forces the
+                // spill), then lose the spill copy.
+                ctx.sleep(SimDuration::from_secs(2)).await;
+                assert!(
+                    pmgr.stats().spilled_frames >= 1,
+                    "budget never forced a spill"
+                );
+                pmgr.mark_spill_lost("/dyad/s/0").await;
+            });
+        }
+        let ctx2 = sim.ctx();
+        let cons = rig.cons.clone();
+        let h = sim.spawn(async move {
+            ctx2.sleep(SimDuration::from_secs(3)).await;
+            let rec = Recorder::new(&ctx2);
+            let mut session = cons.consumer_with_id("c0");
+            session.try_consume(&rec, "s/0").await
+        });
+        sim.run_until(SimTime::from_nanos(30_000_000_000));
+        let res = h.try_take().expect("consume of a lost frame hung");
+        assert_eq!(
+            res,
+            Err(DyadError::FrameLost {
+                path: "/dyad/s/0".to_string()
+            })
+        );
+        assert_eq!(rig.pmgr.stats().frames_lost, 1);
     }
 }

@@ -90,6 +90,17 @@ impl Profile {
         out
     }
 
+    /// Sum a numeric annotation over the whole tree, wherever it was
+    /// attached. Used to aggregate sparse counters (retries, fallbacks,
+    /// typed failures) without knowing their region paths.
+    pub fn sum_metric(&self, key: &str) -> f64 {
+        fn walk(node: &ProfileNode, key: &str) -> f64 {
+            node.metrics.get(key).copied().unwrap_or(0.0)
+                + node.children.values().map(|c| walk(c, key)).sum::<f64>()
+        }
+        walk(&self.root, key)
+    }
+
     /// Merge another profile into this one (summing counts and times).
     pub fn merge(&mut self, other: &Profile) {
         fn merge_node(into: &mut ProfileNode, from: &ProfileNode) {

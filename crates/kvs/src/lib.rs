@@ -26,11 +26,14 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use cluster::NodeId;
+use faults::RetryPolicy;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use simcore::intern::{intern, FxHashMap, Symbol};
 use simcore::resource::FifoResource;
 use simcore::sync::Notify;
 use simcore::{Ctx, SimDuration};
-use transport::{AmId, Endpoint, LocalBoxFuture, Transport};
+use transport::{AmId, Endpoint, LocalBoxFuture, Transport, TransportError};
 
 /// The AM id the broker listens on.
 pub const KVS_AM: AmId = AmId(0x4B56);
@@ -112,15 +115,27 @@ impl KvsServer {
             store: store.clone(),
         });
         let handler_store = store;
+        let handler_tp = tp.clone();
+        let handler_ctx = ctx.clone();
         tp.register_am(
             node,
             KVS_AM,
             Rc::new(move |raw: Bytes| {
                 let store = handler_store.clone();
                 let service = service.clone();
+                let tp = handler_tp.clone();
+                let ctx = handler_ctx.clone();
                 Box::pin(async move {
                     // Queue for a broker thread.
                     service.request(spec.service_time).await;
+                    // Injected broker slowness (fault window): every op
+                    // pays the extra delay while the window is open. With
+                    // no board or no window this adds nothing.
+                    if let Some(board) = tp.faults() {
+                        if let Some(d) = board.kvs_delay() {
+                            ctx.sleep(d).await;
+                        }
+                    }
                     let req = Request::decode(raw);
                     handle(store, req).await.encode()
                 }) as LocalBoxFuture<Bytes>
@@ -222,18 +237,38 @@ pub struct KvsClient {
     broker: NodeId,
     spec: KvsSpec,
     cache: Rc<RefCell<FxHashMap<Symbol, VersionedValue>>>,
+    retry: RetryPolicy,
+    /// Retry policy for server-side waits: same backoff, but no
+    /// per-attempt timeout (the RPC legitimately parks in the broker
+    /// until the key is committed).
+    wait_retry: RetryPolicy,
+    rng: Rc<RefCell<StdRng>>,
 }
 
 impl KvsClient {
     /// Create a client on `node` talking to the broker on `broker`.
     pub fn new(ctx: &Ctx, tp: &Transport, node: NodeId, broker: NodeId, spec: KvsSpec) -> Self {
+        let retry = RetryPolicy::transport_default();
+        let wait_retry = RetryPolicy {
+            attempt_timeout: SimDuration::from_secs(86_400),
+            ..retry
+        };
         KvsClient {
             ctx: ctx.clone(),
             ep: tp.endpoint(node),
             broker,
             spec,
             cache: Rc::default(),
+            retry,
+            wait_retry,
+            rng: Rc::new(RefCell::new(ctx.rng(0x4B56_0000u64 | u64::from(node.0)))),
         }
+    }
+
+    /// Fork a per-call RNG from the client's stream so no `RefCell`
+    /// borrow is held across an await (clients are shared between tasks).
+    fn fork_rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.rng.borrow_mut().random())
     }
 
     /// Commit `value` under `key`; returns the new global version.
@@ -317,6 +352,110 @@ impl KvsClient {
         };
         let _ = self.ep.rpc(self.broker, KVS_AM, req.encode()).await;
         self.cache.borrow_mut().remove(&intern(key));
+    }
+
+    /// Fallible [`KvsClient::commit`]: retries through broker outages per
+    /// the client's retry policy; errors only once the budget is
+    /// exhausted. Commits are idempotent (last-writer-wins on the same
+    /// key), so a retry after a lost reply is safe.
+    pub async fn try_commit(&self, key: &str, value: Bytes) -> Result<u64, TransportError> {
+        let req = Request::Commit {
+            key: key.to_string(),
+            value: value.clone(),
+        };
+        let mut rng = self.fork_rng();
+        let raw = self
+            .ep
+            .rpc_retrying(self.broker, KVS_AM, req.encode(), &self.retry, &mut rng)
+            .await?;
+        match Response::decode(raw) {
+            Response::Committed { version } => {
+                self.cache
+                    .borrow_mut()
+                    .insert(intern(key), VersionedValue { version, value });
+                Ok(version)
+            }
+            other => panic!("unexpected commit response {other:?}"),
+        }
+    }
+
+    /// Fallible [`KvsClient::lookup`] with retry.
+    pub async fn try_lookup(&self, key: &str) -> Result<Option<VersionedValue>, TransportError> {
+        let req = Request::Lookup {
+            key: key.to_string(),
+        };
+        let mut rng = self.fork_rng();
+        let raw = self
+            .ep
+            .rpc_retrying(self.broker, KVS_AM, req.encode(), &self.retry, &mut rng)
+            .await?;
+        match Response::decode(raw) {
+            Response::Value { version, value } => {
+                let v = VersionedValue { version, value };
+                self.cache.borrow_mut().insert(intern(key), v.clone());
+                Ok(Some(v))
+            }
+            Response::NotFound => Ok(None),
+            other => panic!("unexpected lookup response {other:?}"),
+        }
+    }
+
+    /// Fallible [`KvsClient::wait_key`] with retry. Uses the wait policy
+    /// (no per-attempt timeout): the RPC parks server-side until the key
+    /// is committed, so only unreachability triggers a retry.
+    pub async fn try_wait_key(&self, key: &str) -> Result<VersionedValue, TransportError> {
+        let req = Request::WaitKey {
+            key: key.to_string(),
+        };
+        let mut rng = self.fork_rng();
+        let raw = self
+            .ep
+            .rpc_retrying(
+                self.broker,
+                KVS_AM,
+                req.encode(),
+                &self.wait_retry,
+                &mut rng,
+            )
+            .await?;
+        match Response::decode(raw) {
+            Response::Value { version, value } => {
+                let v = VersionedValue { version, value };
+                self.cache.borrow_mut().insert(intern(key), v.clone());
+                Ok(v)
+            }
+            other => panic!("unexpected wait response {other:?}"),
+        }
+    }
+
+    /// Fallible [`KvsClient::wait_key_poll`] with retry: each probe is a
+    /// fallible lookup, so broker outages shorter than the retry budget
+    /// are absorbed inside the poll loop.
+    pub async fn try_wait_key_poll(
+        &self,
+        key: &str,
+    ) -> Result<(VersionedValue, u64), TransportError> {
+        let mut polls = 0;
+        loop {
+            polls += 1;
+            if let Some(v) = self.try_lookup(key).await? {
+                return Ok((v, polls));
+            }
+            self.ctx.sleep(self.spec.poll_interval).await;
+        }
+    }
+
+    /// Fallible [`KvsClient::unlink`] with retry.
+    pub async fn try_unlink(&self, key: &str) -> Result<(), TransportError> {
+        let req = Request::Unlink {
+            key: key.to_string(),
+        };
+        let mut rng = self.fork_rng();
+        self.ep
+            .rpc_retrying(self.broker, KVS_AM, req.encode(), &self.retry, &mut rng)
+            .await?;
+        self.cache.borrow_mut().remove(&intern(key));
+        Ok(())
     }
 }
 
@@ -595,6 +734,67 @@ mod tests {
         assert_eq!(va, Bytes::from_static(b"A"));
         assert_eq!(vb, Bytes::from_static(b"B"));
         assert_eq!(raw, Bytes::from_static(b"A"));
+    }
+
+    #[test]
+    fn kvs_delay_window_slows_lookups() {
+        use faults::{FaultBoard, FaultEvent, FaultKind, FaultPlan};
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let rig = setup(&sim, 2);
+        let board = FaultBoard::new(&ctx, 2, 0);
+        rig.tp.set_faults(board.clone());
+        board.arm(&FaultPlan::scheduled(vec![FaultEvent {
+            at: SimDuration::from_nanos(0),
+            kind: FaultKind::KvsDelay {
+                delay: SimDuration::from_millis(5),
+                duration: SimDuration::from_millis(50),
+            },
+        }]));
+        let c = client(&sim, &rig, 1);
+        let ctx = sim.ctx();
+        let h = sim.spawn(async move {
+            let before = ctx.now();
+            c.try_lookup("x").await.unwrap();
+            let slow = ctx.now().since(before);
+            ctx.sleep(SimDuration::from_millis(100)).await; // window over
+            let before = ctx.now();
+            c.try_lookup("x").await.unwrap();
+            (slow, ctx.now().since(before))
+        });
+        assert!(sim.run().is_clean());
+        let (slow, fast) = h.try_take().unwrap();
+        assert!(slow >= SimDuration::from_millis(5), "slow={slow:?}");
+        assert!(fast < SimDuration::from_millis(1), "fast={fast:?}");
+    }
+
+    #[test]
+    fn commit_retries_through_broker_outage() {
+        use faults::{FaultBoard, FaultEvent, FaultKind, FaultPlan};
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let rig = setup(&sim, 2);
+        let board = FaultBoard::new(&ctx, 2, 0);
+        rig.tp.set_faults(board.clone());
+        // Broker node down for 2 ms from t=0.
+        board.arm(&FaultPlan::scheduled(vec![FaultEvent {
+            at: SimDuration::from_nanos(0),
+            kind: FaultKind::NodeCrash {
+                node: 0,
+                down_for: SimDuration::from_millis(2),
+            },
+        }]));
+        let c = client(&sim, &rig, 1);
+        let h = sim.spawn(async move {
+            let v = c.try_commit("k", Bytes::from_static(b"v")).await?;
+            let got = c.try_lookup("k").await?;
+            Ok::<_, transport::TransportError>((v, got))
+        });
+        assert!(sim.run().is_clean());
+        let (v, got) = h.try_take().unwrap().unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(got.unwrap().value, Bytes::from_static(b"v"));
+        assert!(rig.tp.stats().rpc_retries >= 1);
     }
 
     #[test]

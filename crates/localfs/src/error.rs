@@ -17,6 +17,9 @@ pub enum FsError {
     BadDescriptor,
     /// Directory not empty on rmdir (ENOTEMPTY).
     NotEmpty,
+    /// Device-level I/O error (EIO) — injected while the backing NVMe is
+    /// in a fault window.
+    Io,
 }
 
 impl std::fmt::Display for FsError {
@@ -29,6 +32,7 @@ impl std::fmt::Display for FsError {
             FsError::NotDirectory => "not a directory",
             FsError::BadDescriptor => "bad file descriptor",
             FsError::NotEmpty => "directory not empty",
+            FsError::Io => "input/output error",
         };
         f.write_str(s)
     }

@@ -246,6 +246,7 @@ pub struct LocalFs {
     dev: NvmeDevice,
     spec: LocalFsSpec,
     inner: Rc<RefCell<FsInner>>,
+    io_probe: Option<Rc<dyn Fn() -> bool>>,
 }
 
 fn split_path(path: &str) -> Vec<&str> {
@@ -275,6 +276,22 @@ impl LocalFs {
                 used_blocks: 0,
                 orphans: HashSet::new(),
             })),
+            io_probe: None,
+        }
+    }
+
+    /// Attach a device-error probe: while it returns `true`, operations
+    /// that touch the device fail with [`FsError::Io`] (EIO), as a
+    /// controller reset or failing NAND would surface. Used by the
+    /// fault-injection layer; without a probe nothing changes.
+    pub fn set_io_error_probe(&mut self, probe: Rc<dyn Fn() -> bool>) {
+        self.io_probe = Some(probe);
+    }
+
+    fn device_check(&self) -> FsResult<()> {
+        match &self.io_probe {
+            Some(p) if p() => Err(FsError::Io),
+            _ => Ok(()),
         }
     }
 
@@ -408,6 +425,7 @@ impl LocalFs {
 
     /// Create every missing directory along `path`.
     pub async fn mkdir_p(&self, path: &str) -> FsResult<()> {
+        self.device_check()?;
         self.ctx.sleep(self.spec.meta_cpu).await;
         let mut inner = self.inner.borrow_mut();
         let mut cur = inner.root;
@@ -442,6 +460,7 @@ impl LocalFs {
 
     /// Create (or truncate) a file for writing.
     pub async fn create(&self, path: &str) -> FsResult<Fd> {
+        self.device_check()?;
         self.ctx.sleep(self.spec.meta_cpu).await;
         let mut inner = self.inner.borrow_mut();
         let (parent, name) = Self::lookup_parent(&inner, path)?;
@@ -513,6 +532,7 @@ impl LocalFs {
     /// Open with an explicit mode. `Write`/`Append` require the file to
     /// exist (use [`LocalFs::create`] otherwise).
     pub async fn open_with(&self, path: &str, mode: OpenMode) -> FsResult<Fd> {
+        self.device_check()?;
         self.ctx.sleep(self.spec.meta_cpu).await;
         let mut inner = self.inner.borrow_mut();
         let ino = Self::lookup(&inner, path)?;
@@ -544,6 +564,7 @@ impl LocalFs {
     /// file's segment rope without copying its contents. Sequential
     /// appends — the workflow's pattern — stay O(1) in memory traffic.
     pub async fn write_bytes(&self, fd: Fd, data: Bytes) -> FsResult<()> {
+        self.device_check()?;
         let bytes = data.len() as u64;
         {
             let mut inner = self.inner.borrow_mut();
@@ -648,6 +669,7 @@ impl LocalFs {
 
     /// Read up to `len` bytes from the descriptor's offset.
     pub async fn read(&self, fd: Fd, len: u64) -> FsResult<Bytes> {
+        self.device_check()?;
         let (slice, from_cache) = {
             let mut inner = self.inner.borrow_mut();
             let of = inner.fds.get(&fd).ok_or(FsError::BadDescriptor)?;
@@ -706,6 +728,7 @@ impl LocalFs {
     /// rope (clones of the stored `Bytes`), advancing the offset to EOF
     /// and charging the same device/cache time as [`LocalFs::read`].
     pub async fn read_segments(&self, fd: Fd) -> FsResult<Vec<Bytes>> {
+        self.device_check()?;
         let (parts, n, from_cache) = {
             let mut inner = self.inner.borrow_mut();
             let of = inner.fds.get(&fd).ok_or(FsError::BadDescriptor)?;
@@ -816,6 +839,7 @@ impl LocalFs {
     /// Atomically rename a file (the classic write-to-temp-then-rename
     /// publication pattern). The destination is replaced if it exists.
     pub async fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        self.device_check()?;
         self.ctx.sleep(self.spec.meta_cpu).await;
         let mut inner = self.inner.borrow_mut();
         // Detach the source dirent.
@@ -868,6 +892,7 @@ impl LocalFs {
 
     /// Remove a file, freeing its extents.
     pub async fn unlink(&self, path: &str) -> FsResult<()> {
+        self.device_check()?;
         self.ctx.sleep(self.spec.meta_cpu).await;
         let mut inner = self.inner.borrow_mut();
         let (parent, name) = Self::lookup_parent(&inner, path)?;
@@ -898,6 +923,7 @@ impl LocalFs {
 
     /// Stat a path.
     pub async fn stat(&self, path: &str) -> FsResult<Stat> {
+        self.device_check()?;
         self.ctx.sleep(self.spec.meta_cpu).await;
         let inner = self.inner.borrow();
         let ino = Self::lookup(&inner, path)?;

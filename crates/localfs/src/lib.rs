@@ -295,6 +295,38 @@ mod tests {
     }
 
     #[test]
+    fn io_error_probe_gates_operations() {
+        let sim = Sim::new(0);
+        let mut f = fs(&sim);
+        let erroring = std::rc::Rc::new(std::cell::Cell::new(false));
+        let e2 = erroring.clone();
+        f.set_io_error_probe(std::rc::Rc::new(move || e2.get()));
+        let h = sim.spawn(async move {
+            let fd = f.create("/ok").await.unwrap();
+            f.write(fd, b"healthy").await.unwrap();
+            f.close(fd).await.unwrap();
+            erroring.set(true);
+            let during = (
+                f.create("/new").await.err(),
+                f.open("/ok").await.err(),
+                f.stat("/ok").await.err(),
+            );
+            erroring.set(false);
+            let fd = f.open("/ok").await.unwrap();
+            let data = f.read_to_end(fd).await.unwrap();
+            f.close(fd).await.unwrap();
+            (during, data)
+        });
+        sim.run();
+        let (during, data) = h.try_take().unwrap();
+        assert_eq!(
+            during,
+            (Some(FsError::Io), Some(FsError::Io), Some(FsError::Io))
+        );
+        assert_eq!(data, Bytes::from_static(b"healthy"));
+    }
+
+    #[test]
     fn nospace_on_tiny_volume() {
         let sim = Sim::new(0);
         let ctx = sim.ctx();

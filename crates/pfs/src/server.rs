@@ -142,14 +142,25 @@ impl MdsServer {
         }));
         let service = FifoResource::new(ctx, spec.mds_threads);
         let hstate = state.clone();
+        let htp = tp.clone();
+        let hctx = ctx.clone();
         tp.register_am(
             node,
             MDS_AM,
             Rc::new(move |raw: Bytes| {
                 let state = hstate.clone();
                 let service = service.clone();
+                let tp = htp.clone();
+                let ctx = hctx.clone();
                 Box::pin(async move {
                     service.request(spec.mds_service).await;
+                    // Injected MDS stall: hold every request until the
+                    // stall window closes. No board / no stall: free.
+                    if let Some(board) = tp.faults() {
+                        if let Some(until) = board.mds_stall_until() {
+                            ctx.sleep(until.since(ctx.now())).await;
+                        }
+                    }
                     let req = MdsRequest::decode(raw);
                     mds_handle(&state, &spec, req).encode()
                 }) as LocalBoxFuture<Bytes>
@@ -326,6 +337,8 @@ impl OstServer {
             read_bw: read_bw.clone(),
         });
         let hstate = state;
+        let htp = tp.clone();
+        let hctx = ctx.clone();
         tp.register_bulk(
             node,
             AmId(OSS_AM_BASE + index),
@@ -334,8 +347,14 @@ impl OstServer {
                 let service = service.clone();
                 let write_bw = write_bw.clone();
                 let read_bw = read_bw.clone();
+                let tp = htp.clone();
+                let ctx = hctx.clone();
                 Box::pin(async move {
                     service.request(spec.oss_service).await;
+                    // Injected OST degradation factor, sampled per
+                    // request (1.0 = healthy). Disk phases below stretch
+                    // by `factor − 1` of their own duration.
+                    let factor = tp.faults().map_or(1.0, |board| board.ost_factor(index));
                     match OssRequest::decode(hdr) {
                         OssRequest::Write {
                             object,
@@ -349,7 +368,11 @@ impl OstServer {
                             } else {
                                 spec.sustained_cap
                             };
+                            let t0 = ctx.now();
                             write_bw.transfer_capped_counted(len, Some(cap)).await;
+                            if factor > 1.0 {
+                                ctx.sleep(ctx.now().since(t0).mul_f64(factor - 1.0)).await;
+                            }
                             let mut st = state.borrow_mut();
                             let obj = st.objects.entry(object).or_default();
                             let mut at = offset;
@@ -394,7 +417,11 @@ impl OstServer {
                             } else {
                                 spec.sustained_cap
                             };
+                            let t0 = ctx.now();
                             read_bw.transfer_capped_counted(dlen, Some(cap)).await;
+                            if factor > 1.0 {
+                                ctx.sleep(ctx.now().since(t0).mul_f64(factor - 1.0)).await;
+                            }
                             let mut st = state.borrow_mut();
                             st.stats.reads += 1;
                             st.stats.bytes_read += dlen;
@@ -558,6 +585,91 @@ mod tests {
         assert_eq!(&transport::flatten_payload(data)[..], b"hello");
         assert_eq!(ost.stats().writes, 1);
         assert_eq!(ost.stats().reads, 1);
+    }
+
+    #[test]
+    fn ost_degrade_stretches_bulk_io() {
+        use faults::{FaultBoard, FaultEvent, FaultKind, FaultPlan};
+        let run = |degrade: bool| -> f64 {
+            let sim = Sim::new(0);
+            let ctx = sim.ctx();
+            let cl = Cluster::build(&ctx, &ClusterSpec::corona(2));
+            let tp = Transport::new(&ctx, cl.fabric().clone(), TransportSpec::default());
+            let _ost = OstServer::start(&ctx, &tp, NodeId(0), 0, PfsSpec::default());
+            if degrade {
+                let board = FaultBoard::new(&ctx, 2, 1);
+                tp.set_faults(board.clone());
+                board.arm(&FaultPlan::scheduled(vec![FaultEvent {
+                    at: SimDuration::from_nanos(0),
+                    kind: FaultKind::OstDegrade {
+                        ost: 0,
+                        factor: 4.0,
+                        duration: SimDuration::from_secs(10),
+                    },
+                }]));
+            }
+            let ep = tp.endpoint(NodeId(1));
+            let ctx2 = ctx.clone();
+            let h = sim.spawn(async move {
+                let w = OssRequest::Write {
+                    object: 1,
+                    offset: 0,
+                    len: 64 << 20,
+                    total: 64 << 20,
+                };
+                ep.bulk_rpc(
+                    NodeId(0),
+                    AmId(OSS_AM_BASE),
+                    w.encode(),
+                    vec![Bytes::from(vec![0u8; 64 << 20])],
+                )
+                .await;
+                ctx2.now().as_secs_f64()
+            });
+            sim.run();
+            h.try_take().unwrap()
+        };
+        let healthy = run(false);
+        let degraded = run(true);
+        // The disk phase dominates a 64 MiB write; a 4× degrade should
+        // roughly triple-to-quadruple the total.
+        assert!(
+            degraded > healthy * 2.5,
+            "healthy {healthy}s degraded {degraded}s"
+        );
+    }
+
+    #[test]
+    fn mds_stall_holds_metadata_requests() {
+        use faults::{FaultBoard, FaultEvent, FaultKind, FaultPlan};
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let cl = Cluster::build(&ctx, &ClusterSpec::corona(2));
+        let tp = Transport::new(&ctx, cl.fabric().clone(), TransportSpec::default());
+        let _mds = MdsServer::start(&ctx, &tp, NodeId(0), 4, PfsSpec::default());
+        let board = FaultBoard::new(&ctx, 2, 0);
+        tp.set_faults(board.clone());
+        board.arm(&FaultPlan::scheduled(vec![FaultEvent {
+            at: SimDuration::from_nanos(0),
+            kind: FaultKind::MdsStall {
+                duration: SimDuration::from_millis(20),
+            },
+        }]));
+        let ep = tp.endpoint(NodeId(1));
+        let ctx2 = ctx.clone();
+        let h = sim.spawn(async move {
+            ep.rpc(
+                NodeId(0),
+                MDS_AM,
+                MdsRequest::Create { path: "/a".into() }.encode(),
+            )
+            .await;
+            ctx2.now().as_secs_f64()
+        });
+        assert!(sim.run().is_clean());
+        let t = h.try_take().unwrap();
+        assert!(t >= 0.020, "create finished at {t}s, before the stall end");
+        assert!(t < 0.022, "create finished at {t}s, long after the stall");
     }
 
     #[test]

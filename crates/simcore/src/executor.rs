@@ -595,6 +595,14 @@ impl Ctx {
         }
     }
 
+    /// Schedule `f` to run at an absolute instant (clamped to now if it
+    /// is already past), outside any process. The fault-injection layer
+    /// arms its windows with this; see [`Ctx::call_after`] for the
+    /// relative-time form and cancellation semantics.
+    pub fn call_at(&self, at: SimTime, f: impl FnOnce() + 'static) -> TimerHandle {
+        self.call_after(at.since(self.now()), f)
+    }
+
     /// Id of the task currently being polled. Only meaningful from
     /// inside a `Future::poll` running on this executor.
     pub(crate) fn current_task(&self) -> TaskId {

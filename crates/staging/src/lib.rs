@@ -57,6 +57,10 @@ pub enum FrameLocation {
     Nvme,
     /// Spilled to (or written directly on) the parallel filesystem.
     Pfs,
+    /// Tombstone: every copy of the bytes is gone (owner crashed before
+    /// a spill, or the spill copy itself was dropped). Consumers surface
+    /// a typed frame-lost error instead of blocking forever.
+    Lost,
 }
 
 /// Frame metadata stored in the KVS.
@@ -79,6 +83,7 @@ impl FrameMeta {
         b.put_u8(match self.location {
             FrameLocation::Nvme => 0,
             FrameLocation::Pfs => 1,
+            FrameLocation::Lost => 2,
         });
         b.freeze()
     }
@@ -89,6 +94,7 @@ impl FrameMeta {
         let size = raw.get_u64();
         let location = match raw.get_u8() {
             0 => FrameLocation::Nvme,
+            2 => FrameLocation::Lost,
             _ => FrameLocation::Pfs,
         };
         FrameMeta {
@@ -170,6 +176,9 @@ pub enum FrameState {
     Published,
     /// Moved to the PFS; local copy gone.
     Spilled,
+    /// Every copy gone (node crash before spill, or spill copy dropped).
+    /// Not consumable and holds no bytes; the evictor must skip it.
+    Lost,
 }
 
 #[derive(Debug, Clone)]
@@ -223,6 +232,14 @@ pub struct StagingStats {
     pub pfs_fallbacks: u64,
     /// Consumption acks committed through this manager.
     pub acks_published: u64,
+    /// Frames whose every copy was lost (crash before spill, or the
+    /// spill copy dropped).
+    pub frames_lost: u64,
+    /// Bytes of lost frames.
+    pub lost_bytes: u64,
+    /// Metadata re-commits performed on node restart (spilled frames
+    /// re-pointed at the PFS, lost frames tombstoned).
+    pub republished_frames: u64,
 }
 
 struct Inner {
@@ -374,13 +391,14 @@ impl StagingManager {
     }
 
     /// Has any tracked frame still on local NVMe (i.e. could an evictor
-    /// pass possibly free space)?
+    /// pass possibly free space)? Spilled frames live on the PFS and
+    /// lost frames hold no bytes anywhere — neither is local.
     fn has_local_frames(&self) -> bool {
         self.inner
             .borrow()
             .frames
             .values()
-            .any(|f| f.state != FrameState::Spilled)
+            .any(|f| matches!(f.state, FrameState::Written | FrameState::Published))
     }
 
     /// Producer-side admission control: block while staging `incoming`
@@ -487,6 +505,139 @@ impl StagingManager {
         self.inner.borrow_mut().stats.pfs_fallbacks += 1;
     }
 
+    /// Fallible [`StagingManager::publish_ack`]: under a fault plan the
+    /// broker may be unreachable; the caller decides whether a lost ack
+    /// is fatal (it is not — an unacked frame is merely retained longer).
+    pub async fn try_publish_ack(
+        &self,
+        path: &str,
+        consumer: &str,
+    ) -> Result<(), transport::TransportError> {
+        self.kvs
+            .try_commit(&ack_key(path, consumer), Bytes::from_static(b"1"))
+            .await?;
+        self.inner.borrow_mut().stats.acks_published += 1;
+        Ok(())
+    }
+
+    /// Lifecycle state of a tracked frame, if tracked.
+    pub fn frame_state(&self, path: &str) -> Option<FrameState> {
+        self.inner
+            .borrow()
+            .frames
+            .get(&intern(path))
+            .map(|f| f.state)
+    }
+
+    /// The node hosting this manager crashed: frames whose only copy
+    /// was the local NVMe managed directory are lost (the crash took
+    /// the staged data with it); consumer-side cache copies are dropped
+    /// (refetchable). Spilled frames keep their PFS copy. Synchronous —
+    /// safe to call from a fault-board crash hook; the doomed local
+    /// files are unlinked by a spawned cleanup task.
+    pub fn on_node_crash(self: &Rc<Self>) {
+        let mut doomed = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            let inner = &mut *inner;
+            let mut cache_gone = Vec::new();
+            for f in inner.frames.values_mut() {
+                if !matches!(f.state, FrameState::Written | FrameState::Published) {
+                    continue;
+                }
+                doomed.push(f.path);
+                match f.kind {
+                    FrameKind::Produced => {
+                        f.state = FrameState::Lost;
+                        inner.stats.staged_bytes -= f.size;
+                        inner.stats.frames_lost += 1;
+                        inner.stats.lost_bytes += f.size;
+                    }
+                    FrameKind::Cache => cache_gone.push((f.path, f.seq, f.size)),
+                }
+            }
+            for (path, seq, size) in cache_gone {
+                inner.stats.staged_bytes -= size;
+                inner.stats.cache_evictions += 1;
+                inner.order.remove(&seq);
+                inner.frames.remove(&path);
+            }
+        }
+        if !doomed.is_empty() {
+            let mgr = self.clone();
+            self.ctx.spawn(async move {
+                for p in doomed {
+                    let _ = mgr.fs.unlink(&p.resolve()).await;
+                }
+            });
+        }
+    }
+
+    /// The node restarted: re-publish metadata so consumers make
+    /// progress — spilled frames are re-pointed at their PFS copy and
+    /// lost frames are tombstoned ([`FrameLocation::Lost`]) so waiting
+    /// consumers surface a typed error instead of blocking forever.
+    pub async fn on_node_restart(&self) {
+        let to_publish: Vec<(Symbol, u64, FrameState)> = {
+            let inner = self.inner.borrow();
+            inner
+                .frames
+                .values()
+                .filter(|f| {
+                    f.kind == FrameKind::Produced
+                        && matches!(f.state, FrameState::Spilled | FrameState::Lost)
+                })
+                .map(|f| (f.path, f.size, f.state))
+                .collect()
+        };
+        for (path, size, state) in to_publish {
+            let location = match state {
+                FrameState::Spilled => FrameLocation::Pfs,
+                _ => FrameLocation::Lost,
+            };
+            let meta = FrameMeta {
+                owner: self.node,
+                size,
+                location,
+            };
+            if self
+                .kvs
+                .try_commit(&path.resolve(), meta.encode())
+                .await
+                .is_ok()
+            {
+                self.inner.borrow_mut().stats.republished_frames += 1;
+            }
+        }
+    }
+
+    /// A spilled frame's PFS copy is gone (dropped by a crash or an
+    /// external unlink). The frame becomes [`FrameState::Lost`] and its
+    /// metadata is tombstoned so consumer fetches fail typed rather
+    /// than reading a missing file.
+    pub async fn mark_spill_lost(&self, path: &str) {
+        let size = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(f) = inner.frames.get_mut(&intern(path)) else {
+                return;
+            };
+            if f.state != FrameState::Spilled {
+                return;
+            }
+            f.state = FrameState::Lost;
+            let size = f.size;
+            inner.stats.frames_lost += 1;
+            inner.stats.lost_bytes += size;
+            size
+        };
+        let meta = FrameMeta {
+            owner: self.node,
+            size,
+            location: FrameLocation::Lost,
+        };
+        let _ = self.kvs.try_commit(path, meta.encode()).await;
+    }
+
     /// Spawn the background evictor: a per-node process in simulated
     /// time that runs a pass every `evict_interval`, or sooner when a
     /// producer signals watermark pressure. Runs for the lifetime of
@@ -527,6 +678,7 @@ impl StagingManager {
                     let _ = pfs.unlink(&spill_path(&path)).await;
                 }
             }
+            FrameState::Lost => {} // no copy anywhere
             _ => {
                 let _ = self.fs.unlink(&path).await;
             }
@@ -539,7 +691,7 @@ impl StagingManager {
         }
         let mut inner = self.inner.borrow_mut();
         let was_spilled = frame.state == FrameState::Spilled;
-        if !was_spilled {
+        if matches!(frame.state, FrameState::Written | FrameState::Published) {
             inner.stats.staged_bytes -= frame.size;
         }
         inner.stats.retired_frames += 1;
@@ -605,13 +757,16 @@ impl StagingManager {
     }
 
     /// Oldest-first snapshot of frames currently on local NVMe.
+    /// Excludes spilled frames (bytes are on the PFS) and lost frames
+    /// (bytes are nowhere — retiring or spilling one would corrupt the
+    /// byte accounting and re-publish garbage).
     fn local_frames_oldest_first(&self) -> Vec<Staged> {
         let inner = self.inner.borrow();
         inner
             .order
             .values()
             .filter_map(|p| inner.frames.get(p))
-            .filter(|f| f.state != FrameState::Spilled)
+            .filter(|f| matches!(f.state, FrameState::Written | FrameState::Published))
             .cloned()
             .collect()
     }

@@ -28,9 +28,48 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use cluster::{Fabric, NodeId};
+use faults::{FaultBoard, RetryPolicy};
+use rand::rngs::StdRng;
 use simcore::intern::FxHashMap;
 use simcore::sync::{oneshot, OneSender};
-use simcore::Ctx;
+use simcore::{timeout, Ctx};
+
+/// Errors surfaced by the fallible RPC paths when a fault board is
+/// attached. Without a board these paths cannot fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The destination node is down, or the link to it is flapped.
+    Unreachable {
+        /// The node that could not be reached.
+        node: NodeId,
+    },
+    /// The per-attempt timeout expired before a response arrived.
+    Timeout {
+        /// The node the attempt targeted.
+        node: NodeId,
+    },
+    /// Every retry attempt failed.
+    Exhausted {
+        /// The node the RPC targeted.
+        node: NodeId,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Unreachable { node } => write!(f, "{node} unreachable"),
+            TransportError::Timeout { node } => write!(f, "rpc to {node} timed out"),
+            TransportError::Exhausted { node, attempts } => {
+                write!(f, "rpc to {node} failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
 
 /// Message tag used for matching sends to receives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -132,17 +171,25 @@ pub struct TransportStats {
     pub bulk_rpcs: u64,
     /// Payload bytes moved by bulk RPCs (both directions).
     pub bulk_bytes: u64,
+    /// RPC attempts that failed (unreachable or timed out) and were
+    /// followed by another attempt.
+    pub rpc_retries: u64,
+    /// RPCs abandoned after exhausting their retry budget.
+    pub rpc_giveups: u64,
+    /// Nanoseconds spent sleeping in retry backoff — pure recovery time,
+    /// not data movement.
+    pub retry_backoff_ns: u64,
 }
 
 struct Inner {
     workers: Vec<RefCell<WorkerState>>,
     stats: RefCell<TransportStats>,
+    faults: RefCell<Option<FaultBoard>>,
 }
 
 /// The transport context: one worker per cluster node.
 #[derive(Clone)]
 pub struct Transport {
-    #[allow(dead_code)]
     ctx: Ctx,
     fabric: Fabric,
     spec: TransportSpec,
@@ -171,6 +218,7 @@ impl Transport {
             inner: Rc::new(Inner {
                 workers,
                 stats: RefCell::new(TransportStats::default()),
+                faults: RefCell::new(None),
             }),
         }
     }
@@ -178,6 +226,18 @@ impl Transport {
     /// Aggregate message counters.
     pub fn stats(&self) -> TransportStats {
         *self.inner.stats.borrow()
+    }
+
+    /// Attach a fault board. The fallible RPC paths consult it for
+    /// reachability; the infallible paths are unaffected. Without a board
+    /// the fallible paths reduce to the infallible ones.
+    pub fn set_faults(&self, board: FaultBoard) {
+        *self.inner.faults.borrow_mut() = Some(board);
+    }
+
+    /// The attached fault board, if any.
+    pub fn faults(&self) -> Option<FaultBoard> {
+        self.inner.faults.borrow().clone()
     }
 
     /// Protocol parameters.
@@ -399,6 +459,199 @@ impl Endpoint {
             .send(dst, self.node, spec.header_bytes + response.len() as u64)
             .await;
         response
+    }
+
+    /// One fallible RPC attempt. With no fault board attached this is
+    /// exactly [`Endpoint::rpc`] and cannot fail. With a board, the
+    /// destination's reachability is checked before the request goes on
+    /// the wire, after it lands (the node may crash mid-flight), and
+    /// before the response is sent back (a reply lost to a crash still
+    /// leaves the handler's side effects applied, as on real systems).
+    pub async fn try_rpc(
+        &self,
+        dst: NodeId,
+        id: AmId,
+        request: Bytes,
+    ) -> Result<Bytes, TransportError> {
+        let spec = self.tp.spec;
+        let board = self.tp.faults();
+        self.tp.inner.stats.borrow_mut().rpcs += 1;
+        if let Some(b) = &board {
+            if !b.reachable(self.node.0, dst.0) {
+                return Err(TransportError::Unreachable { node: dst });
+            }
+        }
+        self.tp
+            .fabric
+            .send(self.node, dst, spec.header_bytes + request.len() as u64)
+            .await;
+        if let Some(b) = &board {
+            if !b.node_up(dst.0) {
+                return Err(TransportError::Unreachable { node: dst });
+            }
+        }
+        let handler = {
+            let w = self.tp.inner.workers[dst.0 as usize].borrow();
+            w.handlers
+                .get(&id)
+                .unwrap_or_else(|| panic!("no AM handler {id:?} on {dst}"))
+                .clone()
+        };
+        let response = handler(request).await;
+        if let Some(b) = &board {
+            if !b.reachable(dst.0, self.node.0) {
+                return Err(TransportError::Unreachable { node: dst });
+            }
+        }
+        self.tp
+            .fabric
+            .send(dst, self.node, spec.header_bytes + response.len() as u64)
+            .await;
+        Ok(response)
+    }
+
+    /// One fallible bulk RPC attempt; see [`Endpoint::try_rpc`].
+    pub async fn try_bulk_rpc(
+        &self,
+        dst: NodeId,
+        id: AmId,
+        header: Bytes,
+        payload: Payload,
+    ) -> Result<(Bytes, Payload), TransportError> {
+        let spec = self.tp.spec;
+        let board = self.tp.faults();
+        {
+            let mut st = self.tp.inner.stats.borrow_mut();
+            st.bulk_rpcs += 1;
+            st.bulk_bytes += payload_len(&payload);
+        }
+        if let Some(b) = &board {
+            if !b.reachable(self.node.0, dst.0) {
+                return Err(TransportError::Unreachable { node: dst });
+            }
+        }
+        self.tp
+            .fabric
+            .send(
+                self.node,
+                dst,
+                spec.header_bytes + header.len() as u64 + payload_len(&payload),
+            )
+            .await;
+        if let Some(b) = &board {
+            if !b.node_up(dst.0) {
+                return Err(TransportError::Unreachable { node: dst });
+            }
+        }
+        let handler = {
+            let w = self.tp.inner.workers[dst.0 as usize].borrow();
+            w.bulk_handlers
+                .get(&id)
+                .unwrap_or_else(|| panic!("no bulk handler {id:?} on {dst}"))
+                .clone()
+        };
+        let (resp_header, resp_payload) = handler(header, payload).await;
+        self.tp.inner.stats.borrow_mut().bulk_bytes += payload_len(&resp_payload);
+        if let Some(b) = &board {
+            if !b.reachable(dst.0, self.node.0) {
+                return Err(TransportError::Unreachable { node: dst });
+            }
+        }
+        self.tp
+            .fabric
+            .send(
+                dst,
+                self.node,
+                spec.header_bytes + resp_header.len() as u64 + payload_len(&resp_payload),
+            )
+            .await;
+        Ok((resp_header, resp_payload))
+    }
+
+    /// RPC with retry: exponential backoff with jitter between attempts
+    /// and a per-attempt timeout, per `policy`. With no fault board
+    /// attached this is a single infallible [`Endpoint::rpc`] — no timer
+    /// is armed and `rng` is not drawn, so healthy-path trajectories are
+    /// unchanged.
+    pub async fn rpc_retrying(
+        &self,
+        dst: NodeId,
+        id: AmId,
+        request: Bytes,
+        policy: &RetryPolicy,
+        rng: &mut StdRng,
+    ) -> Result<Bytes, TransportError> {
+        if self.tp.faults().is_none() {
+            return Ok(self.rpc(dst, id, request).await);
+        }
+        let ctx = self.tp.ctx.clone();
+        let mut attempts = 0;
+        loop {
+            let attempt_fut = self.try_rpc(dst, id, request.clone());
+            let outcome = match timeout(&ctx, policy.attempt_timeout, attempt_fut).await {
+                Ok(Ok(resp)) => return Ok(resp),
+                Ok(Err(e)) => e,
+                Err(_) => TransportError::Timeout { node: dst },
+            };
+            attempts += 1;
+            if attempts >= policy.max_attempts {
+                self.tp.inner.stats.borrow_mut().rpc_giveups += 1;
+                let _ = outcome;
+                return Err(TransportError::Exhausted {
+                    node: dst,
+                    attempts,
+                });
+            }
+            let pause = policy.backoff(attempts - 1, rng);
+            {
+                let mut st = self.tp.inner.stats.borrow_mut();
+                st.rpc_retries += 1;
+                st.retry_backoff_ns += pause.nanos();
+            }
+            ctx.sleep(pause).await;
+        }
+    }
+
+    /// Bulk RPC with retry; see [`Endpoint::rpc_retrying`]. Payload
+    /// segments are zero-copy `Bytes` clones, so re-sending is cheap.
+    pub async fn bulk_rpc_retrying(
+        &self,
+        dst: NodeId,
+        id: AmId,
+        header: Bytes,
+        payload: Payload,
+        policy: &RetryPolicy,
+        rng: &mut StdRng,
+    ) -> Result<(Bytes, Payload), TransportError> {
+        if self.tp.faults().is_none() {
+            return Ok(self.bulk_rpc(dst, id, header, payload).await);
+        }
+        let ctx = self.tp.ctx.clone();
+        let mut attempts = 0;
+        loop {
+            let attempt_fut = self.try_bulk_rpc(dst, id, header.clone(), payload.clone());
+            let outcome = match timeout(&ctx, policy.attempt_timeout, attempt_fut).await {
+                Ok(Ok(resp)) => return Ok(resp),
+                Ok(Err(e)) => e,
+                Err(_) => TransportError::Timeout { node: dst },
+            };
+            attempts += 1;
+            if attempts >= policy.max_attempts {
+                self.tp.inner.stats.borrow_mut().rpc_giveups += 1;
+                let _ = outcome;
+                return Err(TransportError::Exhausted {
+                    node: dst,
+                    attempts,
+                });
+            }
+            let pause = policy.backoff(attempts - 1, rng);
+            {
+                let mut st = self.tp.inner.stats.borrow_mut();
+                st.rpc_retries += 1;
+                st.retry_backoff_ns += pause.nanos();
+            }
+            ctx.sleep(pause).await;
+        }
     }
 }
 
@@ -704,5 +957,158 @@ mod tests {
             // 0.8 GB total over a 4 GB/s tx port ≈ 0.2 s.
             assert!((t - 0.2).abs() < 0.01, "took {t}");
         }
+    }
+
+    use faults::{FaultEvent, FaultKind, FaultPlan};
+    use rand::SeedableRng;
+
+    fn echo_handler() -> AmHandler {
+        Rc::new(|req: Bytes| Box::pin(async move { req }) as LocalBoxFuture<Bytes>)
+    }
+
+    #[test]
+    fn retrying_without_board_is_plain_rpc() {
+        let sim = Sim::new(0);
+        let tp = setup(&sim, 2);
+        tp.register_am(NodeId(1), AmId(1), echo_handler());
+        let ep = tp.endpoint(NodeId(0));
+        let h = sim.spawn(async move {
+            let mut rng = StdRng::seed_from_u64(1);
+            ep.rpc_retrying(
+                NodeId(1),
+                AmId(1),
+                Bytes::from_static(b"ping"),
+                &RetryPolicy::transport_default(),
+                &mut rng,
+            )
+            .await
+        });
+        assert!(sim.run().is_clean());
+        assert_eq!(h.try_take().unwrap().unwrap(), Bytes::from_static(b"ping"));
+        let st = tp.stats();
+        assert_eq!(st.rpcs, 1);
+        assert_eq!(st.rpc_retries, 0);
+        assert_eq!(st.retry_backoff_ns, 0);
+    }
+
+    #[test]
+    fn rpc_retries_through_a_crash_window() {
+        let sim = Sim::new(7);
+        let ctx = sim.ctx();
+        let tp = setup(&sim, 2);
+        tp.register_am(NodeId(1), AmId(1), echo_handler());
+        let board = FaultBoard::new(&ctx, 2, 0);
+        tp.set_faults(board.clone());
+        // Node 1 is down from t=0 for 2 ms; backoff must carry the
+        // caller past the restart.
+        board.arm(&FaultPlan::scheduled(vec![FaultEvent {
+            at: SimDuration::from_nanos(0),
+            kind: FaultKind::NodeCrash {
+                node: 1,
+                down_for: SimDuration::from_millis(2),
+            },
+        }]));
+        let ep = tp.endpoint(NodeId(0));
+        let h = sim.spawn(async move {
+            let mut rng = StdRng::seed_from_u64(2);
+            ep.rpc_retrying(
+                NodeId(1),
+                AmId(1),
+                Bytes::from_static(b"hi"),
+                &RetryPolicy::transport_default(),
+                &mut rng,
+            )
+            .await
+        });
+        assert!(sim.run().is_clean());
+        assert_eq!(h.try_take().unwrap().unwrap(), Bytes::from_static(b"hi"));
+        let st = tp.stats();
+        assert!(st.rpc_retries >= 1, "expected retries, got {st:?}");
+        assert_eq!(st.rpc_giveups, 0);
+        assert!(st.retry_backoff_ns > 0);
+    }
+
+    #[test]
+    fn rpc_exhausts_retries_when_node_stays_down() {
+        let sim = Sim::new(3);
+        let ctx = sim.ctx();
+        let tp = setup(&sim, 2);
+        tp.register_am(NodeId(1), AmId(1), echo_handler());
+        let board = FaultBoard::new(&ctx, 2, 0);
+        tp.set_faults(board.clone());
+        board.arm(&FaultPlan::scheduled(vec![FaultEvent {
+            at: SimDuration::from_nanos(0),
+            kind: FaultKind::NodeCrash {
+                node: 1,
+                down_for: SimDuration::from_secs(3600),
+            },
+        }]));
+        let policy = RetryPolicy::transport_default();
+        let max = policy.max_attempts;
+        let ep = tp.endpoint(NodeId(0));
+        let h = sim.spawn(async move {
+            let mut rng = StdRng::seed_from_u64(4);
+            ep.rpc_retrying(NodeId(1), AmId(1), Bytes::new(), &policy, &mut rng)
+                .await
+        });
+        assert!(sim.run().is_clean());
+        assert_eq!(
+            h.try_take().unwrap(),
+            Err(TransportError::Exhausted {
+                node: NodeId(1),
+                attempts: max,
+            })
+        );
+        assert_eq!(tp.stats().rpc_giveups, 1);
+    }
+
+    #[test]
+    fn bulk_rpc_retries_are_deterministic_per_seed() {
+        // Same seed → same completion time and stats; different seed →
+        // (almost surely) different backoff jitter.
+        let run = |seed: u64| -> (u64, TransportStats) {
+            let sim = Sim::new(seed);
+            let ctx = sim.ctx();
+            let tp = setup(&sim, 2);
+            tp.register_bulk(
+                NodeId(1),
+                AmId(10),
+                Rc::new(|h, p| Box::pin(async move { (h, p) }) as LocalBoxFuture<(Bytes, Payload)>),
+            );
+            let board = FaultBoard::new(&ctx, 2, 0);
+            tp.set_faults(board.clone());
+            board.arm(&FaultPlan::scheduled(vec![FaultEvent {
+                at: SimDuration::from_nanos(0),
+                kind: FaultKind::NodeCrash {
+                    node: 1,
+                    down_for: SimDuration::from_millis(1),
+                },
+            }]));
+            let ep = tp.endpoint(NodeId(0));
+            let ctx2 = ctx.clone();
+            let h = sim.spawn(async move {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let got = ep
+                    .bulk_rpc_retrying(
+                        NodeId(1),
+                        AmId(10),
+                        Bytes::new(),
+                        vec![Bytes::from_static(b"frame")],
+                        &RetryPolicy::transport_default(),
+                        &mut rng,
+                    )
+                    .await;
+                assert!(got.is_ok());
+                ctx2.now().nanos()
+            });
+            assert!(sim.run().is_clean());
+            (h.try_take().unwrap(), tp.stats())
+        };
+        let (t_a1, st_a1) = run(11);
+        let (t_a2, st_a2) = run(11);
+        let (t_b, _) = run(12);
+        assert_eq!(t_a1, t_a2);
+        assert_eq!(st_a1, st_a2);
+        assert_ne!(t_a1, t_b, "different seeds should jitter differently");
     }
 }
