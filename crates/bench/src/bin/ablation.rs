@@ -27,7 +27,7 @@ fn main() {
         study.calibration.consumer_launch_delay = 0.0;
         study.calibration.dyad.cold_sync_poll = poll;
         study.calibration.kvs.poll_interval = simcore::SimDuration::from_millis(100);
-        run_study(&study)
+        run_study_jobs(&study, default_jobs())
     };
     let warm = run_sync(true, false);
     let watch = run_sync(false, false);
@@ -84,7 +84,7 @@ fn main() {
         .with_repetitions(scale.reps);
         study.calibration = Calibration::corona();
         study.calibration.pfs.default_stripe_count = stripes;
-        let r = run_study(&study);
+        let r = run_study_jobs(&study, default_jobs());
         print_bar(&format!("stripe_count = {stripes}"), &r);
         rows.push((format!("lustre-stripes-{stripes}"), r));
     }

@@ -1,35 +1,237 @@
-//! Run the entire experiment suite (Tables I-II, Figures 5-12, findings,
-//! ablations) by invoking each regenerator binary in sequence. Accepts
-//! the same `MDFLOW_REPS` / `MDFLOW_FRAMES` environment overrides.
+//! Run the entire experiment suite — the Figure 5-12 sweeps plus the
+//! capacity and chaos studies — in-process through the parallel
+//! campaign executor, instead of invoking each regenerator binary in
+//! sequence. Every study in the grid is collected up front and pushed
+//! through one `run_studies_jobs` call, so the whole suite shares one
+//! worker pool, one warm arena per worker, and one snapshot per sweep
+//! point.
+//!
+//! Flags/env:
+//!
+//! * `--jobs N` — worker threads (default: all cores, `MDFLOW_JOBS`
+//!   overrides);
+//! * `MDFLOW_REPS` / `MDFLOW_FRAMES` — experiment scale, as for the
+//!   individual binaries;
+//! * `MDFLOW_CHAOS_SEED` / `MDFLOW_CHAOS_EVENTS` — the chaos plan.
+//!
+//! Seeding is identical to the standalone figure binaries, so the rows
+//! printed here match running each binary on its own. The deep-dive
+//! regenerators that do more than movement/idle studies (tables,
+//! Thicket call trees, ablations, bursty schedules) remain standalone:
+//! `table1`, `table2`, `fig9_10`, `ablation`, `bursty`.
 
-use std::process::Command;
+use bench::{fmt_secs, print_bar, reports_json, save_json, study_at, Scale};
+use mdflow::prelude::*;
+use simcore::SimDuration;
 
-fn main() {
-    let bins = [
-        "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9_10", "fig11", "fig12",
-        "ablation", "bursty",
-    ];
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
-    let mut failed = Vec::new();
-    for bin in bins {
-        println!("\n================================================================");
-        println!("== {bin}");
-        println!("================================================================");
-        let status = Command::new(exe_dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
-            failed.push(bin);
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The full suite grid: `(group, row label, workflow)` in print order.
+fn suite_grid() -> Vec<(&'static str, String, WorkflowConfig)> {
+    let split8 = Placement::Split { pairs_per_node: 8 };
+    let split16 = Placement::Split { pairs_per_node: 16 };
+    let mut grid = Vec::new();
+
+    // Figure 5: single node, JAC, DYAD vs XFS, 1/2/4 pairs.
+    for pairs in [1u32, 2, 4] {
+        for (name, solution) in [("DYAD", Solution::Dyad), ("XFS", Solution::Xfs)] {
+            grid.push((
+                "fig5 — single node, JAC, DYAD vs XFS",
+                format!("{name} ({pairs} pairs)"),
+                WorkflowConfig::new(solution, pairs, Placement::SingleNode),
+            ));
         }
     }
-    if failed.is_empty() {
-        println!("\nall experiments completed; JSON in target/experiments/");
-    } else {
-        eprintln!("\nFAILED: {failed:?}");
-        std::process::exit(1);
+    // Figure 6: two nodes, JAC, DYAD vs Lustre, 1/2/4/8 pairs.
+    for pairs in [1u32, 2, 4, 8] {
+        for (name, solution) in [("DYAD", Solution::Dyad), ("Lustre", Solution::Lustre)] {
+            grid.push((
+                "fig6 — two nodes, JAC, DYAD vs Lustre",
+                format!("{name} ({pairs} pairs)"),
+                WorkflowConfig::new(solution, pairs, split8),
+            ));
+        }
     }
+    // Figure 7: multi-node scaling, 8..256 pairs at 8 per node.
+    for pairs in [8u32, 16, 32, 64, 128, 256] {
+        for (name, solution) in [("DYAD", Solution::Dyad), ("Lustre", Solution::Lustre)] {
+            grid.push((
+                "fig7 — multi-node scaling, JAC",
+                format!("{name} ({pairs} pairs)"),
+                WorkflowConfig::new(solution, pairs, split8),
+            ));
+        }
+    }
+    // Figure 8: model-size scaling, 16 pairs on two nodes. (These rows
+    // also cover the fig9/10 workload cells; the Thicket call-tree
+    // analysis itself lives in the standalone `fig9_10` binary.)
+    for model in Model::ALL {
+        for (name, solution) in [("DYAD", Solution::Dyad), ("Lustre", Solution::Lustre)] {
+            grid.push((
+                "fig8 — model-size scaling, 16 pairs",
+                format!("{name} ({model})"),
+                WorkflowConfig::new(solution, 16, split16).with_model(model),
+            ));
+        }
+    }
+    // Figures 11/12: stride scaling for JAC and STMV.
+    for (group, model) in [
+        ("fig11 — stride scaling, JAC", Model::Jac),
+        ("fig12 — stride scaling, STMV", Model::Stmv),
+    ] {
+        for stride in [1u64, 5, 10, 50] {
+            for (name, solution) in [("DYAD", Solution::Dyad), ("Lustre", Solution::Lustre)] {
+                grid.push((
+                    group,
+                    format!("{name} (stride {stride})"),
+                    WorkflowConfig::new(solution, 16, split16)
+                        .with_model(model)
+                        .with_stride(stride),
+                ));
+            }
+        }
+    }
+    // Capacity: staging-budget sweep, periodic and bursty, with the
+    // Lustre baseline rows (same grid as the `capacity` binary).
+    let budget_halves: [Option<u64>; 6] = [None, Some(128), Some(8), Some(4), Some(2), Some(1)];
+    let budget_wf = |halves: Option<u64>| {
+        let wf = WorkflowConfig::new(Solution::Dyad, 8, split8);
+        match halves {
+            None => wf,
+            Some(h) => wf
+                .with_staging_budget(h * Model::Jac.frame_bytes() * 8 / 2)
+                .with_spill(true),
+        }
+    };
+    let budget_label = |halves: Option<u64>| match halves {
+        None => "unlimited".to_string(),
+        Some(h) => format!("{} frames/pair", h as f64 / 2.0),
+    };
+    let bursty = FrameSchedule::Bursty {
+        burst_gap: SimDuration::from_millis(50),
+        quiet_gap: SimDuration::from_millis(1590),
+        burst_persistence: 0.5,
+        burst_entry: 0.5,
+    };
+    for halves in budget_halves {
+        grid.push((
+            "capacity — staging budget, periodic",
+            budget_label(halves),
+            budget_wf(halves),
+        ));
+    }
+    grid.push((
+        "capacity — staging budget, periodic",
+        "Lustre baseline".to_string(),
+        WorkflowConfig::new(Solution::Lustre, 8, split8),
+    ));
+    for halves in budget_halves {
+        grid.push((
+            "capacity — staging budget, bursty",
+            budget_label(halves),
+            budget_wf(halves).with_schedule(bursty.clone()),
+        ));
+    }
+    grid.push((
+        "capacity — staging budget, bursty",
+        "Lustre baseline".to_string(),
+        WorkflowConfig::new(Solution::Lustre, 8, split8).with_schedule(bursty),
+    ));
+    // Chaos: clean vs faulted, DYAD vs Lustre, 4 and 8 pairs.
+    let seed = env_u64("MDFLOW_CHAOS_SEED", 42);
+    let events = env_u64("MDFLOW_CHAOS_EVENTS", 2) as u32;
+    for pairs in [4u32, 8] {
+        for (name, solution) in [("dyad", Solution::Dyad), ("lustre", Solution::Lustre)] {
+            grid.push((
+                "chaos — fault injection, JAC",
+                format!("{name} {pairs}p fault-free"),
+                WorkflowConfig::new(solution, pairs, split8),
+            ));
+            grid.push((
+                "chaos — fault injection, JAC",
+                format!("{name} {pairs}p chaos"),
+                WorkflowConfig::new(solution, pairs, split8)
+                    .with_faults(FaultConfig::chaos(seed, events)),
+            ));
+        }
+    }
+    grid
+}
+
+fn main() {
+    let mut jobs = default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown flag {other} (supported: --jobs N)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale = Scale::from_env();
+    let grid = suite_grid();
+    println!(
+        "EXPERIMENT SUITE — {} studies × {} reps at {} frames, {jobs} worker(s)",
+        grid.len(),
+        scale.reps,
+        scale.frames
+    );
+
+    let studies: Vec<StudyConfig> = grid
+        .iter()
+        .map(|(_, _, wf)| study_at(wf.clone(), scale))
+        .collect();
+    let (reports, stats) = run_studies_jobs(&studies, jobs);
+
+    let mut current_group = "";
+    for ((group, label, _), report) in grid.iter().zip(&reports) {
+        if *group != current_group {
+            current_group = group;
+            println!("\n================================================================");
+            println!("== {group}");
+            println!("================================================================");
+        }
+        print_bar(label, report);
+    }
+
+    let rows_ref: Vec<(String, &StudyReport)> = grid
+        .iter()
+        .zip(&reports)
+        .map(|((group, label, _), r)| (format!("{group} :: {label}"), r))
+        .collect();
+    save_json("all_suite", &reports_json(&rows_ref));
+
+    println!("\nexecutor accounting:");
+    println!(
+        "  {} runs in {} wall ({:.0} runs/minute, {} worker(s))",
+        stats.runs,
+        fmt_secs(stats.wall_secs),
+        stats.runs_per_minute(),
+        stats.jobs
+    );
+    println!(
+        "  setup {} vs sim {} (setup fraction {:.1}%)",
+        fmt_secs(stats.setup_secs),
+        fmt_secs(stats.sim_secs),
+        stats.setup_fraction() * 100.0
+    );
+    println!(
+        "\nstandalone deep dives not included here: table1, table2, fig9_10, ablation, bursty"
+    );
 }

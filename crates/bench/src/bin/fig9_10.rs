@@ -13,7 +13,6 @@
 use bench::{print_ratio, save_json, Scale};
 use mdflow::calibration::Calibration;
 use mdflow::prelude::*;
-use mdflow::runner::run_once;
 use thicket::{AggProfile, Ensemble, Query};
 
 fn consumer_ensemble(solution: Solution, model: Model, scale: Scale) -> AggProfile {
@@ -21,9 +20,13 @@ fn consumer_ensemble(solution: Solution, model: Model, scale: Scale) -> AggProfi
         .with_model(model)
         .with_frames(scale.frames);
     let cal = Calibration::corona();
+    // Repetitions share one snapshot and recycle one arena: the STMV
+    // template (~30 MB) is synthesized once per figure cell, not per rep.
+    let snap = ClusterSnapshot::prepare(&wf, &cal, 0xF1905u64 ^ 0x7E3A);
+    let mut arena = RunArena::new();
     let mut ens = Ensemble::new();
     for rep in 0..scale.reps {
-        let run = run_once(&wf, &cal, 0xF1905 + rep as u64);
+        let (run, _) = run_once_warm(&snap, 0xF1905 + rep as u64, &mut arena);
         for p in run.consumers {
             ens.push(p);
         }

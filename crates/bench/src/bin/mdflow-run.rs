@@ -123,7 +123,7 @@ fn main() {
         study.workflow.model,
         study.workflow.stride,
     );
-    let report = run_study(&study);
+    let report = run_study_jobs(&study, default_jobs());
     if args.flag("--json") {
         println!("{}", report.to_json());
         return;

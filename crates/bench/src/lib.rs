@@ -39,11 +39,20 @@ impl Scale {
     }
 }
 
-/// Run one workflow configuration at the given scale.
+/// Run one workflow configuration at the given scale, fanning
+/// repetitions across all available workers (`MDFLOW_JOBS` overrides)
+/// through the warm-started campaign executor. Seeding matches the
+/// serial `run_study` path, so results are byte-identical to it.
 pub fn run(wf: WorkflowConfig, scale: Scale) -> StudyReport {
-    let wf = wf.with_frames(scale.frames);
-    let study = StudyConfig::paper(wf).with_repetitions(scale.reps);
-    run_study(&study)
+    let study = study_at(wf, scale);
+    run_study_jobs(&study, default_jobs())
+}
+
+/// The study configuration `run` executes for `wf` at `scale` — exposed
+/// so batch drivers can collect a whole suite's studies and push them
+/// through one executor invocation.
+pub fn study_at(wf: WorkflowConfig, scale: Scale) -> StudyConfig {
+    StudyConfig::paper(wf.with_frames(scale.frames)).with_repetitions(scale.reps)
 }
 
 /// Format seconds with an appropriate unit.

@@ -2,14 +2,205 @@
 //! models × ensemble sizes × strides, run and reduced to a comparison
 //! table. This is the downstream-user API for "my workflow looks like
 //! X — which data-management solution should I pick?"
+//!
+//! ## Execution model
+//!
+//! Every campaign (and every [`run_study_jobs`] /
+//! [`run_studies_jobs`] call) goes through one parallel executor:
+//!
+//! 1. each sweep point's shareable setup is computed once into a
+//!    [`ClusterSnapshot`](crate::arena::ClusterSnapshot);
+//! 2. the `(point, repetition)` units are flattened into a single work
+//!    list and claimed off an atomic cursor by `jobs` worker threads;
+//! 3. each worker owns a [`RunArena`](crate::arena::RunArena) and runs
+//!    units warm-started through
+//!    [`run_once_warm`](crate::runner::run_once_warm);
+//! 4. results land in per-unit slots, so reduction order is the sweep
+//!    order regardless of which worker finished which unit when.
+//!
+//! Determinism: every unit's seed is a pure function of
+//! `(base, point, rep)` (see [`derive_run_seed`]), the simulation state
+//! is rebuilt per run from the read-only snapshot, and arenas reset all
+//! executor counters — so `jobs = 1` and `jobs = N` produce
+//! byte-identical reports.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use serde::Serialize;
 
+use crate::arena::{derive_run_seed, ClusterSnapshot, RunArena};
 use crate::calibration::Calibration;
 use crate::config::{Placement, Solution, StudyConfig, WorkflowConfig};
 use crate::report::StudyReport;
-use crate::runner::run_study;
+use crate::runner::{run_once_warm, RunMetrics};
 use mdsim::Model;
+
+/// Worker-thread count to use when the caller does not specify one: the
+/// `MDFLOW_JOBS` environment variable if set (min 1), otherwise every
+/// available core.
+pub fn default_jobs() -> usize {
+    std::env::var("MDFLOW_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(rayon::current_num_threads)
+}
+
+/// Aggregate wall-clock accounting for one executor invocation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CampaignStats {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Total simulation runs executed.
+    pub runs: usize,
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_secs: f64,
+    /// CPU seconds spent on setup (snapshot preparation plus per-run
+    /// substrate builds), summed across workers.
+    pub setup_secs: f64,
+    /// CPU seconds spent advancing simulations, summed across workers.
+    pub sim_secs: f64,
+}
+
+impl CampaignStats {
+    /// Campaign throughput in runs per minute of wall-clock time.
+    pub fn runs_per_minute(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.runs as f64 * 60.0 / self.wall_secs
+        }
+    }
+
+    /// Fraction of per-run CPU time spent on setup rather than
+    /// simulation — the quantity warm starting exists to shrink.
+    pub fn setup_fraction(&self) -> f64 {
+        let total = self.setup_secs + self.sim_secs;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.setup_secs / total
+        }
+    }
+}
+
+/// One executable sweep point: the study plus the explicit per-rep run
+/// seeds (so legacy `seed + rep` studies and derived-seed campaigns go
+/// through one code path).
+pub(crate) struct ExecPoint {
+    pub(crate) study: StudyConfig,
+    pub(crate) seeds: Vec<u64>,
+}
+
+impl ExecPoint {
+    /// A point using the historical study seeding (`study.seed + rep`).
+    fn legacy(study: &StudyConfig) -> ExecPoint {
+        ExecPoint {
+            study: study.clone(),
+            seeds: (0..study.repetitions as u64)
+                .map(|rep| study.seed + rep)
+                .collect(),
+        }
+    }
+}
+
+/// Run each point's repetitions across `jobs` workers and reduce them,
+/// in sweep order, to study reports.
+pub(crate) fn execute_points(
+    points: Vec<ExecPoint>,
+    jobs: usize,
+) -> (Vec<StudyReport>, CampaignStats) {
+    let jobs = jobs.max(1);
+    let wall_started = Instant::now();
+    // Shareable setup, once per point. Template seed mirrors the cold
+    // path's `seed ^ 0x7E3A` for the first rep; payload bytes never
+    // influence timing, so sharing one template across reps is safe.
+    let snaps: Vec<ClusterSnapshot> = points
+        .iter()
+        .map(|ep| {
+            ClusterSnapshot::prepare(
+                &ep.study.workflow,
+                &ep.study.calibration,
+                ep.seeds.first().copied().unwrap_or(ep.study.seed) ^ 0x7E3A,
+            )
+        })
+        .collect();
+    let prep_secs = wall_started.elapsed().as_secs_f64();
+
+    // Flatten point-major so reduction can walk units in order.
+    let units: Vec<(usize, usize)> = points
+        .iter()
+        .enumerate()
+        .flat_map(|(p, ep)| (0..ep.seeds.len()).map(move |r| (p, r)))
+        .collect();
+    let results: Vec<Mutex<Option<RunMetrics>>> = units.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let totals = Mutex::new((0.0_f64, 0.0_f64));
+
+    let worker = || {
+        let mut arena = RunArena::new();
+        let (mut setup, mut sim) = (0.0_f64, 0.0_f64);
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(&(p, r)) = units.get(i) else { break };
+            let (metrics, timings) = run_once_warm(&snaps[p], points[p].seeds[r], &mut arena);
+            *results[i].lock().unwrap() = Some(metrics);
+            setup += timings.setup_secs;
+            sim += timings.sim_secs;
+        }
+        let mut t = totals.lock().unwrap();
+        t.0 += setup;
+        t.1 += sim;
+    };
+    if jobs == 1 {
+        worker();
+    } else {
+        rayon::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|_| worker());
+            }
+        });
+    }
+
+    let mut collected: Vec<Vec<RunMetrics>> = points
+        .iter()
+        .map(|ep| Vec::with_capacity(ep.seeds.len()))
+        .collect();
+    for (slot, &(p, _)) in results.iter().zip(&units) {
+        collected[p].push(slot.lock().unwrap().take().expect("every unit ran"));
+    }
+    let reports = points
+        .iter()
+        .zip(&collected)
+        .map(|(ep, runs)| StudyReport::from_runs(&ep.study.workflow, runs))
+        .collect();
+    let (setup_secs, sim_secs) = *totals.lock().unwrap();
+    let stats = CampaignStats {
+        jobs,
+        runs: units.len(),
+        wall_secs: wall_started.elapsed().as_secs_f64(),
+        setup_secs: setup_secs + prep_secs,
+        sim_secs,
+    };
+    (reports, stats)
+}
+
+/// [`crate::runner::run_study`] through the campaign executor: same
+/// seeding (`study.seed + rep`), byte-identical report, but repetitions
+/// fan out across `jobs` warm-started workers.
+pub fn run_study_jobs(study: &StudyConfig, jobs: usize) -> StudyReport {
+    let (mut reports, _) = execute_points(vec![ExecPoint::legacy(study)], jobs);
+    reports.pop().expect("one study in, one report out")
+}
+
+/// Run a batch of studies through one executor invocation, sharing the
+/// worker pool and arenas across all of them. Reports come back in
+/// input order; the stats cover the whole batch.
+pub fn run_studies_jobs(studies: &[StudyConfig], jobs: usize) -> (Vec<StudyReport>, CampaignStats) {
+    execute_points(studies.iter().map(ExecPoint::legacy).collect(), jobs)
+}
 
 /// A sweep specification. Every listed axis is crossed with every other;
 /// omitted strides fall back to each model's Table II default.
@@ -73,24 +264,42 @@ impl Campaign {
         out
     }
 
-    /// Run every point.
+    /// Run every point on all available workers (see [`default_jobs`]).
     pub fn run(&self) -> CampaignResult {
-        let rows = self
+        self.run_with_stats(default_jobs()).0
+    }
+
+    /// Run every point across `jobs` workers and report throughput
+    /// accounting alongside the results.
+    ///
+    /// Run seeds are derived per `(point, repetition)` with
+    /// [`derive_run_seed`], so every run of the campaign is seed-isolated
+    /// and the result is independent of worker count and scheduling.
+    pub fn run_with_stats(&self, jobs: usize) -> (CampaignResult, CampaignStats) {
+        let points: Vec<ExecPoint> = self
             .points()
             .into_iter()
-            .map(|wf| {
+            .enumerate()
+            .map(|(idx, wf)| {
                 let mut study = StudyConfig::paper(wf);
                 study.repetitions = self.repetitions;
                 study.seed = self.seed;
                 study.calibration = self.calibration.clone();
-                let report = run_study(&study);
-                CampaignRow {
-                    label: row_label(&report.workflow),
-                    report,
-                }
+                let seeds = (0..self.repetitions as u64)
+                    .map(|rep| derive_run_seed(self.seed, idx as u64, rep))
+                    .collect();
+                ExecPoint { study, seeds }
             })
             .collect();
-        CampaignResult { rows }
+        let (reports, stats) = execute_points(points, jobs);
+        let rows = reports
+            .into_iter()
+            .map(|report| CampaignRow {
+                label: row_label(&report.workflow),
+                report,
+            })
+            .collect();
+        (CampaignResult { rows }, stats)
     }
 }
 

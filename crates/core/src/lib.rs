@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod calibration;
 pub mod campaign;
 pub mod config;
@@ -46,13 +47,18 @@ pub mod workflow;
 
 /// One-stop imports for examples and benches.
 pub mod prelude {
+    pub use crate::arena::{derive_run_seed, ClusterSnapshot, RunArena, RunTimings};
     pub use crate::calibration::Calibration;
-    pub use crate::campaign::{Campaign, CampaignResult};
+    pub use crate::campaign::{
+        default_jobs, run_studies_jobs, run_study_jobs, Campaign, CampaignResult, CampaignStats,
+    };
     pub use crate::config::{
         FaultConfig, ManualSync, Placement, Solution, StagingConfig, StudyConfig, WorkflowConfig,
     };
     pub use crate::report::{speedup, Breakdown, StudyReport};
-    pub use crate::runner::{run_once, run_study, FaultTotals, RunMetrics, StagingTotals};
+    pub use crate::runner::{
+        run_once, run_once_warm, run_study, FaultTotals, RunMetrics, StagingTotals,
+    };
     pub use crate::schedule::FrameSchedule;
     pub use faults::{ChaosSpec, FaultEvent, FaultKind, FaultPlan, RetryPolicy};
     pub use mdsim::Model;

@@ -2,13 +2,14 @@
 //! per-process profiles.
 
 use std::rc::Rc;
+use std::time::Instant;
 
-use cluster::{Cluster, ClusterSpec, NodeId};
+use cluster::{Cluster, NodeId};
 use dyad::DyadService;
 use instrument::Profile;
 use kvs::{KvsClient, KvsServer};
 use localfs::LocalFs;
-use mdsim::{FrameTemplate, StepClock};
+use mdsim::StepClock;
 use pfs::{LdlmClient, LdlmServer, LdlmSpec, ParallelFs};
 use rayon::prelude::*;
 use serde::Serialize;
@@ -16,6 +17,7 @@ use simcore::{Sim, SimDuration, SimTime};
 use staging::{RetentionPolicy, StagingManager, StagingSpec, StagingStats};
 use transport::Transport;
 
+use crate::arena::{ClusterSnapshot, RunArena, RunTimings};
 use crate::calibration::Calibration;
 use crate::config::{Solution, StudyConfig, WorkflowConfig};
 use crate::workflow::{
@@ -129,7 +131,15 @@ fn spawn_timed(
 
 /// Execute one repetition of `wf` with `seed`.
 pub fn run_once(wf: &WorkflowConfig, cal: &Calibration, seed: u64) -> RunMetrics {
-    run_once_with_tracer(wf, cal, seed, simcore::trace::Tracer::disabled())
+    let setup_started = Instant::now();
+    let snap = ClusterSnapshot::prepare(wf, cal, seed ^ 0x7E3A);
+    run_prepared(
+        &snap,
+        simcore::trace::Tracer::disabled(),
+        Sim::new(seed),
+        setup_started,
+    )
+    .metrics
 }
 
 /// [`run_once`] with Chrome-trace capture: every producer/consumer
@@ -141,16 +151,53 @@ pub fn run_once_traced(
     seed: u64,
 ) -> (RunMetrics, simcore::trace::Tracer) {
     let tracer = simcore::trace::Tracer::enabled();
-    let metrics = run_once_with_tracer(wf, cal, seed, tracer.clone());
+    let setup_started = Instant::now();
+    let snap = ClusterSnapshot::prepare(wf, cal, seed ^ 0x7E3A);
+    let metrics = run_prepared(&snap, tracer.clone(), Sim::new(seed), setup_started).metrics;
     (metrics, tracer)
 }
 
-fn run_once_with_tracer(
-    wf: &WorkflowConfig,
-    cal: &Calibration,
+/// Warm-start variant of [`run_once`]: execute one repetition against a
+/// prepared [`ClusterSnapshot`], recycling the executor allocations in
+/// `arena` between runs. Trajectory-identical to [`run_once`] with the
+/// same seed (see the [`crate::arena`] module docs); this is what the
+/// campaign executor drives, one arena per worker.
+pub fn run_once_warm(
+    snap: &ClusterSnapshot,
     seed: u64,
+    arena: &mut RunArena,
+) -> (RunMetrics, RunTimings) {
+    let setup_started = Instant::now();
+    let sim = match arena.sim.take() {
+        Some(recycled) => Sim::with_arena(seed, recycled),
+        None => Sim::new(seed),
+    };
+    let out = run_prepared(snap, simcore::trace::Tracer::disabled(), sim, setup_started);
+    arena.sim = Some(out.arena);
+    (out.metrics, out.timings)
+}
+
+/// What one simulated repetition hands back to its caller: the metrics,
+/// the wall-clock setup/sim split, and the recovered executor arena.
+struct RunOutput {
+    metrics: RunMetrics,
+    timings: RunTimings,
+    arena: simcore::SimArena,
+}
+
+/// The shared run body: build the live substrates from the snapshot,
+/// spawn the ensemble, advance the simulation, collect. Both the cold
+/// path ([`run_once`], which prepares a throwaway snapshot) and the warm
+/// path ([`run_once_warm`]) execute exactly this code, which is what
+/// keeps their trajectories identical.
+fn run_prepared(
+    snap: &ClusterSnapshot,
     tracer: simcore::trace::Tracer,
-) -> RunMetrics {
+    sim: Sim,
+    setup_started: Instant,
+) -> RunOutput {
+    let wf = &snap.workflow;
+    let cal = &snap.calibration;
     if wf.solution == Solution::Xfs {
         assert_eq!(
             wf.placement,
@@ -158,52 +205,27 @@ fn run_once_with_tracer(
             "XFS cannot move data between nodes (paper §III-B)"
         );
     }
-    let sim = Sim::new(seed);
     let ctx = sim.ctx();
 
     // ---- topology ------------------------------------------------------
-    let plan = wf.placement_plan();
-    let n_compute = plan.compute_nodes;
-    let mut n_total = n_compute;
-    // DYAD needs the PFS service nodes too when staging may spill.
-    let needs_pfs =
-        wf.solution.needs_pfs() || (wf.solution == Solution::Dyad && wf.staging.spill_to_pfs);
-    let pfs_nodes = if needs_pfs {
-        let mds = n_total as u32;
-        let osts: Vec<NodeId> = (0..cal.n_osts as u32)
-            .map(|i| NodeId(n_total as u32 + 1 + i))
-            .collect();
-        n_total += 1 + cal.n_osts;
-        Some((NodeId(mds), osts))
-    } else {
-        None
-    };
-    let cluster = Cluster::build(
-        &ctx,
-        &ClusterSpec::homogeneous(n_total, cal.node, cal.fabric),
-    );
+    let plan = &snap.plan;
+    let n_compute = snap.n_compute;
+    let n_total = snap.n_total;
+    let pfs_nodes = snap.pfs_nodes.clone();
+    let cluster = Cluster::build(&ctx, &snap.spec);
     let tp = Transport::new(&ctx, cluster.fabric().clone(), cal.transport);
 
     // ---- fault board -----------------------------------------------------
     // Built only when the plan is non-empty: a disabled FaultConfig arms
     // zero timers and leaves every substrate byte-identical to a build
-    // without the fault layer (the determinism fixtures pin this).
-    let fault_board = if wf.faults.enabled() {
+    // without the fault layer (the determinism fixtures pin this). The
+    // plan itself is part of the snapshot (pure data, seeded by the
+    // FaultConfig, shared by every repetition of the point).
+    let fault_board = snap.fault_plan.as_ref().map(|plan| {
         let board = faults::FaultBoard::new(&ctx, n_total, cal.n_osts);
         tp.set_faults(board.clone());
-        let horizon =
-            SimDuration::from_secs_f64((wf.frames as f64 * wf.frame_period_secs()).max(1.0));
-        // Generated faults target compute nodes only; service nodes
-        // (MDS/OSTs) have their own fault classes. Scheduled events may
-        // still name any node.
-        let n_osts_for_plan = if needs_pfs { cal.n_osts as u32 } else { 0 };
-        let plan = wf
-            .faults
-            .build_plan(horizon, n_compute as u32, n_osts_for_plan);
-        Some((board, plan))
-    } else {
-        None
-    };
+        (board, plan)
+    });
 
     // ---- substrates ------------------------------------------------------
     let local_fs: Vec<LocalFs> = (0..n_compute as u32)
@@ -330,7 +352,7 @@ fn run_once_with_tracer(
     };
 
     // ---- workload --------------------------------------------------------
-    let template = Rc::new(FrameTemplate::generate(wf.model, seed ^ 0x7E3A));
+    let template = Rc::new(snap.template.clone());
     let clock = StepClock {
         ms_per_step: wf.model.ms_per_step(),
         jitter: cal.md_jitter,
@@ -382,10 +404,8 @@ fn run_once_with_tracer(
                 // hold each of this pair's frames until consumer
                 // `c{pair}` acknowledges it.
                 if let Some(mgr) = &staging_mgrs[pn as usize] {
-                    mgr.register_consumer(
-                        &format!("{}/frames/p{pair:04}", cal.dyad.managed_dir),
-                        &format!("c{pair}"),
-                    );
+                    let (frame_dir, consumer_id) = &snap.registrations[pair as usize];
+                    mgr.register_consumer(frame_dir, consumer_id);
                 }
                 prod_handles.push(spawn_timed(&ctx, producer_dyad(pargs, psvc, rng_stream)));
                 cons_handles.push(spawn_timed(&ctx, consumer_dyad(cargs, csvc)));
@@ -460,6 +480,10 @@ fn run_once_with_tracer(
         }
     }
 
+    // Everything up to here is setup; everything after is simulation.
+    let setup_secs = setup_started.elapsed().as_secs_f64();
+    let sim_started = Instant::now();
+
     // The PFS interference processes never terminate, so advance the
     // clock in slices and stop as soon as every workload process has
     // finished (the workload, not the background noise, defines the run).
@@ -533,13 +557,25 @@ fn run_once_with_tracer(
         fault_totals.frames_lost_observed = sum("frames_lost_observed");
     }
     drop(kvs_server);
-    RunMetrics {
-        producers,
-        consumers,
-        makespan,
-        events: report.events_processed,
-        staging: staging_totals,
-        faults: fault_totals,
+    // Recover the executor allocations for the next warm run. Pending
+    // background tasks and their timers drop here exactly as dropping
+    // the Sim would drop them (the substrates hold weak Ctx handles, so
+    // the core's strong count is already down to this one Sim).
+    let arena = sim.into_arena();
+    RunOutput {
+        metrics: RunMetrics {
+            producers,
+            consumers,
+            makespan,
+            events: report.events_processed,
+            staging: staging_totals,
+            faults: fault_totals,
+        },
+        timings: RunTimings {
+            setup_secs,
+            sim_secs: sim_started.elapsed().as_secs_f64(),
+        },
+        arena,
     }
 }
 

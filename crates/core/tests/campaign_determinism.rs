@@ -1,0 +1,85 @@
+//! Campaign determinism regression: the parallel executor must be
+//! invisible in the results. Serial (`jobs = 1`) and parallel
+//! (`jobs ∈ {2, 8}`) execution of the same campaign must produce
+//! byte-identical JSON reports — which, since a `StudyReport` embeds
+//! every repetition's raw run breakdown, also pins the per-seed
+//! schedules bit-for-bit. Likewise a warm-started run (snapshot +
+//! recycled arena) must match a cold `run_once` exactly.
+
+use mdflow::prelude::*;
+
+/// A 3-solution × 2-model campaign, small enough to run three times in
+/// a test but crossing every executor-relevant axis: KVS-backed DYAD,
+/// PFS-backed Lustre, and the DYAD-over-PFS ablation (which needs both
+/// service layers), on two frame sizes.
+fn campaign() -> Campaign {
+    let mut c = Campaign::new(
+        vec![Solution::Dyad, Solution::Lustre, Solution::DyadOnPfs],
+        2,
+        Placement::Split { pairs_per_node: 8 },
+    );
+    c.models = vec![Model::Jac, Model::ApoA1];
+    c.frames = 6;
+    c.repetitions = 2;
+    c.calibration = Calibration::quiet();
+    c
+}
+
+#[test]
+fn parallel_campaign_is_byte_identical_to_serial() {
+    let c = campaign();
+    let (serial, serial_stats) = c.run_with_stats(1);
+    assert_eq!(serial_stats.runs, 3 * 2 * 2);
+    for jobs in [2, 8] {
+        let (parallel, stats) = c.run_with_stats(jobs);
+        assert_eq!(stats.jobs, jobs);
+        assert_eq!(stats.runs, serial_stats.runs);
+        assert_eq!(
+            serial.to_json(),
+            parallel.to_json(),
+            "campaign diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn warm_start_matches_cold_start_per_run() {
+    let cal = Calibration::quiet();
+    for solution in [Solution::Dyad, Solution::Lustre, Solution::DyadOnPfs] {
+        let wf =
+            WorkflowConfig::new(solution, 2, Placement::Split { pairs_per_node: 8 }).with_frames(6);
+        let seeds = [41u64, 42, 43];
+        // Cold: every run pays full setup (and synthesizes its own
+        // seed-specific template).
+        let cold: Vec<_> = seeds.iter().map(|&s| run_once(&wf, &cal, s)).collect();
+        // Warm: one shared snapshot, one recycled arena across runs.
+        let snap = ClusterSnapshot::prepare(&wf, &cal, seeds[0] ^ 0x7E3A);
+        let mut arena = RunArena::new();
+        let warm: Vec<_> = seeds
+            .iter()
+            .map(|&s| run_once_warm(&snap, s, &mut arena).0)
+            .collect();
+        assert_eq!(
+            StudyReport::from_runs(&wf, &cold).to_json(),
+            StudyReport::from_runs(&wf, &warm).to_json(),
+            "warm != cold for {solution:?}"
+        );
+    }
+}
+
+#[test]
+fn run_study_jobs_matches_legacy_run_study() {
+    let wf = WorkflowConfig::new(Solution::Dyad, 2, Placement::Split { pairs_per_node: 8 })
+        .with_frames(6);
+    let mut study = StudyConfig::paper(wf);
+    study.repetitions = 3;
+    study.calibration = Calibration::quiet();
+    let legacy = run_study(&study).to_json();
+    for jobs in [1, 4] {
+        assert_eq!(
+            run_study_jobs(&study, jobs).to_json(),
+            legacy,
+            "run_study_jobs diverged from run_study at jobs={jobs}"
+        );
+    }
+}

@@ -115,7 +115,9 @@ impl KvsServer {
             store: store.clone(),
         });
         let handler_store = store;
-        let handler_tp = tp.clone();
+        // Weak: a strong clone would cycle through the handler table and
+        // leak the store (see `Transport::downgrade`).
+        let handler_tp = tp.downgrade();
         let handler_ctx = ctx.clone();
         tp.register_am(
             node,
@@ -123,7 +125,7 @@ impl KvsServer {
             Rc::new(move |raw: Bytes| {
                 let store = handler_store.clone();
                 let service = service.clone();
-                let tp = handler_tp.clone();
+                let tp = handler_tp.upgrade();
                 let ctx = handler_ctx.clone();
                 Box::pin(async move {
                     // Queue for a broker thread.

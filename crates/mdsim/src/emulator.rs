@@ -21,6 +21,12 @@ use crate::frame::{FrameHeader, MAGIC, VERSION};
 use crate::models::{Model, ATOM_BYTES, HEADER_BYTES};
 
 /// An immutable, fully populated frame body for one model.
+///
+/// Cloning is cheap (the body is a shared [`Bytes`] handle), which is
+/// what lets a warm-started campaign generate one template per sweep
+/// point and hand every repetition a copy instead of re-synthesizing
+/// O(atoms) bytes per run.
+#[derive(Clone)]
 pub struct FrameTemplate {
     model: Model,
     /// Encoded atom records (28 bytes each), shared by every frame.

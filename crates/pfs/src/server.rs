@@ -142,7 +142,9 @@ impl MdsServer {
         }));
         let service = FifoResource::new(ctx, spec.mds_threads);
         let hstate = state.clone();
-        let htp = tp.clone();
+        // Weak: a strong clone would cycle through the handler table and
+        // leak the namespace (see `Transport::downgrade`).
+        let htp = tp.downgrade();
         let hctx = ctx.clone();
         tp.register_am(
             node,
@@ -150,7 +152,7 @@ impl MdsServer {
             Rc::new(move |raw: Bytes| {
                 let state = hstate.clone();
                 let service = service.clone();
-                let tp = htp.clone();
+                let tp = htp.upgrade();
                 let ctx = hctx.clone();
                 Box::pin(async move {
                     service.request(spec.mds_service).await;
@@ -337,7 +339,9 @@ impl OstServer {
             read_bw: read_bw.clone(),
         });
         let hstate = state;
-        let htp = tp.clone();
+        // Weak: a strong clone would cycle through the handler table and
+        // leak every stored object segment (see `Transport::downgrade`).
+        let htp = tp.downgrade();
         let hctx = ctx.clone();
         tp.register_bulk(
             node,
@@ -347,7 +351,7 @@ impl OstServer {
                 let service = service.clone();
                 let write_bw = write_bw.clone();
                 let read_bw = read_bw.clone();
-                let tp = htp.clone();
+                let tp = htp.upgrade();
                 let ctx = hctx.clone();
                 Box::pin(async move {
                     service.request(spec.oss_service).await;

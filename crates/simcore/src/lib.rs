@@ -43,7 +43,10 @@ mod time;
 pub mod trace;
 
 pub use combinators::{race, timeout, Either, Race, TimedOut, Timeout};
-pub use executor::{CalendarStats, Ctx, JoinHandle, RunReport, Sim, Sleep, TimerHandle, YieldNow};
+pub use executor::{
+    splitmix64, CalendarStats, Ctx, JoinHandle, RunReport, Sim, SimArena, Sleep, TimerHandle,
+    YieldNow,
+};
 pub use time::{SimDuration, SimTime};
 
 /// Await multiple futures of the same type concurrently and collect their

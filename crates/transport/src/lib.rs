@@ -259,6 +259,25 @@ impl Transport {
         }
     }
 
+    /// A weak handle for use inside registered handlers.
+    ///
+    /// Handler closures live in the transport's own tables, so a closure
+    /// that captured a strong `Transport` clone would form a reference
+    /// cycle (`Inner → handler → Transport → Inner`) that keeps the
+    /// transport — and everything every handler captured, such as OST
+    /// object data or a staged-frame store — alive after the simulation
+    /// is torn down. Handlers must capture `downgrade()` instead and
+    /// [`WeakTransport::upgrade`] at call time; a handler only ever runs
+    /// while the transport that dispatched it is alive.
+    pub fn downgrade(&self) -> WeakTransport {
+        WeakTransport {
+            ctx: self.ctx.clone(),
+            fabric: self.fabric.clone(),
+            spec: self.spec,
+            inner: Rc::downgrade(&self.inner),
+        }
+    }
+
     /// Register an active-message handler on `node`. Replaces any previous
     /// handler with the same id.
     pub fn register_am(&self, node: NodeId, id: AmId, handler: AmHandler) {
@@ -274,6 +293,31 @@ impl Transport {
             .borrow_mut()
             .bulk_handlers
             .insert(id, handler);
+    }
+}
+
+/// A non-owning [`Transport`] handle (see [`Transport::downgrade`]).
+#[derive(Clone)]
+pub struct WeakTransport {
+    ctx: Ctx,
+    fabric: Fabric,
+    spec: TransportSpec,
+    inner: std::rc::Weak<Inner>,
+}
+
+impl WeakTransport {
+    /// Recover the strong handle. Panics if the transport has been torn
+    /// down — valid inside handlers, which only run while it is alive.
+    pub fn upgrade(&self) -> Transport {
+        Transport {
+            ctx: self.ctx.clone(),
+            fabric: self.fabric.clone(),
+            spec: self.spec,
+            inner: self
+                .inner
+                .upgrade()
+                .expect("WeakTransport used after the transport was dropped"),
+        }
     }
 }
 

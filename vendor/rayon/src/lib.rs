@@ -12,6 +12,48 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
 }
 
+/// Number of worker threads rayon would size its pool to: the machine's
+/// available parallelism (1 when it cannot be determined).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A scope for spawning borrowing tasks, mirroring `rayon::Scope`.
+///
+/// Unlike the sequential iterator combinators above, `scope` provides
+/// *real* parallelism: each `spawn` runs on its own OS thread (backed by
+/// [`std::thread::scope`], so tasks may borrow from the enclosing
+/// frame). This workspace uses it for coarse-grained work — a handful of
+/// long-lived workers draining a shared queue — where per-spawn thread
+/// cost is negligible and a work-stealing pool would be overkill.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task into the scope. The task may borrow anything that
+    /// outlives the scope and may itself spawn further tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Create a scope whose spawned tasks all complete before `scope`
+/// returns, mirroring `rayon::scope`. Tasks run on real OS threads.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
 /// A "parallel" iterator: a thin wrapper over a sequential [`Iterator`]
 /// exposing rayon-shaped combinators.
 pub struct ParIter<I>(I);
@@ -159,6 +201,26 @@ mod tests {
                 },
             );
         assert_eq!(hist, vec![6, 6, 6]);
+    }
+
+    #[test]
+    fn scope_runs_borrowing_tasks_to_completion() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..17).collect();
+        let cursor = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(v) = items.get(i) else { break };
+                    counter.fetch_add(v + 1, Ordering::Relaxed);
+                });
+            }
+        });
+        // Every item claimed exactly once: sum of (v+1) for v in 0..17.
+        assert_eq!(counter.load(Ordering::Relaxed), (0..17).sum::<usize>() + 17);
+        assert!(crate::current_num_threads() >= 1);
     }
 
     #[test]
