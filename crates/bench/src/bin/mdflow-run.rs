@@ -7,6 +7,7 @@
 //!            [--pairs N] [--nodes single|split] [--per-node N]
 //!            [--stride N] [--frames N] [--reps N] [--seed N]
 //!            [--sync coarse|fine|polling] [--no-warm-sync]
+//!            [--kvs-shards N] [--kvs-replication R]
 //!            [--quiet-testbed] [--json]
 //! ```
 
@@ -59,6 +60,8 @@ options:
   --seed     N                             base seed [0xD1AD]
   --sync     coarse|fine|polling           manual sync protocol [coarse]
   --no-warm-sync                           disable DYAD's warm fast path
+  --kvs-shards N                           KVS metadata-plane shards [1]
+  --kvs-replication R                      replicas per key (<= shards) [1]
   --quiet-testbed                          no PFS interference / jitter
   --json                                   print the full report as JSON
 ";
@@ -106,6 +109,15 @@ fn main() {
         other => die(&format!("unknown sync protocol {other}")),
     };
     wf.dyad_warm_sync = !args.flag("--no-warm-sync");
+    let shards: u32 = args.num("--kvs-shards", 1);
+    let replication: u32 = args.num("--kvs-replication", 1);
+    if shards < 1 {
+        die("--kvs-shards must be at least 1");
+    }
+    if replication < 1 || replication > shards {
+        die("--kvs-replication must be in 1..=kvs-shards");
+    }
+    wf = wf.with_kvs_shards(shards).with_kvs_replication(replication);
 
     let mut study = StudyConfig::paper(wf);
     study.repetitions = args.num("--reps", 10);

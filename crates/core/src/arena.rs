@@ -145,12 +145,20 @@ impl ClusterSnapshot {
                 SimDuration::from_secs_f64((wf.frames as f64 * wf.frame_period_secs()).max(1.0));
             // Generated faults target compute nodes only; service nodes
             // (MDS/OSTs) have their own fault classes. Scheduled events
-            // may still name any node.
+            // may still name any node. Shard-crash events are generated
+            // only when the run actually has a KVS mesh.
             let n_osts_for_plan = if needs_pfs { cal.n_osts as u32 } else { 0 };
-            Some(
-                wf.faults
-                    .build_plan(horizon, n_compute as u32, n_osts_for_plan),
-            )
+            let n_shards_for_plan = if wf.kvs_mesh_enabled() {
+                wf.kvs_shards
+            } else {
+                0
+            };
+            Some(wf.faults.build_plan(
+                horizon,
+                n_compute as u32,
+                n_osts_for_plan,
+                n_shards_for_plan,
+            ))
         } else {
             None
         };

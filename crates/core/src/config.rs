@@ -162,11 +162,15 @@ impl FaultConfig {
     }
 
     /// Expand into the concrete plan for a topology and horizon.
+    /// `n_kvs_shards = 0` (any run without a KVS mesh) generates no
+    /// shard-crash events and leaves the plan byte-identical to the
+    /// pre-mesh generator.
     pub fn build_plan(
         &self,
         horizon: simcore::SimDuration,
         n_nodes: u32,
         n_osts: u32,
+        n_kvs_shards: u32,
     ) -> faults::FaultPlan {
         let mut plan = if self.events_per_class > 0 {
             faults::FaultPlan::generate(
@@ -174,6 +178,7 @@ impl FaultConfig {
                     horizon,
                     n_nodes,
                     n_osts,
+                    n_kvs_shards,
                     events_per_class: self.events_per_class as f64,
                     mean_window_frac: self.mean_window_frac,
                 },
@@ -214,6 +219,19 @@ pub struct WorkflowConfig {
     pub staging: StagingConfig,
     /// Deterministic fault-injection plan (disabled by default).
     pub faults: FaultConfig,
+    /// KVS metadata-plane shards (`--kvs-shards N`). 1 = the legacy
+    /// single broker; >1 partitions the frame namespace across N
+    /// brokers by rendezvous hash (DYAD solutions only).
+    pub kvs_shards: u32,
+    /// KVS replication factor (`--kvs-replication R`). 1 = unreplicated;
+    /// R>1 synchronously replicates every commit to the key's top-R
+    /// shards as causally-ordered deltas, enabling shard failover.
+    pub kvs_replication: u32,
+    /// Test knob: run the mesh plane even at shards=1, R=1 (used by the
+    /// determinism fixtures to prove a one-shard mesh reproduces the
+    /// legacy single-broker schedule exactly).
+    #[serde(skip)]
+    pub kvs_force_mesh: bool,
     /// Optional variable-rate frame schedule (overrides the fixed
     /// stride-based cadence; see [`crate::schedule::FrameSchedule`]).
     #[serde(skip)]
@@ -243,6 +261,9 @@ impl WorkflowConfig {
             dyad_warm_sync: true,
             staging: StagingConfig::default(),
             faults: FaultConfig::default(),
+            kvs_shards: 1,
+            kvs_replication: 1,
+            kvs_force_mesh: false,
             schedule: None,
         }
     }
@@ -295,6 +316,30 @@ impl WorkflowConfig {
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Shard the KVS metadata plane across `shards` brokers
+    /// (`--kvs-shards N`; DYAD solutions only).
+    pub fn with_kvs_shards(mut self, shards: u32) -> Self {
+        assert!(shards >= 1, "kvs_shards must be at least 1");
+        self.kvs_shards = shards;
+        self
+    }
+
+    /// Replicate every key to `r` shards with causal delta sync
+    /// (`--kvs-replication R`; clamped to the shard count at run time).
+    pub fn with_kvs_replication(mut self, r: u32) -> Self {
+        assert!(r >= 1, "kvs_replication must be at least 1");
+        self.kvs_replication = r;
+        self
+    }
+
+    /// Whether this run uses the mesh metadata plane (any sharding or
+    /// replication beyond the legacy single broker, or the forced-mesh
+    /// test knob).
+    pub fn kvs_mesh_enabled(&self) -> bool {
+        self.solution.needs_kvs()
+            && (self.kvs_shards > 1 || self.kvs_replication > 1 || self.kvs_force_mesh)
     }
 
     /// Mean seconds between frames for this configuration (the

@@ -7,7 +7,7 @@ use std::time::Instant;
 use cluster::{Cluster, NodeId};
 use dyad::DyadService;
 use instrument::Profile;
-use kvs::{KvsClient, KvsServer};
+use kvs::{KvsClient, KvsHandle, KvsMesh, KvsServer};
 use localfs::LocalFs;
 use mdsim::StepClock;
 use pfs::{LdlmClient, LdlmServer, LdlmSpec, ParallelFs};
@@ -99,6 +99,45 @@ pub struct FaultTotals {
     pub consume_failures: u64,
     /// Lost-frame tombstones consumers observed (typed `FrameLost`).
     pub frames_lost_observed: u64,
+    /// Permanent KVS shard crashes injected (mesh runs).
+    pub kvs_shard_crashes: u64,
+}
+
+/// Metadata-plane counters for one repetition, summed over every KVS
+/// broker shard (all zero for solutions without a KVS).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct KvsTotals {
+    /// Broker shards the run used (1 = the legacy single broker).
+    pub shards: u32,
+    /// Replication factor (1 = unreplicated).
+    pub replication: u32,
+    /// Commits applied across all shards.
+    pub commits: u64,
+    /// Lookups served across all shards.
+    pub lookups: u64,
+    /// Server-side waits served across all shards.
+    pub waits: u64,
+    /// Replication deltas shipped between shards.
+    pub deltas_sent: u64,
+    /// Replication deltas applied at replicas.
+    pub deltas_applied: u64,
+    /// Deltas that arrived out of causal order and buffered.
+    pub deltas_buffered: u64,
+    /// Worst per-shard peak of requests queued or in service — the
+    /// metadata-plane congestion signal the shard sweep gates on.
+    pub peak_queue: u64,
+}
+
+impl KvsTotals {
+    fn absorb(&mut self, s: &kvs::KvsStats) {
+        self.commits += s.commits;
+        self.lookups += s.lookups;
+        self.waits += s.waits;
+        self.deltas_sent += s.deltas_sent;
+        self.deltas_applied += s.deltas_applied;
+        self.deltas_buffered += s.deltas_buffered;
+        self.peak_queue = self.peak_queue.max(s.peak_queue);
+    }
 }
 
 /// Raw result of one repetition.
@@ -115,6 +154,8 @@ pub struct RunMetrics {
     pub staging: StagingTotals,
     /// Fault-injection and recovery counters (zero when disabled).
     pub faults: FaultTotals,
+    /// Metadata-plane counters (zero for solutions without a KVS).
+    pub kvs: KvsTotals,
 }
 
 /// Spawn a process and record the simulated time at which it finished.
@@ -250,12 +291,35 @@ fn run_prepared(
             fs
         })
         .collect();
-    let kvs_server = if wf.solution.needs_kvs() {
+    // Metadata plane: the legacy single broker on node 0, or the sharded
+    // mesh when the workflow opts in. Shard s is colocated on compute
+    // node (s % n_compute), which puts shard 0 exactly where the legacy
+    // broker lives — a forced one-shard mesh replays the legacy schedule.
+    let kvs_mesh = if wf.solution.needs_kvs() && wf.kvs_mesh_enabled() {
+        let shard_nodes: Vec<NodeId> = (0..wf.kvs_shards)
+            .map(|s| NodeId(s % n_compute as u32))
+            .collect();
+        Some(KvsMesh::start(
+            &ctx,
+            &tp,
+            &shard_nodes,
+            cal.kvs,
+            wf.kvs_replication,
+        ))
+    } else {
+        None
+    };
+    let kvs_server = if wf.solution.needs_kvs() && kvs_mesh.is_none() {
         Some(KvsServer::start(&ctx, &tp, NodeId(0), cal.kvs))
     } else {
         None
     };
-    let kvs_client = |node: u32| KvsClient::new(&ctx, &tp, NodeId(node), NodeId(0), cal.kvs);
+    let kvs_client = |node: u32| -> KvsHandle {
+        match &kvs_mesh {
+            Some(mesh) => mesh.client(&ctx, &tp, NodeId(node)).into(),
+            None => KvsClient::new(&ctx, &tp, NodeId(node), NodeId(0), cal.kvs).into(),
+        }
+    };
     let pfs = pfs_nodes.map(|(mds, osts)| ParallelFs::start(&ctx, &tp, mds, osts, cal.pfs));
     // One staging manager per compute node for DYAD: tracks the staged-
     // frame lifecycle and (when the budget is finite) runs the evictor.
@@ -538,6 +602,7 @@ fn run_prepared(
         fault_totals.injected = s.injected;
         fault_totals.crashes = s.crashes;
         fault_totals.restarts = s.restarts;
+        fault_totals.kvs_shard_crashes = s.kvs_shard_crashes;
         let t = tp.stats();
         fault_totals.rpc_retries = t.rpc_retries;
         fault_totals.rpc_giveups = t.rpc_giveups;
@@ -556,7 +621,20 @@ fn run_prepared(
         fault_totals.consume_failures = sum("consume_failures");
         fault_totals.frames_lost_observed = sum("frames_lost_observed");
     }
+    let mut kvs_totals = KvsTotals::default();
+    if let Some(mesh) = &kvs_mesh {
+        kvs_totals.shards = mesh.shards();
+        kvs_totals.replication = mesh.topology().replication();
+        for s in 0..mesh.shards() {
+            kvs_totals.absorb(&mesh.shard_stats(s));
+        }
+    } else if let Some(srv) = &kvs_server {
+        kvs_totals.shards = 1;
+        kvs_totals.replication = 1;
+        kvs_totals.absorb(&srv.stats());
+    }
     drop(kvs_server);
+    drop(kvs_mesh);
     // Recover the executor allocations for the next warm run. Pending
     // background tasks and their timers drop here exactly as dropping
     // the Sim would drop them (the substrates hold weak Ctx handles, so
@@ -570,6 +648,7 @@ fn run_prepared(
             events: report.events_processed,
             staging: staging_totals,
             faults: fault_totals,
+            kvs: kvs_totals,
         },
         timings: RunTimings {
             setup_secs,

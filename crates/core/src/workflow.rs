@@ -32,7 +32,7 @@ use bytes::Bytes;
 use dyad::{DyadConsumer, DyadError, DyadService, FrameLocation, FrameMeta};
 use faults::FaultBoard;
 use instrument::{Profile, Recorder};
-use kvs::KvsClient;
+use kvs::KvsHandle;
 use localfs::LocalFs;
 use mdsim::{FrameHeader, FrameTemplate, StepClock};
 use pfs::{LdlmClient, LockMode, PfsClient};
@@ -610,7 +610,7 @@ pub async fn consumer_manual(
 pub async fn producer_dyad_on_pfs(
     args: ProducerArgs,
     storage: Storage,
-    kvs: KvsClient,
+    kvs: KvsHandle,
     owner: cluster::NodeId,
     rng_stream: u64,
 ) -> Profile {
@@ -673,7 +673,7 @@ pub async fn producer_dyad_on_pfs(
 pub async fn consumer_dyad_on_pfs(
     args: ConsumerArgs,
     storage: Storage,
-    kvs: KvsClient,
+    kvs: KvsHandle,
     warm_sync: bool,
 ) -> Profile {
     let rec = Recorder::traced(

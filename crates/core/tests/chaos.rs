@@ -89,6 +89,18 @@ fn fault_classes(solution: Solution) -> Vec<(&'static str, FaultKind)> {
             FaultKind::KvsDelay {
                 delay: ms(150),
                 duration: ms(400),
+                broker: None,
+            },
+        ),
+        // Scoped variant: addressed to broker 0 explicitly. Under the
+        // legacy single broker (shard 0) this must behave like a global
+        // delay; under a mesh it would slow only that shard.
+        (
+            "kvs_delay_scoped",
+            FaultKind::KvsDelay {
+                delay: ms(150),
+                duration: ms(400),
+                broker: Some(0),
             },
         ),
     ]
@@ -175,15 +187,15 @@ fn xfs_survives_every_fault_class() {
 fn same_seed_gives_bit_identical_fault_schedules() {
     let horizon = SimDuration::from_secs_f64(10.0);
     for &seed in &SEEDS {
-        let a = FaultConfig::chaos(seed, 3).build_plan(horizon, 4, 2);
-        let b = FaultConfig::chaos(seed, 3).build_plan(horizon, 4, 2);
+        let a = FaultConfig::chaos(seed, 3).build_plan(horizon, 4, 2, 0);
+        let b = FaultConfig::chaos(seed, 3).build_plan(horizon, 4, 2, 0);
         assert!(!a.describe().is_empty(), "seed {seed}: empty plan");
         assert_eq!(
             a.describe(),
             b.describe(),
             "seed {seed}: schedule not reproducible"
         );
-        let c = FaultConfig::chaos(seed ^ 1, 3).build_plan(horizon, 4, 2);
+        let c = FaultConfig::chaos(seed ^ 1, 3).build_plan(horizon, 4, 2, 0);
         assert_ne!(
             a.describe(),
             c.describe(),
@@ -212,6 +224,127 @@ fn same_seed_chaos_runs_produce_byte_identical_reports() {
             assert_eq!(ra, rb, "{solution:?} seed {seed}: report not byte-stable");
         }
     }
+}
+
+/// The PR 7 headline A/B: chaos kills one KVS broker shard mid-campaign.
+///
+/// * Replicated mesh (4 shards, R=2): every key the dead shard owned has
+///   a live replica holding an acked copy, clients fail over, parked
+///   waits are flushed and re-parked on replicas — the campaign heals
+///   and completes with every frame consumed.
+/// * Legacy single broker: the same crash takes the whole metadata
+///   plane down. The workflow must *terminate* through the typed
+///   failure path (counted produce/consume failures), never hang.
+///
+/// Both legs are asserted byte-stable per seed across the CI seed set.
+#[test]
+fn shard_kill_heals_replicated_mesh_but_terminates_single_broker() {
+    let cal = Calibration::quiet();
+    let total = PAIRS as u64 * FRAMES;
+    for &seed in &SEEDS {
+        // Leg A: sharded + replicated mesh, shard 1 dies at 1 s.
+        let meshed = base(Solution::Dyad)
+            .with_kvs_shards(4)
+            .with_kvs_replication(2)
+            .with_faults(FaultConfig::scheduled(vec![FaultEvent {
+                at: ms(1000),
+                kind: FaultKind::KvsShardCrash { shard: 1 },
+            }]));
+        let a = run_once(&meshed, &cal, seed);
+        assert_eq!(
+            a.faults.kvs_shard_crashes, 1,
+            "seed {seed}: shard crash never fired"
+        );
+        assert_eq!(
+            a.staging.acks_published, total,
+            "seed {seed}: replicated mesh failed to heal — only {} of {total} \
+             frames consumed (consume failures: {})",
+            a.staging.acks_published, a.faults.consume_failures
+        );
+        assert_eq!(
+            a.faults.consume_failures + a.faults.produce_failures,
+            0,
+            "seed {seed}: replicated mesh leaked typed failures"
+        );
+        assert!(
+            a.kvs.deltas_sent > 0 && a.kvs.deltas_applied > 0,
+            "seed {seed}: replication never shipped a delta"
+        );
+        let a2 = run_once(&meshed, &cal, seed);
+        assert_eq!(
+            a.makespan, a2.makespan,
+            "seed {seed}: mesh leg not byte-stable"
+        );
+        assert_eq!(
+            a.events, a2.events,
+            "seed {seed}: mesh leg event count drifted"
+        );
+
+        // Leg B: legacy single broker (it *is* shard 0), same crash.
+        let single = base(Solution::Dyad).with_faults(FaultConfig::scheduled(vec![FaultEvent {
+            at: ms(1000),
+            kind: FaultKind::KvsShardCrash { shard: 0 },
+        }]));
+        let b = run_once(&single, &cal, seed);
+        assert!(
+            b.faults.consume_failures + b.faults.produce_failures > 0,
+            "seed {seed}: single-broker leg should terminate via typed failures"
+        );
+        assert!(
+            b.staging.acks_published < total,
+            "seed {seed}: single-broker leg completed despite a dead metadata plane"
+        );
+        let b2 = run_once(&single, &cal, seed);
+        assert_eq!(
+            b.makespan, b2.makespan,
+            "seed {seed}: single-broker leg not byte-stable"
+        );
+        assert_eq!(
+            b.events, b2.events,
+            "seed {seed}: single-broker leg event count drifted"
+        );
+    }
+}
+
+/// Generated chaos plans that include the shard-crash class still
+/// terminate on the replicated mesh, and the shard-crash knob leaves
+/// non-mesh plans byte-identical (class 7 is appended, never interleaved).
+#[test]
+fn chaos_generator_with_shard_class_terminates_on_mesh() {
+    let horizon = SimDuration::from_secs_f64(10.0);
+    // Plan stability: n_kvs_shards = 0 reproduces the pre-mesh plan —
+    // stripping shard-crash events from a shard-aware plan leaves the
+    // exact event list a shard-free plan generates (class 7 draws come
+    // after every pre-existing class, so earlier draws are untouched).
+    for &seed in &SEEDS {
+        let pre = FaultConfig::chaos(seed, 2).build_plan(horizon, 4, 2, 0);
+        let with = FaultConfig::chaos(seed, 2).build_plan(horizon, 4, 2, 4);
+        let kept: Vec<&FaultEvent> = with
+            .events()
+            .iter()
+            .filter(|e| !matches!(e.kind, FaultKind::KvsShardCrash { .. }))
+            .collect();
+        assert_eq!(
+            pre.events().iter().collect::<Vec<_>>(),
+            kept,
+            "seed {seed}: shard-crash class perturbed the existing plan"
+        );
+        assert!(
+            with.len() > pre.len(),
+            "seed {seed}: shard-crash class generated no events"
+        );
+    }
+    // And a mesh run under the full generated plan terminates.
+    let wf = base(Solution::Dyad)
+        .with_kvs_shards(4)
+        .with_kvs_replication(2)
+        .with_faults(FaultConfig::chaos(SEEDS[0], 1));
+    let m = run_once(&wf, &Calibration::quiet(), SEEDS[0]);
+    assert!(
+        m.faults.injected > 0,
+        "generated mesh plan injected nothing"
+    );
+    check_dyad_accounting("mesh_chaos", &m);
 }
 
 /// A disabled `FaultConfig` — whatever its seed/window knobs say — must

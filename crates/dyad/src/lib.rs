@@ -32,7 +32,7 @@ use bytes::Bytes;
 use cluster::NodeId;
 use faults::RetryPolicy;
 use instrument::Recorder;
-use kvs::KvsClient;
+use kvs::KvsHandle;
 use localfs::{FsResult, LocalFs, LockKind};
 use pfs::PfsClient;
 use rand::rngs::StdRng;
@@ -176,7 +176,7 @@ pub struct DyadService {
     ctx: Ctx,
     node: NodeId,
     fs: LocalFs,
-    kvs: KvsClient,
+    kvs: KvsHandle,
     ep: Endpoint,
     spec: Rc<DyadSpec>,
     staging: Option<Rc<StagingManager>>,
@@ -191,7 +191,7 @@ impl DyadService {
         tp: &Transport,
         node: NodeId,
         fs: LocalFs,
-        kvs: KvsClient,
+        kvs: impl Into<KvsHandle>,
         spec: DyadSpec,
     ) -> Rc<DyadService> {
         Self::start_staged(ctx, tp, node, fs, kvs, spec, None)
@@ -208,7 +208,7 @@ impl DyadService {
         tp: &Transport,
         node: NodeId,
         fs: LocalFs,
-        kvs: KvsClient,
+        kvs: impl Into<KvsHandle>,
         spec: DyadSpec,
         staging: Option<Rc<StagingManager>>,
     ) -> Rc<DyadService> {
@@ -222,7 +222,7 @@ impl DyadService {
             ctx: ctx.clone(),
             node,
             fs: fs.clone(),
-            kvs,
+            kvs: kvs.into(),
             ep: tp.endpoint(node),
             spec: spec.clone(),
             staging,
@@ -904,9 +904,13 @@ async fn try_cold_wait(
     path: &str,
 ) -> Result<kvs::VersionedValue, TransportError> {
     if svc.spec.cold_sync_poll {
-        let (v, polls) = svc.kvs.try_wait_key_poll(path).await?;
-        rec.annotate("kvs_polls", polls as f64);
-        Ok(v)
+        // The counted variant reports polls on *both* exits: a consumer
+        // that gave up after 40 polls still sent 40 RPCs, and dropping
+        // them undercounted metadata load exactly on the runs (faulty
+        // ones) where the poll pressure is most interesting.
+        let (res, polls) = svc.kvs.try_wait_key_poll_counted(path).await;
+        annotate_polls(svc, rec, path, polls);
+        res
     } else {
         svc.kvs.try_wait_key(path).await
     }
@@ -917,10 +921,20 @@ async fn try_cold_wait(
 async fn cold_wait(svc: &Rc<DyadService>, rec: &Recorder, path: &str) -> kvs::VersionedValue {
     if svc.spec.cold_sync_poll {
         let (v, polls) = svc.kvs.wait_key_poll(path).await;
-        rec.annotate("kvs_polls", polls as f64);
+        annotate_polls(svc, rec, path, polls);
         v
     } else {
         svc.kvs.wait_key(path).await
+    }
+}
+
+/// Record the poll count, plus a per-shard breakdown when the key lives
+/// on a mesh, so the metadata-plane sweep can attribute poll load to
+/// individual broker shards.
+fn annotate_polls(svc: &Rc<DyadService>, rec: &Recorder, path: &str, polls: u64) {
+    rec.annotate("kvs_polls", polls as f64);
+    if let Some(shard) = svc.kvs.mesh_shard_of(path) {
+        rec.annotate(&format!("kvs_polls_shard{shard}"), polls as f64);
     }
 }
 
@@ -946,7 +960,7 @@ async fn read_pfs(pfs: &PfsClient, path: &str) -> Option<Payload> {
 mod tests {
     use super::*;
     use cluster::{Cluster, ClusterSpec};
-    use kvs::{KvsServer, KvsSpec};
+    use kvs::{KvsClient, KvsServer, KvsSpec};
     use localfs::LocalFsSpec;
     use mdsim::{FrameTemplate, Model};
     use simcore::{Sim, SimTime};

@@ -93,6 +93,18 @@ pub enum FaultKind {
         delay: SimDuration,
         /// Window length.
         duration: SimDuration,
+        /// Target broker shard, or `None` to degrade every broker (the
+        /// pre-mesh global semantics). Chaos plans can thus slow one
+        /// shard of a mesh without touching the rest.
+        broker: Option<u32>,
+    },
+    /// A KVS broker shard dies permanently: it answers every request
+    /// with a shard-down error (including flushing parked waits) for the
+    /// rest of the run. Replicated meshes fail over; a single broker
+    /// terminates through the typed-failure path.
+    KvsShardCrash {
+        /// Shard index (0 = the legacy single broker).
+        shard: u32,
     },
 }
 
@@ -107,6 +119,7 @@ impl FaultKind {
             FaultKind::OstDegrade { .. } => "ost_degrade",
             FaultKind::MdsStall { .. } => "mds_stall",
             FaultKind::KvsDelay { .. } => "kvs_delay",
+            FaultKind::KvsShardCrash { .. } => "kvs_shard_crash",
         }
     }
 }
@@ -144,12 +157,31 @@ impl fmt::Display for FaultKind {
             FaultKind::MdsStall { duration } => {
                 write!(f, "mds_stall for={}ns", duration.nanos())
             }
-            FaultKind::KvsDelay { delay, duration } => write!(
+            // The global form keeps the pre-mesh byte format: schedules
+            // that never address a broker describe identically to PR 5.
+            FaultKind::KvsDelay {
+                delay,
+                duration,
+                broker: None,
+            } => write!(
                 f,
                 "kvs_delay delay={}ns for={}ns",
                 delay.nanos(),
                 duration.nanos()
             ),
+            FaultKind::KvsDelay {
+                delay,
+                duration,
+                broker: Some(b),
+            } => write!(
+                f,
+                "kvs_delay delay={}ns for={}ns broker={b}",
+                delay.nanos(),
+                duration.nanos()
+            ),
+            FaultKind::KvsShardCrash { shard } => {
+                write!(f, "kvs_shard_crash shard={shard}")
+            }
         }
     }
 }
@@ -179,6 +211,10 @@ pub struct ChaosSpec {
     /// Mean fault window as a fraction of the horizon (windows are drawn
     /// uniformly in `[0.5, 1.5] × mean`).
     pub mean_window_frac: f64,
+    /// Number of KVS broker shards eligible for `KvsShardCrash`
+    /// (0 disables the class — the legacy single broker is never killed
+    /// by a generated plan, only by a scheduled one).
+    pub n_kvs_shards: u32,
 }
 
 impl Default for ChaosSpec {
@@ -189,6 +225,7 @@ impl Default for ChaosSpec {
             n_osts: 0,
             events_per_class: 1.0,
             mean_window_frac: 0.1,
+            n_kvs_shards: 0,
         }
     }
 }
@@ -232,7 +269,7 @@ impl FaultPlan {
             let frac: f64 = rng.random_range(0.5..1.5);
             mean_window.mul_f64(frac).max(SimDuration::from_micros(1))
         };
-        for class in 0..7u32 {
+        for class in 0..8u32 {
             for _ in 0..n_events {
                 let at = SimDuration::from_nanos(rng.random_range(0..horizon_ns));
                 let kind = match class {
@@ -261,9 +298,19 @@ impl FaultPlan {
                     5 if spec.n_osts > 0 => FaultKind::MdsStall {
                         duration: window(&mut rng),
                     },
+                    // Generated delay windows stay global (`broker: None`)
+                    // so pre-mesh chaos schedules are bit-identical; only
+                    // scheduled plans address individual brokers.
                     6 => FaultKind::KvsDelay {
                         delay: SimDuration::from_millis(rng.random_range(5..50)),
                         duration: window(&mut rng),
+                        broker: None,
+                    },
+                    // Appended after every pre-existing class: the draw
+                    // order is sequential, so plans generated without
+                    // shards (n_kvs_shards = 0) keep their exact events.
+                    7 if spec.n_kvs_shards > 0 => FaultKind::KvsShardCrash {
+                        shard: rng.random_range(0..spec.n_kvs_shards),
                     },
                     _ => continue,
                 };
@@ -321,6 +368,8 @@ pub struct FaultStats {
     pub mds_stalls: u64,
     /// KVS delay windows.
     pub kvs_delays: u64,
+    /// KVS broker shards killed.
+    pub kvs_shard_crashes: u64,
 }
 
 /// Recovery-hook callback invoked with the node index at crash / restart
@@ -337,9 +386,15 @@ struct BoardInner {
     mds_stall_until: Option<SimTime>,
     kvs_delay: Option<SimDuration>,
     kvs_delay_depth: u32,
+    // Per-broker delay windows, keyed by shard id (BTreeMap: iteration
+    // order is deterministic). Each entry is (delay, nesting depth).
+    kvs_broker_delay: std::collections::BTreeMap<u32, (SimDuration, u32)>,
+    // Permanently-dead broker shards, grown on demand (true = dead).
+    kvs_shard_down: Vec<bool>,
     stats: FaultStats,
     crash_hooks: Vec<NodeHook>,
     restart_hooks: Vec<NodeHook>,
+    kvs_shard_hooks: Vec<NodeHook>,
 }
 
 /// Armed runtime fault state, shared by every subsystem of one run.
@@ -383,6 +438,13 @@ impl FaultBoard {
     /// staging to re-publish spilled frames.
     pub fn on_restart(&self, hook: impl Fn(u32) + 'static) {
         self.inner.borrow_mut().restart_hooks.push(Box::new(hook));
+    }
+
+    /// Register a hook that runs at the instant a KVS broker shard is
+    /// killed (invoked with the shard index). The mesh servers use it to
+    /// flush parked waiters so no client hangs on a dead shard.
+    pub fn on_kvs_shard_crash(&self, hook: impl Fn(u32) + 'static) {
+        self.inner.borrow_mut().kvs_shard_hooks.push(Box::new(hook));
     }
 
     /// Arm every event in `plan` as simulator timers. An empty plan arms
@@ -491,7 +553,11 @@ impl FaultBoard {
                     }
                 });
             }
-            FaultKind::KvsDelay { delay, duration } => {
+            FaultKind::KvsDelay {
+                delay,
+                duration,
+                broker: None,
+            } => {
                 {
                     let mut b = self.inner.borrow_mut();
                     b.stats.kvs_delays += 1;
@@ -509,6 +575,49 @@ impl FaultBoard {
                         b.kvs_delay = None;
                     }
                 });
+            }
+            FaultKind::KvsDelay {
+                delay,
+                duration,
+                broker: Some(broker),
+            } => {
+                {
+                    let mut b = self.inner.borrow_mut();
+                    b.stats.kvs_delays += 1;
+                    let e = b
+                        .kvs_broker_delay
+                        .entry(broker)
+                        .or_insert((SimDuration::ZERO, 0));
+                    e.0 = e.0.max(delay);
+                    e.1 += 1;
+                }
+                let board = self.clone();
+                self.ctx.call_after(duration, move || {
+                    let mut b = board.inner.borrow_mut();
+                    if let Some(e) = b.kvs_broker_delay.get_mut(&broker) {
+                        e.1 -= 1;
+                        if e.1 == 0 {
+                            b.kvs_broker_delay.remove(&broker);
+                        }
+                    }
+                });
+            }
+            FaultKind::KvsShardCrash { shard } => {
+                {
+                    let mut b = self.inner.borrow_mut();
+                    b.stats.kvs_shard_crashes += 1;
+                    if b.kvs_shard_down.len() <= shard as usize {
+                        b.kvs_shard_down.resize(shard as usize + 1, false);
+                    }
+                    b.kvs_shard_down[shard as usize] = true;
+                }
+                // Permanent: no close timer. Run the flush hooks so
+                // waiters parked in the dead shard fail typed now.
+                let hooks = std::mem::take(&mut self.inner.borrow_mut().kvs_shard_hooks);
+                for h in &hooks {
+                    h(shard);
+                }
+                self.inner.borrow_mut().kvs_shard_hooks = hooks;
             }
             // Out-of-range targets: counted as injected, otherwise no-ops.
             _ => {}
@@ -599,8 +708,33 @@ impl FaultBoard {
     }
 
     /// Extra per-request KVS service delay, if a delay window is open.
+    /// This is the *global* window only; brokers consult
+    /// [`FaultBoard::kvs_delay_for`], which folds in per-broker windows.
     pub fn kvs_delay(&self) -> Option<SimDuration> {
         self.inner.borrow().kvs_delay
+    }
+
+    /// Extra per-request service delay for one broker shard: the larger
+    /// of the global window and any window addressed to `broker`.
+    pub fn kvs_delay_for(&self, broker: u32) -> Option<SimDuration> {
+        let b = self.inner.borrow();
+        let scoped = b.kvs_broker_delay.get(&broker).map(|(d, _)| *d);
+        match (b.kvs_delay, scoped) {
+            (Some(g), Some(s)) => Some(g.max(s)),
+            (g, s) => g.or(s),
+        }
+    }
+
+    /// Is the KVS broker shard still alive? (Shards die permanently;
+    /// there is no restart for a killed broker.)
+    pub fn kvs_shard_up(&self, shard: u32) -> bool {
+        !self
+            .inner
+            .borrow()
+            .kvs_shard_down
+            .get(shard as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Snapshot of injection counters.
@@ -823,6 +957,7 @@ mod tests {
             FaultKind::KvsDelay {
                 delay: SimDuration::from_millis(7),
                 duration: SimDuration::from_millis(3),
+                broker: None,
             },
         );
         plan.push(
@@ -843,6 +978,121 @@ mod tests {
         assert_eq!(stall, Some(SimTime::from_nanos(5_000_000)));
         assert_eq!(board.kvs_delay(), None);
         assert_eq!(board.mds_stall_until(), None);
+    }
+
+    #[test]
+    fn broker_scoped_kvs_delay_leaves_other_brokers_alone() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let board = FaultBoard::new(&ctx, 2, 0);
+        let mut plan = FaultPlan::empty();
+        plan.push(
+            SimDuration::from_millis(1),
+            FaultKind::KvsDelay {
+                delay: SimDuration::from_millis(9),
+                duration: SimDuration::from_millis(3),
+                broker: Some(1),
+            },
+        );
+        board.arm(&plan);
+        let b2 = board.clone();
+        let h = sim.spawn(async move {
+            ctx.sleep(SimDuration::from_millis(2)).await;
+            (b2.kvs_delay_for(0), b2.kvs_delay_for(1), b2.kvs_delay())
+        });
+        sim.run();
+        let (b0, b1, global) = h.try_take().unwrap();
+        assert_eq!(b0, None, "broker 0 must be unaffected");
+        assert_eq!(b1, Some(SimDuration::from_millis(9)));
+        assert_eq!(global, None, "a scoped window never leaks globally");
+        assert_eq!(board.kvs_delay_for(1), None, "window closed");
+        assert_eq!(board.stats().kvs_delays, 1);
+    }
+
+    #[test]
+    fn broker_delay_folds_global_and_scoped_windows_as_max() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let board = FaultBoard::new(&ctx, 1, 0);
+        let mut plan = FaultPlan::empty();
+        plan.push(
+            SimDuration::from_millis(1),
+            FaultKind::KvsDelay {
+                delay: SimDuration::from_millis(4),
+                duration: SimDuration::from_millis(5),
+                broker: None,
+            },
+        );
+        plan.push(
+            SimDuration::from_millis(1),
+            FaultKind::KvsDelay {
+                delay: SimDuration::from_millis(2),
+                duration: SimDuration::from_millis(5),
+                broker: Some(0),
+            },
+        );
+        board.arm(&plan);
+        let b2 = board.clone();
+        let h = sim.spawn(async move {
+            ctx.sleep(SimDuration::from_millis(2)).await;
+            b2.kvs_delay_for(0)
+        });
+        sim.run();
+        // The scoped 2 ms window is shadowed by the 4 ms global one.
+        assert_eq!(h.try_take().unwrap(), Some(SimDuration::from_millis(4)));
+    }
+
+    #[test]
+    fn kvs_shard_crash_is_permanent_and_fires_hooks_once() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let board = FaultBoard::new(&ctx, 2, 0);
+        let log: Rc<RefCell<Vec<u32>>> = Default::default();
+        let l = log.clone();
+        board.on_kvs_shard_crash(move |s| l.borrow_mut().push(s));
+        board.arm(&plan_one(5, FaultKind::KvsShardCrash { shard: 2 }));
+        assert!(board.kvs_shard_up(2), "alive before the event");
+        sim.run();
+        assert!(!board.kvs_shard_up(2), "dead after the event, forever");
+        assert!(board.kvs_shard_up(0), "other shards unaffected");
+        assert_eq!(*log.borrow(), vec![2]);
+        assert_eq!(board.stats().kvs_shard_crashes, 1);
+        assert_eq!(board.stats().restarts, 0, "shards never restart");
+    }
+
+    #[test]
+    fn generated_plans_without_shards_are_unperturbed_by_the_new_class() {
+        // Class 7 draws are appended after every pre-existing class, so
+        // the same (spec, seed) with n_kvs_shards = 0 must reproduce the
+        // exact schedule PR 5 generated.
+        let spec = ChaosSpec {
+            n_nodes: 3,
+            n_osts: 2,
+            events_per_class: 2.0,
+            ..ChaosSpec::default()
+        };
+        let plan = FaultPlan::generate(&spec, 0xD1AD);
+        assert!(!plan
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::KvsShardCrash { .. })));
+        let with_shards = FaultPlan::generate(
+            &ChaosSpec {
+                n_kvs_shards: 4,
+                ..spec.clone()
+            },
+            0xD1AD,
+        );
+        // Every pre-existing event survives verbatim; only shard crashes
+        // are added.
+        let old: Vec<&FaultEvent> = plan.events().iter().collect();
+        let kept: Vec<&FaultEvent> = with_shards
+            .events()
+            .iter()
+            .filter(|e| !matches!(e.kind, FaultKind::KvsShardCrash { .. }))
+            .collect();
+        assert_eq!(old, kept);
+        assert_eq!(with_shards.len(), plan.len() + 2);
     }
 
     #[test]

@@ -32,6 +32,22 @@ pub enum Request {
         /// Key to remove.
         key: String,
     },
+    /// Shard-to-shard replication delta (mesh mode only): one write as
+    /// observed at `origin`, causally ordered by a per-key version
+    /// vector. `value: None` propagates an unlink.
+    Delta {
+        /// Key the write applies to.
+        key: String,
+        /// Shard id the write originated on.
+        origin: u32,
+        /// Per-(key, origin) sequence number of this write.
+        seq: u64,
+        /// Origin's per-key version vector *before* the write: the
+        /// causal parents this delta must not overtake.
+        deps: Vec<(u32, u64)>,
+        /// New value, or `None` for an unlink tombstone.
+        value: Option<Bytes>,
+    },
 }
 
 /// Broker responses.
@@ -53,17 +69,26 @@ pub enum Response {
     NotFound,
     /// Unlink acknowledged.
     Unlinked,
+    /// Replication delta received (applied, or buffered until its
+    /// causal parents arrive).
+    DeltaAck,
+    /// The shard serving this broker id has crashed permanently; the
+    /// client should fail over to a replica.
+    ShardDown,
 }
 
 const OP_COMMIT: u8 = 1;
 const OP_LOOKUP: u8 = 2;
 const OP_WAIT: u8 = 3;
 const OP_UNLINK: u8 = 4;
+const OP_DELTA: u8 = 5;
 
 const RESP_COMMITTED: u8 = 1;
 const RESP_VALUE: u8 = 2;
 const RESP_NOT_FOUND: u8 = 3;
 const RESP_UNLINKED: u8 = 4;
+const RESP_DELTA_ACK: u8 = 5;
+const RESP_SHARD_DOWN: u8 = 6;
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u16(s.len() as u16);
@@ -99,6 +124,31 @@ impl Request {
                 buf.put_u8(OP_UNLINK);
                 put_str(&mut buf, key);
             }
+            Request::Delta {
+                key,
+                origin,
+                seq,
+                deps,
+                value,
+            } => {
+                buf.put_u8(OP_DELTA);
+                put_str(&mut buf, key);
+                buf.put_u32(*origin);
+                buf.put_u64(*seq);
+                buf.put_u16(deps.len() as u16);
+                for (shard, n) in deps {
+                    buf.put_u32(*shard);
+                    buf.put_u64(*n);
+                }
+                match value {
+                    Some(v) => {
+                        buf.put_u8(1);
+                        buf.put_u32(v.len() as u32);
+                        buf.put_slice(v);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
         }
         buf.freeze()
     }
@@ -122,6 +172,29 @@ impl Request {
             OP_UNLINK => Request::Unlink {
                 key: get_str(&mut raw),
             },
+            OP_DELTA => {
+                let key = get_str(&mut raw);
+                let origin = raw.get_u32();
+                let seq = raw.get_u64();
+                let n_deps = raw.get_u16() as usize;
+                let deps = (0..n_deps)
+                    .map(|_| (raw.get_u32(), raw.get_u64()))
+                    .collect();
+                let value = match raw.get_u8() {
+                    0 => None,
+                    _ => {
+                        let len = raw.get_u32() as usize;
+                        Some(raw.split_to(len))
+                    }
+                };
+                Request::Delta {
+                    key,
+                    origin,
+                    seq,
+                    deps,
+                    value,
+                }
+            }
             op => panic!("unknown kvs request op {op}"),
         }
     }
@@ -144,6 +217,8 @@ impl Response {
             }
             Response::NotFound => buf.put_u8(RESP_NOT_FOUND),
             Response::Unlinked => buf.put_u8(RESP_UNLINKED),
+            Response::DeltaAck => buf.put_u8(RESP_DELTA_ACK),
+            Response::ShardDown => buf.put_u8(RESP_SHARD_DOWN),
         }
         buf.freeze()
     }
@@ -162,6 +237,8 @@ impl Response {
             }
             RESP_NOT_FOUND => Response::NotFound,
             RESP_UNLINKED => Response::Unlinked,
+            RESP_DELTA_ACK => Response::DeltaAck,
+            RESP_SHARD_DOWN => Response::ShardDown,
             op => panic!("unknown kvs response op {op}"),
         }
     }
@@ -181,6 +258,20 @@ mod tests {
             Request::Lookup { key: "x".into() },
             Request::WaitKey { key: "".into() },
             Request::Unlink { key: "k".into() },
+            Request::Delta {
+                key: "frames/p0001/f3".into(),
+                origin: 2,
+                seq: 7,
+                deps: vec![(0, 3), (2, 6)],
+                value: Some(Bytes::from_static(b"meta")),
+            },
+            Request::Delta {
+                key: "tomb".into(),
+                origin: 0,
+                seq: 1,
+                deps: vec![],
+                value: None,
+            },
         ] {
             assert_eq!(Request::decode(req.encode()), req);
         }
@@ -196,6 +287,8 @@ mod tests {
             },
             Response::NotFound,
             Response::Unlinked,
+            Response::DeltaAck,
+            Response::ShardDown,
         ] {
             assert_eq!(Response::decode(resp.encode()), resp);
         }
@@ -219,6 +312,23 @@ mod tests {
                                  value in proptest::collection::vec(any::<u8>(), 0..1024)) {
                 let resp = Response::Value { version, value: Bytes::from(value) };
                 prop_assert_eq!(Response::decode(resp.encode()), resp);
+            }
+
+            #[test]
+            fn delta_round_trips(key in "[a-z/._0-9]{0,64}",
+                                 origin in any::<u32>(),
+                                 seq in any::<u64>(),
+                                 deps in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..8),
+                                 tombstone in any::<bool>(),
+                                 value in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let req = Request::Delta {
+                    key,
+                    origin,
+                    seq,
+                    deps,
+                    value: (!tombstone).then(|| Bytes::from(value)),
+                };
+                prop_assert_eq!(Request::decode(req.clone().encode()), req);
             }
         }
     }

@@ -18,8 +18,13 @@
 #![warn(missing_docs)]
 
 mod codec;
+pub mod mesh;
 
 pub use codec::{Request, Response};
+pub use mesh::{
+    preference_list, shard_for, CausalBuffer, Delta, KvsHandle, KvsMesh, MeshKvsClient,
+    MeshTopology,
+};
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -83,63 +88,139 @@ pub struct KvsStats {
     pub waits_parked: u64,
     /// Unlink requests served.
     pub unlinks: u64,
+    /// Replication deltas shipped to peer shards (mesh mode).
+    pub deltas_sent: u64,
+    /// Replication deltas applied to this shard's store (mesh mode).
+    pub deltas_applied: u64,
+    /// Deltas that arrived out of causal order and had to buffer until
+    /// their parents applied (mesh mode).
+    pub deltas_buffered: u64,
+    /// Peak number of requests simultaneously queued or in service on
+    /// this broker (the metadata-plane congestion signal).
+    pub peak_queue: u64,
 }
 
-struct Store {
+pub(crate) struct Store {
     // Keys are interned once per request; per-frame publishes and waits
     // then hash a 4-byte symbol instead of re-hashing the full path.
-    map: FxHashMap<Symbol, VersionedValue>,
-    version: u64,
-    watches: FxHashMap<Symbol, Notify>,
-    stats: KvsStats,
+    pub(crate) map: FxHashMap<Symbol, VersionedValue>,
+    pub(crate) version: u64,
+    pub(crate) watches: FxHashMap<Symbol, Notify>,
+    pub(crate) stats: KvsStats,
+    /// Set once by a `KvsShardCrash` fault: the shard answers every
+    /// request (including parked waits, which are flushed) with
+    /// [`Response::ShardDown`] from then on.
+    pub(crate) down: bool,
+    /// Requests queued or in service right now (feeds `peak_queue`).
+    in_flight: u64,
+    /// Per-key version vectors + out-of-order delta buffer (mesh mode;
+    /// idle for a legacy single broker).
+    pub(crate) repl: mesh::CausalBuffer<Symbol>,
 }
 
 /// The broker: owns the store and services RPCs on its node.
 pub struct KvsServer {
     node: NodeId,
+    shard: u32,
     store: Rc<RefCell<Store>>,
 }
 
 impl KvsServer {
     /// Start a broker on `node`, registering its AM handler.
+    ///
+    /// The standalone broker is shard 0 of a one-shard mesh: it listens
+    /// on [`KVS_AM`], never replicates, and dies to a
+    /// `KvsShardCrash { shard: 0 }` fault.
     pub fn start(ctx: &Ctx, tp: &Transport, node: NodeId, spec: KvsSpec) -> Rc<KvsServer> {
+        KvsServer::start_shard(ctx, tp, node, spec, 0, None)
+    }
+
+    /// Start one shard of a mesh (or, with `topo: None`, the legacy
+    /// standalone broker as shard `shard`). The shard listens on
+    /// `KVS_AM + shard` and, when a topology is given, synchronously
+    /// replicates every commit/unlink to the key's live replica set.
+    pub(crate) fn start_shard(
+        ctx: &Ctx,
+        tp: &Transport,
+        node: NodeId,
+        spec: KvsSpec,
+        shard: u32,
+        topo: Option<Rc<mesh::MeshTopology>>,
+    ) -> Rc<KvsServer> {
         let store = Rc::new(RefCell::new(Store {
             map: FxHashMap::default(),
             version: 0,
             watches: FxHashMap::default(),
             stats: KvsStats::default(),
+            down: false,
+            in_flight: 0,
+            repl: mesh::CausalBuffer::new(),
         }));
         let service = FifoResource::new(ctx, spec.server_threads);
         let server = Rc::new(KvsServer {
             node,
+            shard,
             store: store.clone(),
         });
+        // A permanent shard crash: mark the store down and flush every
+        // parked watch so in-flight waits observe `ShardDown` instead of
+        // parking forever on a dead broker.
+        if let Some(board) = tp.faults() {
+            let hook_store = store.clone();
+            board.on_kvs_shard_crash(move |crashed| {
+                if crashed == shard {
+                    let watches = {
+                        let mut st = hook_store.borrow_mut();
+                        st.down = true;
+                        std::mem::take(&mut st.watches)
+                    };
+                    for notify in watches.values() {
+                        notify.notify_all();
+                    }
+                }
+            });
+        }
         let handler_store = store;
         // Weak: a strong clone would cycle through the handler table and
         // leak the store (see `Transport::downgrade`).
         let handler_tp = tp.downgrade();
         let handler_ctx = ctx.clone();
+        let handler_topo = topo;
         tp.register_am(
             node,
-            KVS_AM,
+            mesh::shard_am(shard),
             Rc::new(move |raw: Bytes| {
                 let store = handler_store.clone();
                 let service = service.clone();
                 let tp = handler_tp.upgrade();
                 let ctx = handler_ctx.clone();
+                let topo = handler_topo.clone();
                 Box::pin(async move {
+                    {
+                        let mut st = store.borrow_mut();
+                        st.in_flight += 1;
+                        st.stats.peak_queue = st.stats.peak_queue.max(st.in_flight);
+                    }
                     // Queue for a broker thread.
                     service.request(spec.service_time).await;
                     // Injected broker slowness (fault window): every op
                     // pays the extra delay while the window is open. With
                     // no board or no window this adds nothing.
                     if let Some(board) = tp.faults() {
-                        if let Some(d) = board.kvs_delay() {
+                        if let Some(d) = board.kvs_delay_for(shard) {
                             ctx.sleep(d).await;
                         }
                     }
                     let req = Request::decode(raw);
-                    handle(store, req).await.encode()
+                    let resp = if store.borrow().down {
+                        Response::ShardDown
+                    } else if let Some(topo) = &topo {
+                        mesh::serve(&store, shard, topo, &tp, req).await
+                    } else {
+                        handle(store.clone(), req).await
+                    };
+                    store.borrow_mut().in_flight -= 1;
+                    resp.encode()
                 }) as LocalBoxFuture<Bytes>
             }),
         );
@@ -149,6 +230,16 @@ impl KvsServer {
     /// The node the broker runs on.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The shard id this broker serves (0 for a standalone broker).
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// True once a `KvsShardCrash` fault has killed this shard.
+    pub fn is_down(&self) -> bool {
+        self.store.borrow().down
     }
 
     /// Operation counters.
@@ -172,7 +263,7 @@ impl KvsServer {
     }
 }
 
-async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response {
+pub(crate) async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response {
     match req {
         Request::Commit { key, value } => {
             let key = intern(&key);
@@ -205,6 +296,12 @@ async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response {
             loop {
                 let notify = {
                     let mut st = store.borrow_mut();
+                    // The shard died while this wait was parked; its
+                    // watch was flushed so it can answer typed instead
+                    // of parking forever.
+                    if st.down {
+                        return Response::ShardDown;
+                    }
                     if let Some(v) = st.map.get(&key).cloned() {
                         st.stats.waits += 1;
                         return Response::Value {
@@ -228,6 +325,7 @@ async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response {
             st.stats.unlinks += 1;
             Response::Unlinked
         }
+        Request::Delta { .. } => panic!("replication delta sent to a standalone broker"),
     }
 }
 
@@ -237,6 +335,7 @@ pub struct KvsClient {
     ctx: Ctx,
     ep: Endpoint,
     broker: NodeId,
+    am: AmId,
     spec: KvsSpec,
     cache: Rc<RefCell<FxHashMap<Symbol, VersionedValue>>>,
     retry: RetryPolicy,
@@ -250,6 +349,22 @@ pub struct KvsClient {
 impl KvsClient {
     /// Create a client on `node` talking to the broker on `broker`.
     pub fn new(ctx: &Ctx, tp: &Transport, node: NodeId, broker: NodeId, spec: KvsSpec) -> Self {
+        KvsClient::new_with_am(ctx, tp, node, broker, KVS_AM, spec)
+    }
+
+    /// Create a client addressing a specific broker AM (a mesh shard
+    /// listens on `KVS_AM + shard`). The RNG stream is the same for
+    /// every shard client of a node: jitter draws are per-instance, and
+    /// keeping shard 0 on the legacy stream is what lets a one-shard
+    /// mesh reproduce the single-broker schedule exactly.
+    pub(crate) fn new_with_am(
+        ctx: &Ctx,
+        tp: &Transport,
+        node: NodeId,
+        broker: NodeId,
+        am: AmId,
+        spec: KvsSpec,
+    ) -> Self {
         let retry = RetryPolicy::transport_default();
         let wait_retry = RetryPolicy {
             attempt_timeout: SimDuration::from_secs(86_400),
@@ -259,12 +374,18 @@ impl KvsClient {
             ctx: ctx.clone(),
             ep: tp.endpoint(node),
             broker,
+            am,
             spec,
             cache: Rc::default(),
             retry,
             wait_retry,
             rng: Rc::new(RefCell::new(ctx.rng(0x4B56_0000u64 | u64::from(node.0)))),
         }
+    }
+
+    /// The broker node this client talks to.
+    pub fn broker(&self) -> NodeId {
+        self.broker
     }
 
     /// Fork a per-call RNG from the client's stream so no `RefCell`
@@ -279,7 +400,7 @@ impl KvsClient {
             key: key.to_string(),
             value: value.clone(),
         };
-        let resp = Response::decode(self.ep.rpc(self.broker, KVS_AM, req.encode()).await);
+        let resp = Response::decode(self.ep.rpc(self.broker, self.am, req.encode()).await);
         match resp {
             Response::Committed { version } => {
                 self.cache
@@ -297,7 +418,7 @@ impl KvsClient {
         let req = Request::Lookup {
             key: key.to_string(),
         };
-        let resp = Response::decode(self.ep.rpc(self.broker, KVS_AM, req.encode()).await);
+        let resp = Response::decode(self.ep.rpc(self.broker, self.am, req.encode()).await);
         match resp {
             Response::Value { version, value } => {
                 let v = VersionedValue { version, value };
@@ -321,7 +442,7 @@ impl KvsClient {
         let req = Request::WaitKey {
             key: key.to_string(),
         };
-        let resp = Response::decode(self.ep.rpc(self.broker, KVS_AM, req.encode()).await);
+        let resp = Response::decode(self.ep.rpc(self.broker, self.am, req.encode()).await);
         match resp {
             Response::Value { version, value } => {
                 let v = VersionedValue { version, value };
@@ -352,7 +473,7 @@ impl KvsClient {
         let req = Request::Unlink {
             key: key.to_string(),
         };
-        let _ = self.ep.rpc(self.broker, KVS_AM, req.encode()).await;
+        let _ = self.ep.rpc(self.broker, self.am, req.encode()).await;
         self.cache.borrow_mut().remove(&intern(key));
     }
 
@@ -368,7 +489,7 @@ impl KvsClient {
         let mut rng = self.fork_rng();
         let raw = self
             .ep
-            .rpc_retrying(self.broker, KVS_AM, req.encode(), &self.retry, &mut rng)
+            .rpc_retrying(self.broker, self.am, req.encode(), &self.retry, &mut rng)
             .await?;
         match Response::decode(raw) {
             Response::Committed { version } => {
@@ -377,6 +498,7 @@ impl KvsClient {
                     .insert(intern(key), VersionedValue { version, value });
                 Ok(version)
             }
+            Response::ShardDown => Err(TransportError::Unreachable { node: self.broker }),
             other => panic!("unexpected commit response {other:?}"),
         }
     }
@@ -389,7 +511,7 @@ impl KvsClient {
         let mut rng = self.fork_rng();
         let raw = self
             .ep
-            .rpc_retrying(self.broker, KVS_AM, req.encode(), &self.retry, &mut rng)
+            .rpc_retrying(self.broker, self.am, req.encode(), &self.retry, &mut rng)
             .await?;
         match Response::decode(raw) {
             Response::Value { version, value } => {
@@ -398,6 +520,7 @@ impl KvsClient {
                 Ok(Some(v))
             }
             Response::NotFound => Ok(None),
+            Response::ShardDown => Err(TransportError::Unreachable { node: self.broker }),
             other => panic!("unexpected lookup response {other:?}"),
         }
     }
@@ -414,7 +537,7 @@ impl KvsClient {
             .ep
             .rpc_retrying(
                 self.broker,
-                KVS_AM,
+                self.am,
                 req.encode(),
                 &self.wait_retry,
                 &mut rng,
@@ -426,6 +549,7 @@ impl KvsClient {
                 self.cache.borrow_mut().insert(intern(key), v.clone());
                 Ok(v)
             }
+            Response::ShardDown => Err(TransportError::Unreachable { node: self.broker }),
             other => panic!("unexpected wait response {other:?}"),
         }
     }
@@ -437,11 +561,27 @@ impl KvsClient {
         &self,
         key: &str,
     ) -> Result<(VersionedValue, u64), TransportError> {
+        match self.try_wait_key_poll_counted(key).await {
+            (Ok(v), polls) => Ok((v, polls)),
+            (Err(e), _) => Err(e),
+        }
+    }
+
+    /// Like [`KvsClient::try_wait_key_poll`], but the poll count is
+    /// reported on *both* exits — callers can account for the RPCs a
+    /// failed wait already issued instead of dropping them on the error
+    /// path.
+    pub async fn try_wait_key_poll_counted(
+        &self,
+        key: &str,
+    ) -> (Result<VersionedValue, TransportError>, u64) {
         let mut polls = 0;
         loop {
             polls += 1;
-            if let Some(v) = self.try_lookup(key).await? {
-                return Ok((v, polls));
+            match self.try_lookup(key).await {
+                Ok(Some(v)) => return (Ok(v), polls),
+                Ok(None) => {}
+                Err(e) => return (Err(e), polls),
             }
             self.ctx.sleep(self.spec.poll_interval).await;
         }
@@ -453,9 +593,13 @@ impl KvsClient {
             key: key.to_string(),
         };
         let mut rng = self.fork_rng();
-        self.ep
-            .rpc_retrying(self.broker, KVS_AM, req.encode(), &self.retry, &mut rng)
+        let raw = self
+            .ep
+            .rpc_retrying(self.broker, self.am, req.encode(), &self.retry, &mut rng)
             .await?;
+        if let Response::ShardDown = Response::decode(raw) {
+            return Err(TransportError::Unreachable { node: self.broker });
+        }
         self.cache.borrow_mut().remove(&intern(key));
         Ok(())
     }
@@ -751,6 +895,7 @@ mod tests {
             kind: FaultKind::KvsDelay {
                 delay: SimDuration::from_millis(5),
                 duration: SimDuration::from_millis(50),
+                broker: None,
             },
         }]));
         let c = client(&sim, &rig, 1);

@@ -43,7 +43,7 @@ use std::rc::Rc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cluster::NodeId;
-use kvs::KvsClient;
+use kvs::KvsHandle;
 use localfs::LocalFs;
 use pfs::PfsClient;
 use simcore::intern::{intern, FxHashMap, Symbol};
@@ -267,7 +267,7 @@ pub struct StagingManager {
     ctx: Ctx,
     node: NodeId,
     fs: LocalFs,
-    kvs: KvsClient,
+    kvs: KvsHandle,
     pfs: Option<PfsClient>,
     spec: StagingSpec,
     inner: RefCell<Inner>,
@@ -295,7 +295,7 @@ impl StagingManager {
         ctx: &Ctx,
         node: NodeId,
         fs: LocalFs,
-        kvs: KvsClient,
+        kvs: impl Into<KvsHandle>,
         pfs: Option<PfsClient>,
         spec: StagingSpec,
     ) -> Rc<StagingManager> {
@@ -307,7 +307,7 @@ impl StagingManager {
             ctx: ctx.clone(),
             node,
             fs,
-            kvs,
+            kvs: kvs.into(),
             pfs,
             spec,
             inner: RefCell::new(Inner {

@@ -1,6 +1,6 @@
 use super::*;
 use cluster::{Cluster, ClusterSpec};
-use kvs::{KvsServer, KvsSpec};
+use kvs::{KvsClient, KvsServer, KvsSpec};
 use localfs::LocalFsSpec;
 use pfs::{ParallelFs, PfsSpec};
 use simcore::{Sim, SimTime};
