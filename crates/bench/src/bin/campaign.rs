@@ -170,6 +170,39 @@ fn measure_campaign(studies: &[StudyConfig]) -> CampaignNumbers {
     }
 }
 
+/// One point of the `--jobs` sweep: the same warm campaign at a fixed
+/// worker count.
+struct JobsPoint {
+    jobs: usize,
+    rpm: f64,
+}
+
+/// Measure the warm campaign at 1, 2, 4 and `default_jobs()` workers
+/// (deduplicated). On a multi-core host this shows the real parallel
+/// speedup; on a 1-vCPU host every point lands within noise of jobs=1,
+/// which is exactly the honest answer (PR 6's speedup claim is
+/// `min(jobs, cores)`-bound and this column proves which regime the
+/// recording host was in).
+fn measure_jobs_sweep(studies: &[StudyConfig], runs: usize) -> Vec<JobsPoint> {
+    let mut list = vec![1usize, 2, 4, default_jobs()];
+    list.sort_unstable();
+    list.dedup();
+    list.into_iter()
+        .map(|jobs| {
+            let mut secs = f64::INFINITY;
+            for _ in 0..rounds() {
+                let t0 = Instant::now();
+                let _ = run_studies_jobs(studies, jobs);
+                secs = secs.min(t0.elapsed().as_secs_f64());
+            }
+            JobsPoint {
+                jobs,
+                rpm: runs as f64 * 60.0 / secs.max(1e-9),
+            }
+        })
+        .collect()
+}
+
 struct SingleRun {
     model: Model,
     cold_secs: f64,
@@ -241,7 +274,24 @@ fn num_f64(v: f64) -> serde_json::Value {
     serde_json::Value::Number(serde_json::Number::F64(v))
 }
 
-fn to_json(c: &CampaignNumbers, s: &SingleRun, reps: u64, frames: u64) -> String {
+fn to_json(
+    c: &CampaignNumbers,
+    s: &SingleRun,
+    sweep: &[JobsPoint],
+    reps: u64,
+    frames: u64,
+) -> String {
+    let base_rpm = sweep.first().map(|p| p.rpm).unwrap_or(0.0);
+    let sweep_rows: Vec<serde_json::Value> = sweep
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("jobs", num_u64(p.jobs as u64)),
+                ("runs_per_min", num_f64(p.rpm)),
+                ("speedup_vs_1", num_f64(p.rpm / base_rpm.max(1e-9))),
+            ])
+        })
+        .collect();
     serde_json::to_string_pretty(&obj(vec![
         ("bench", serde_json::Value::String("campaign".to_string())),
         ("pr", num_u64(6)),
@@ -268,6 +318,7 @@ fn to_json(c: &CampaignNumbers, s: &SingleRun, reps: u64, frames: u64) -> String
                 ("setup_fraction_warm", num_f64(c.setup_fraction_warm)),
             ]),
         ),
+        ("jobs_sweep", serde_json::Value::Array(sweep_rows)),
         (
             "single_run",
             obj(vec![
@@ -373,6 +424,25 @@ fn main() {
         c.warm_parallel_rpm / c.warm_serial_rpm.max(1e-9),
         c.parallel_jobs
     );
+    let sweep = measure_jobs_sweep(&studies, c.runs);
+    println!(
+        "  jobs sweep ({} core(s)):{}",
+        rayon::current_num_threads(),
+        if rayon::current_num_threads() == 1 {
+            "  [1-vCPU host: speedups are bound to ~1x]"
+        } else {
+            ""
+        }
+    );
+    let sweep_base = sweep.first().map(|p| p.rpm).unwrap_or(0.0);
+    for p in &sweep {
+        println!(
+            "    --jobs {:<2} {:>10.1} runs/min   ({:.2}x vs --jobs 1)",
+            p.jobs,
+            p.rpm,
+            p.rpm / sweep_base.max(1e-9)
+        );
+    }
     let s = measure_single_run();
     println!(
         "  single run ({}, 8 pairs): cold {:.3} s -> warm {:.3} s ({:.2}x)",
@@ -386,7 +456,8 @@ fn main() {
     let out_dir = flag_value("--out").unwrap_or_else(|| ".".to_string());
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     let out = format!("{out_dir}/BENCH_PR6.json");
-    std::fs::write(&out, to_json(&c, &s, reps as u64, frames)).expect("write BENCH_PR6.json");
+    std::fs::write(&out, to_json(&c, &s, &sweep, reps as u64, frames))
+        .expect("write BENCH_PR6.json");
     println!("  [saved {out}]");
     if let Some(baseline) = flag_value("--check") {
         if !check_baseline(&c, &s, &baseline) {

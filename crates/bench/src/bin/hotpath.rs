@@ -32,6 +32,11 @@ struct Measured {
     wall_secs: f64,
     events: u64,
     makespan_ns: u64,
+    /// Process high-water RSS observed right after this workload ran.
+    /// VmHWM is monotone, so per-workload growth shows up as the
+    /// increment over the previous row, and a flat sequence means the
+    /// later workloads fit in the footprint of the earlier ones.
+    rss_peak_after: u64,
 }
 
 fn rss_peak_bytes() -> u64 {
@@ -77,6 +82,7 @@ fn measure(name: &'static str, wf: WorkflowConfig, cal: &Calibration, reps: u32)
         wall_secs,
         events,
         makespan_ns,
+        rss_peak_after: rss_peak_bytes(),
     }
 }
 
@@ -172,6 +178,7 @@ fn to_json(rows: &[Measured]) -> String {
                     "events_per_sec",
                     num_f64(m.events as f64 / m.wall_secs.max(1e-9)),
                 ),
+                ("peak_rss_bytes", num_u64(m.rss_peak_after)),
             ])
         })
         .collect();
@@ -296,6 +303,11 @@ fn main() {
             m.events,
             m.events as f64 / m.wall_secs.max(1e-9),
             m.reps as f64 / m.wall_secs.max(1e-9),
+        );
+        println!(
+            "  {:<18} peak RSS after workload: {} MiB",
+            "",
+            m.rss_peak_after / (1 << 20)
         );
     }
     println!("  peak RSS: {} MiB", rss_peak_bytes() / (1 << 20));

@@ -8,6 +8,7 @@
 //!            [--stride N] [--frames N] [--reps N] [--seed N]
 //!            [--sync coarse|fine|polling] [--no-warm-sync]
 //!            [--kvs-shards N] [--kvs-replication R]
+//!            [--topology flat|leaf-spine] [--radix N] [--oversubscription X]
 //!            [--quiet-testbed] [--json]
 //! ```
 
@@ -62,6 +63,9 @@ options:
   --no-warm-sync                           disable DYAD's warm fast path
   --kvs-shards N                           KVS metadata-plane shards [1]
   --kvs-replication R                      replicas per key (<= shards) [1]
+  --topology flat|leaf-spine               switch topology [flat]
+  --radix N                                nodes per leaf switch [16]
+  --oversubscription X                     leaf uplink oversubscription [1.0]
   --quiet-testbed                          no PFS interference / jitter
   --json                                   print the full report as JSON
 ";
@@ -124,6 +128,26 @@ fn main() {
     study.seed = args.num("--seed", 0xD1ADu64);
     if args.flag("--quiet-testbed") {
         study.calibration = Calibration::quiet();
+    }
+    match args.value("--topology").unwrap_or("flat") {
+        "flat" => {}
+        "leaf-spine" => {
+            let radix: u32 = args.num("--radix", 16);
+            let oversubscription: f64 = args.num("--oversubscription", 1.0);
+            if radix < 1 {
+                die("--radix must be at least 1");
+            }
+            if !(oversubscription > 0.0 && oversubscription.is_finite()) {
+                die("--oversubscription must be positive and finite");
+            }
+            study.calibration.fabric = study.calibration.fabric.with_topology(
+                mdflow::prelude::TopologySpec::LeafSpine {
+                    radix,
+                    oversubscription,
+                },
+            );
+        }
+        other => die(&format!("unknown topology {other}")),
     }
 
     eprintln!(

@@ -1,0 +1,278 @@
+//! `scale` — scale-ceiling benchmark (PR 8).
+//!
+//! Sweeps producer/consumer pairs (default {4k, 16k, 64k, 128k}) over a
+//! leaf/spine cluster that approaches 10k nodes at the top point, and
+//! records per-point events/s, wall clock and peak RSS per pair into
+//! `BENCH_PR8.json`. The sweep runs ascending so the monotone VmHWM
+//! high-water mark attributes footprint growth to each point: a point's
+//! RSS-per-pair is its post-run high-water delta over the pre-sweep
+//! baseline divided by its pair count.
+//!
+//! Modes / knobs:
+//!
+//! * `scale [--out DIR]` — run the sweep, print a table, write
+//!   `BENCH_PR8.json`.
+//! * `scale --enforce` (or `SCALE_ENFORCE=1`) — additionally fail
+//!   (exit 1) unless the scale-free ratios hold across the sweep:
+//!   sim-phase events/s within `SCALE_EPS_FACTOR` (default 4.0) of the
+//!   first point, and RSS/pair within `SCALE_RSS_FACTOR` (default 1.25)
+//!   of the first point.
+//! * `SCALE_PAIRS` — comma-separated pair counts
+//!   (default `4096,16384,65536,131072`; CI runs `4096,16384` with the
+//!   tighter `SCALE_EPS_FACTOR=2.0` and a 1e6 `SCALE_MIN_EPS` floor).
+//! * `SCALE_FRAMES` — frames per pair (default 3).
+//! * `SCALE_MIN_EPS` — absolute sim-phase events/s floor applied to
+//!   every point (default 0 = disabled).
+//!
+//! The default `SCALE_EPS_FACTOR` of 4.0 reflects measured behavior on
+//! a 1-vCPU host: throughput holds ≥1M events/s through 32k pairs, then
+//! degrades to ~0.5M at 128k as the working set (~3.5 GB) overruns the
+//! cache — per-event cost is flat in allocations (~1.2/event at every
+//! point) but rises from ~0.5 µs to ~1.9 µs in stall time. RSS/pair
+//! *decreases* with scale, so the memory gate stays tight at 1.25x.
+//!
+//! Methodology notes (see EXPERIMENTS.md): events/s is reported for the
+//! sim phase (`RunTimings::sim_secs`, the event-loop cost the scale
+//! ceiling is about) *and* wall-inclusive (setup + sim), so setup-bound
+//! points are visible rather than hidden. Runs go through the warm-arena
+//! path with one arena across the sweep, like the campaign executor.
+
+
+use mdflow::prelude::*;
+
+/// One measured sweep point.
+struct Point {
+    pairs: u32,
+    frames: u64,
+    nodes: usize,
+    events: u64,
+    makespan_ns: u64,
+    setup_secs: f64,
+    sim_secs: f64,
+    /// VmHWM after this point minus the pre-sweep baseline.
+    rss_delta_bytes: u64,
+}
+
+impl Point {
+    fn eps_sim(&self) -> f64 {
+        self.events as f64 / self.sim_secs.max(1e-9)
+    }
+    fn eps_wall(&self) -> f64 {
+        self.events as f64 / (self.setup_secs + self.sim_secs).max(1e-9)
+    }
+    fn rss_per_pair(&self) -> f64 {
+        self.rss_delta_bytes as f64 / self.pairs as f64
+    }
+}
+
+fn rss_peak_bytes() -> u64 {
+    // VmHWM is linux-only; other platforms report 0 rather than lying.
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|kb| kb.parse::<u64>().ok())
+            })
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The sweep workload: DYAD on a quiet testbed (no PFS interference
+/// noise — this measures the simulator, not the paper's jitter), pairs
+/// packed so the node count approaches 10k at the top point, on an
+/// oversubscribed leaf/spine fabric so the tier model is actually on
+/// the hot path.
+fn workload(pairs: u32, frames: u64) -> (WorkflowConfig, Calibration) {
+    let pairs_per_node = pairs.div_ceil(10_000).max(1);
+    let wf = WorkflowConfig::new(Solution::Dyad, pairs, Placement::Split { pairs_per_node })
+        .with_frames(frames);
+    let mut cal = Calibration::quiet();
+    cal.fabric = cal.fabric.with_topology(TopologySpec::LeafSpine {
+        radix: 32,
+        oversubscription: 2.0,
+    });
+    (wf, cal)
+}
+
+fn run_point(pairs: u32, frames: u64, arena: &mut RunArena, rss_base: u64) -> Point {
+    let (wf, cal) = workload(pairs, frames);
+    let nodes = pairs.div_ceil(pairs.div_ceil(10_000).max(1)) as usize;
+    let snap = ClusterSnapshot::prepare(&wf, &cal, 0x5CA1E);
+    let (m, t) = run_once_warm(&snap, 0x5CA1E, arena);
+    Point {
+        pairs,
+        frames,
+        nodes,
+        events: m.events,
+        makespan_ns: m.makespan.nanos(),
+        setup_secs: t.setup_secs,
+        sim_secs: t.sim_secs,
+        rss_delta_bytes: rss_peak_bytes().saturating_sub(rss_base),
+    }
+}
+
+// The vendored serde_json stand-in has no `json!` macro, so build
+// `Value` trees by hand through these helpers.
+fn obj(fields: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+    serde_json::Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num_u64(v: u64) -> serde_json::Value {
+    serde_json::Value::Number(serde_json::Number::U64(v))
+}
+
+fn num_f64(v: f64) -> serde_json::Value {
+    serde_json::Value::Number(serde_json::Number::F64(v))
+}
+
+fn to_json(points: &[Point], rss_base: u64) -> String {
+    let rows: Vec<serde_json::Value> = points
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("pairs", num_u64(p.pairs as u64)),
+                ("frames", num_u64(p.frames)),
+                ("nodes", num_u64(p.nodes as u64)),
+                ("events", num_u64(p.events)),
+                ("makespan_ns", num_u64(p.makespan_ns)),
+                ("setup_secs", num_f64(p.setup_secs)),
+                ("sim_secs", num_f64(p.sim_secs)),
+                ("events_per_sec_sim", num_f64(p.eps_sim())),
+                ("events_per_sec_wall", num_f64(p.eps_wall())),
+                ("rss_delta_bytes", num_u64(p.rss_delta_bytes)),
+                ("rss_per_pair_bytes", num_f64(p.rss_per_pair())),
+            ])
+        })
+        .collect();
+    serde_json::to_string_pretty(&obj(vec![
+        ("bench", serde_json::Value::String("scale".to_string())),
+        ("pr", num_u64(8)),
+        ("rss_baseline_bytes", num_u64(rss_base)),
+        ("points", serde_json::Value::Array(rows)),
+    ]))
+    .expect("json")
+}
+
+/// Scale-free ratio gates, self-contained (no baseline file needed):
+/// the sweep itself is the baseline, anchored at its first point.
+fn enforce(points: &[Point]) -> bool {
+    let eps_factor = env_f64("SCALE_EPS_FACTOR", 4.0);
+    let rss_factor = env_f64("SCALE_RSS_FACTOR", 1.25);
+    let min_eps = env_f64("SCALE_MIN_EPS", 0.0);
+    let first = &points[0];
+    let mut ok = true;
+    for p in &points[1..] {
+        let eps_ratio = first.eps_sim() / p.eps_sim().max(1e-9);
+        if eps_ratio > eps_factor {
+            eprintln!(
+                "scale: GATE FAIL {}k pairs: {:.0} events/s (sim) is {:.2}x below the \
+                 {}k-pair point ({:.0}); allowed factor {eps_factor}",
+                p.pairs / 1000,
+                p.eps_sim(),
+                eps_ratio,
+                first.pairs / 1000,
+                first.eps_sim(),
+            );
+            ok = false;
+        }
+        let rss_ratio = p.rss_per_pair() / first.rss_per_pair().max(1e-9);
+        if rss_ratio > rss_factor {
+            eprintln!(
+                "scale: GATE FAIL {}k pairs: {:.0} B/pair RSS is {:.2}x the {}k-pair \
+                 point ({:.0} B/pair); allowed factor {rss_factor}",
+                p.pairs / 1000,
+                p.rss_per_pair(),
+                rss_ratio,
+                first.pairs / 1000,
+                first.rss_per_pair(),
+            );
+            ok = false;
+        }
+    }
+    if min_eps > 0.0 {
+        for p in points {
+            if p.eps_sim() < min_eps {
+                eprintln!(
+                    "scale: GATE FAIL {}k pairs: {:.0} events/s (sim) below floor {min_eps:.0}",
+                    p.pairs / 1000,
+                    p.eps_sim(),
+                );
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let pairs_list: Vec<u32> = std::env::var("SCALE_PAIRS")
+        .unwrap_or_else(|_| "4096,16384,65536,131072".to_string())
+        .split(',')
+        .map(|s| s.trim().parse().expect("SCALE_PAIRS entries must be u32"))
+        .collect();
+    let frames: u64 = std::env::var("SCALE_FRAMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    assert!(
+        pairs_list.windows(2).all(|w| w[0] < w[1]),
+        "SCALE_PAIRS must be ascending (the RSS attribution depends on it)"
+    );
+
+    println!("SCALE — leaf/spine scale-ceiling benchmark");
+    let rss_base = rss_peak_bytes();
+    let mut arena = RunArena::new();
+    let mut points = Vec::new();
+    for &pairs in &pairs_list {
+        let p = run_point(pairs, frames, &mut arena, rss_base);
+        println!(
+            "  {:>7} pairs {:>6} nodes | setup {:>6.2}s sim {:>7.2}s | {:>11} events | \
+             {:>10.0} ev/s sim ({:>8.0} wall) | {:>7.0} B/pair RSS",
+            p.pairs,
+            p.nodes,
+            p.setup_secs,
+            p.sim_secs,
+            p.events,
+            p.eps_sim(),
+            p.eps_wall(),
+            p.rss_per_pair(),
+        );
+        points.push(p);
+    }
+
+    let out_dir = flag_value("--out").unwrap_or_else(|| ".".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let out = format!("{out_dir}/BENCH_PR8.json");
+    std::fs::write(&out, to_json(&points, rss_base)).expect("write BENCH_PR8.json");
+    println!("  [saved {out}]");
+
+    let enforce_requested =
+        args.iter().any(|a| a == "--enforce") || std::env::var("SCALE_ENFORCE").is_ok_and(|v| v == "1");
+    if enforce_requested {
+        if !enforce(&points) {
+            std::process::exit(1);
+        }
+        println!("  scale gates: OK");
+    }
+}

@@ -1,4 +1,4 @@
-//! The interconnect: per-node NICs joined by a non-blocking switch.
+//! The interconnect: per-node NICs joined by a switch fabric.
 //!
 //! The model is LogGP-flavoured: a message pays a fixed per-message CPU
 //! overhead, a per-hop wire latency, and then streams its payload through
@@ -6,6 +6,13 @@
 //! simultaneously (the effective rate is the bottleneck of the two,
 //! including contention from other flows on either NIC). RDMA operations
 //! add the request round trip but bypass remote CPU involvement.
+//!
+//! Two switch topologies are modeled (see [`TopologySpec`]): the paper's
+//! single non-blocking switch, and a two-tier leaf/spine fabric where
+//! cross-leaf transfers additionally stream through the source leaf's
+//! uplink, the spine, and the destination leaf's downlink — each a shared
+//! [`SharedBandwidth`] — so rack-level oversubscription produces tiered
+//! contention that one flat switch cannot express.
 
 use std::rc::Rc;
 
@@ -14,26 +21,69 @@ use simcore::{Ctx, SimDuration};
 
 use crate::node::NodeId;
 
+/// Switch-level topology of the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologySpec {
+    /// One non-blocking switch joins every NIC (the paper's Corona
+    /// testbed view): only the endpoint NICs contend.
+    Flat,
+    /// Two-tier leaf/spine: `radix` consecutive nodes share a leaf
+    /// switch; each leaf's uplink/downlink carries
+    /// `radix × link_bw / oversubscription` per direction and the spine
+    /// is sized to the aggregate uplink capacity. Intra-leaf traffic
+    /// sees only the endpoint NICs, exactly like [`TopologySpec::Flat`].
+    LeafSpine {
+        /// Nodes per leaf switch (ports facing down).
+        radix: u32,
+        /// Ratio of leaf downlink to uplink capacity; `1.0` is a
+        /// non-blocking (full-bisection) fabric, `4.0` a 4:1
+        /// oversubscribed one.
+        oversubscription: f64,
+    },
+}
+
 /// Static description of the interconnect.
 #[derive(Debug, Clone, Copy)]
 pub struct FabricSpec {
     /// Per-port bandwidth in each direction, bytes/second.
     pub link_bw: f64,
-    /// One-way wire latency per hop (node→switch or switch→node).
+    /// One-way wire latency per hop (node→switch, switch→switch or
+    /// switch→node).
     pub hop_latency: SimDuration,
     /// Fixed per-message software/NIC overhead at the initiator.
     pub msg_overhead: SimDuration,
+    /// Switch tiers joining the NICs.
+    pub topology: TopologySpec,
 }
 
 impl FabricSpec {
     /// InfiniBand QDR as on Corona: 4×QDR ≈ 32 Gbit/s ≈ 4 GB/s per port,
-    /// ~1.5 µs hop latency, ~1 µs per-message overhead.
+    /// ~1.5 µs hop latency, ~1 µs per-message overhead, one non-blocking
+    /// switch.
     pub fn infiniband_qdr() -> Self {
         FabricSpec {
             link_bw: 4.0e9,
             hop_latency: SimDuration::from_nanos(1_500),
             msg_overhead: SimDuration::from_micros(1),
+            topology: TopologySpec::Flat,
         }
+    }
+
+    /// Same spec with a different switch topology.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        if let TopologySpec::LeafSpine {
+            radix,
+            oversubscription,
+        } = topology
+        {
+            assert!(radix >= 1, "leaf radix must be at least 1");
+            assert!(
+                oversubscription > 0.0 && oversubscription.is_finite(),
+                "oversubscription must be positive and finite"
+            );
+        }
+        self.topology = topology;
+        self
     }
 }
 
@@ -48,19 +98,43 @@ struct Nic {
     rx: SharedBandwidth,
 }
 
+struct LeafSwitch {
+    /// Leaf→spine capacity (all uplink ports aggregated).
+    up: SharedBandwidth,
+    /// Spine→leaf capacity.
+    down: SharedBandwidth,
+}
+
+/// Instantiated switch tiers for [`TopologySpec::LeafSpine`]. Built only
+/// when the topology actually has more than one leaf — a single-leaf
+/// "leaf/spine" degenerates to the flat switch and takes the identical
+/// code path (bit-for-bit, not merely equivalent schedules).
+struct LeafSpine {
+    radix: u32,
+    leaves: Vec<LeafSwitch>,
+    spine: SharedBandwidth,
+}
+
+impl LeafSpine {
+    fn leaf_of(&self, node: NodeId) -> usize {
+        (node.0 / self.radix) as usize
+    }
+}
+
 /// The cluster interconnect.
 #[derive(Clone)]
 pub struct Fabric {
     ctx: Ctx,
     spec: FabricSpec,
     nics: Rc<Vec<Nic>>,
+    tiers: Option<Rc<LeafSpine>>,
     mem_bw: f64,
 }
 
 impl Fabric {
-    /// Build a fabric joining `n_nodes` NICs through a non-blocking
-    /// switch. `mem_bw` is the intra-node copy bandwidth used when source
-    /// and destination are the same node.
+    /// Build a fabric joining `n_nodes` NICs through the spec's switch
+    /// topology. `mem_bw` is the intra-node copy bandwidth used when
+    /// source and destination are the same node.
     pub fn new(ctx: &Ctx, n_nodes: usize, spec: FabricSpec, mem_bw: f64) -> Self {
         let nics = (0..n_nodes)
             .map(|_| Nic {
@@ -68,10 +142,48 @@ impl Fabric {
                 rx: SharedBandwidth::new(ctx, spec.link_bw),
             })
             .collect();
+        let tiers = match spec.topology {
+            TopologySpec::Flat => None,
+            TopologySpec::LeafSpine {
+                radix,
+                oversubscription,
+            } => {
+                assert!(radix >= 1, "leaf radix must be at least 1");
+                assert!(
+                    oversubscription > 0.0 && oversubscription.is_finite(),
+                    "oversubscription must be positive and finite"
+                );
+                let n_leaves = n_nodes.div_ceil(radix as usize);
+                if n_leaves <= 1 {
+                    None
+                } else {
+                    // Each leaf aggregates `radix` node ports downward;
+                    // its uplink carries that capacity divided by the
+                    // oversubscription ratio. The spine is sized to the
+                    // bisection of the uplink tier: every cross-leaf byte
+                    // crosses it exactly once, entering through one
+                    // uplink and leaving through one downlink.
+                    let up_rate = radix as f64 * spec.link_bw / oversubscription;
+                    let spine_rate = n_leaves as f64 * up_rate / 2.0;
+                    let leaves = (0..n_leaves)
+                        .map(|_| LeafSwitch {
+                            up: SharedBandwidth::new(ctx, up_rate),
+                            down: SharedBandwidth::new(ctx, up_rate),
+                        })
+                        .collect();
+                    Some(Rc::new(LeafSpine {
+                        radix,
+                        leaves,
+                        spine: SharedBandwidth::new(ctx, spine_rate),
+                    }))
+                }
+            }
+        };
         Fabric {
             ctx: ctx.clone(),
             spec,
             nics: Rc::new(nics),
+            tiers,
             mem_bw,
         }
     }
@@ -90,13 +202,24 @@ impl Fabric {
         &self.nics[node.0 as usize]
     }
 
-    /// One-way end-to-end message latency excluding payload streaming.
+    /// One-way end-to-end message latency excluding payload streaming
+    /// (intra-leaf / flat path: node→switch→node).
     pub fn base_latency(&self) -> SimDuration {
         self.spec.msg_overhead + self.spec.hop_latency * 2
     }
 
-    /// Move `bytes` from `src` to `dst`, paying overhead, wire latency and
-    /// payload streaming through both NICs (bottleneck of the two).
+    /// The leaf tiers crossed by a `src`→`dst` transfer, if any: `None`
+    /// for a flat fabric or when both endpoints hang off the same leaf.
+    fn crossing(&self, src: NodeId, dst: NodeId) -> Option<(&LeafSpine, usize, usize)> {
+        let t = self.tiers.as_deref()?;
+        let (ls, ld) = (t.leaf_of(src), t.leaf_of(dst));
+        (ls != ld).then_some((t, ls, ld))
+    }
+
+    /// Move `bytes` from `src` to `dst`, paying overhead, wire latency
+    /// and payload streaming through both NICs (bottleneck of the two);
+    /// a cross-leaf transfer additionally pays two switch→switch hops
+    /// and streams through the uplink, spine and downlink tiers.
     pub async fn send(&self, src: NodeId, dst: NodeId, bytes: u64) {
         if src == dst {
             // Intra-node: a memory copy.
@@ -105,18 +228,37 @@ impl Fabric {
                 .await;
             return;
         }
-        self.ctx.sleep(self.base_latency()).await;
+        let cross = self.crossing(src, dst).is_some();
+        let latency = if cross {
+            // node→leaf→spine→leaf→node.
+            self.spec.msg_overhead + self.spec.hop_latency * 4
+        } else {
+            self.base_latency()
+        };
+        self.ctx.sleep(latency).await;
         if bytes == 0 {
             return;
         }
-        // Stream through both ports concurrently; completion is gated by
-        // the slower (more contended) of the two. Both flows join the
-        // contention model at this same instant, so awaiting the two
-        // receivers in sequence is equivalent to a concurrent join — the
-        // second await returns immediately if its flow already finished.
+        // Stream through every tier concurrently; completion is gated by
+        // the slowest (most contended) stage. All flows join the
+        // contention model at this same instant, so awaiting them in
+        // sequence is equivalent to a concurrent join — a later await
+        // returns immediately if its flow already finished. Only the
+        // endpoint NICs count toward `bytes_moved`, so delivered-byte
+        // accounting is topology-invariant.
         let tx_done = self.nic(src).tx.transfer_counted_start(bytes);
         let rx_done = self.nic(dst).rx.transfer_counted_start(bytes);
-        tx_done.await;
+        if let Some((t, ls, ld)) = self.crossing(src, dst) {
+            let up = t.leaves[ls].up.transfer_capped_start(bytes, None);
+            let spine = t.spine.transfer_capped_start(bytes, None);
+            let down = t.leaves[ld].down.transfer_capped_start(bytes, None);
+            tx_done.await;
+            up.await;
+            spine.await;
+            down.await;
+        } else {
+            tx_done.await;
+        }
         rx_done.await;
     }
 
@@ -149,6 +291,22 @@ impl Fabric {
     /// Ingress statistics for a node's NIC.
     pub fn rx_stats(&self, node: NodeId) -> BwStats {
         self.nic(node).rx.stats()
+    }
+
+    /// Number of leaf switches actually instantiated (1 for a flat
+    /// fabric or a leaf/spine that degenerated to a single leaf).
+    pub fn n_leaves(&self) -> usize {
+        self.tiers.as_ref().map_or(1, |t| t.leaves.len())
+    }
+
+    /// Uplink statistics for leaf `leaf`, when switch tiers exist.
+    pub fn uplink_stats(&self, leaf: usize) -> Option<BwStats> {
+        Some(self.tiers.as_ref()?.leaves.get(leaf)?.up.stats())
+    }
+
+    /// Spine statistics, when switch tiers exist.
+    pub fn spine_stats(&self) -> Option<BwStats> {
+        Some(self.tiers.as_ref()?.spine.stats())
     }
 }
 
@@ -257,5 +415,194 @@ mod tests {
         });
         sim.run();
         assert_eq!(h.try_take().unwrap().nanos(), 4_000);
+    }
+
+    fn ls_fabric(sim: &Sim, n: usize, radix: u32, oversub: f64) -> Fabric {
+        Fabric::new(
+            &sim.ctx(),
+            n,
+            FabricSpec::infiniband_qdr().with_topology(TopologySpec::LeafSpine {
+                radix,
+                oversubscription: oversub,
+            }),
+            20.0e9,
+        )
+    }
+
+    #[test]
+    fn cross_leaf_message_pays_four_hops() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let f = ls_fabric(&sim, 4, 2, 1.0);
+        assert_eq!(f.n_leaves(), 2);
+        let h = sim.spawn(async move {
+            f.send(NodeId(0), NodeId(1), 0).await; // intra-leaf: 2 hops
+            let intra = ctx.now();
+            f.send(NodeId(0), NodeId(2), 0).await; // cross-leaf: 4 hops
+            (intra, ctx.now())
+        });
+        sim.run();
+        let (intra, both) = h.try_take().unwrap();
+        assert_eq!(intra.nanos(), 1_000 + 2 * 1_500);
+        assert_eq!(both.nanos() - intra.nanos(), 1_000 + 4 * 1_500);
+    }
+
+    #[test]
+    fn single_leaf_leaf_spine_degenerates_to_flat() {
+        // radix ≥ node count → no tiers are built at all, so the
+        // schedule matches the flat switch exactly.
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let f = ls_fabric(&sim, 2, 64, 1.0);
+        assert_eq!(f.n_leaves(), 1);
+        assert!(f.spine_stats().is_none());
+        let h = sim.spawn(async move {
+            f.send(NodeId(0), NodeId(1), 4_000_000_000).await;
+            ctx.now().as_secs_f64()
+        });
+        sim.run();
+        let t = h.try_take().unwrap();
+        assert!((t - 1.000004).abs() < 1e-6, "took {t}");
+    }
+
+    #[test]
+    fn nonblocking_leaf_spine_keeps_nic_bottleneck() {
+        // Oversubscription 1.0 at radix 2: uplink carries 2 ports'
+        // worth, so a single cross-leaf flow stays NIC-bound and only
+        // the extra two hops distinguish it from the flat fabric.
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let f = ls_fabric(&sim, 4, 2, 1.0);
+        let h = sim.spawn(async move {
+            f.send(NodeId(0), NodeId(2), 4_000_000_000).await;
+            ctx.now().as_secs_f64()
+        });
+        sim.run();
+        let t = h.try_take().unwrap();
+        assert!((t - 1.000007).abs() < 1e-6, "took {t}");
+    }
+
+    #[test]
+    fn oversubscribed_uplink_throttles_cross_leaf() {
+        // 4:1 oversubscription at radix 2: uplink rate is
+        // 2 × 4 GB/s / 4 = 2 GB/s, half the NIC rate, so the same flow
+        // takes twice as long as on the non-blocking fabric.
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let f = ls_fabric(&sim, 4, 2, 4.0);
+        let h = sim.spawn(async move {
+            f.send(NodeId(0), NodeId(2), 4_000_000_000).await;
+            ctx.now().as_secs_f64()
+        });
+        sim.run();
+        let t = h.try_take().unwrap();
+        assert!((t - 2.000007).abs() < 1e-6, "took {t}");
+    }
+
+    #[test]
+    fn cross_leaf_flows_contend_on_shared_uplink() {
+        // Two disjoint-NIC cross-leaf flows share leaf 0's uplink. At
+        // 2:1 oversubscription the uplink (4 GB/s) splits two ways, so
+        // both finish in ~2 s where the flat fabric gives ~1 s.
+        let sim = Sim::new(0);
+        let f = ls_fabric(&sim, 4, 2, 2.0);
+        let mut hs = Vec::new();
+        for (s, d) in [(0u32, 2u32), (1, 3)] {
+            let f = f.clone();
+            let ctx = sim.ctx();
+            hs.push(sim.spawn(async move {
+                f.send(NodeId(s), NodeId(d), 4_000_000_000).await;
+                ctx.now().as_secs_f64()
+            }));
+        }
+        sim.run();
+        for h in hs {
+            let t = h.try_take().unwrap();
+            assert!((t - 2.000007).abs() < 1e-5, "took {t}");
+        }
+        assert_eq!(f.uplink_stats(0).unwrap().peak_concurrency, 2);
+    }
+
+    #[test]
+    fn intra_leaf_traffic_bypasses_the_tiers() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let f = ls_fabric(&sim, 4, 2, 4.0);
+        let f2 = f.clone();
+        let h = sim.spawn(async move {
+            f2.send(NodeId(0), NodeId(1), 4_000_000_000).await;
+            ctx.now().as_secs_f64()
+        });
+        sim.run();
+        let t = h.try_take().unwrap();
+        assert!((t - 1.000004).abs() < 1e-6, "took {t}");
+        assert_eq!(f.uplink_stats(0).unwrap().flows_served, 0);
+        assert_eq!(f.spine_stats().unwrap().flows_served, 0);
+    }
+
+    mod conservation {
+        use super::*;
+        use proptest::prelude::*;
+
+        // Conservation under arbitrary leaf/spine shapes: whatever the
+        // radix, oversubscription or traffic mix, every byte sent is
+        // delivered — tx totals, rx totals and the offered load all
+        // agree, so no transfer is lost or duplicated in the tier
+        // plumbing.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn delivered_bytes_conserved_under_arbitrary_shapes(
+                n in 2usize..24,
+                radix in 1u32..8,
+                oversub_tenths in 5u32..80,
+                transfers in proptest::collection::vec(
+                    (0u32..24, 0u32..24, 1u64..2_000_000),
+                    1..24,
+                ),
+            ) {
+                let oversub = f64::from(oversub_tenths) / 10.0;
+                let sim = Sim::new(0);
+                let f = ls_fabric(&sim, n, radix, oversub);
+                let mut total = 0u64;
+                for (s, d, b) in transfers {
+                    let (s, d) = (s % n as u32, d % n as u32);
+                    if s == d {
+                        continue; // intra-node copies bypass the NICs
+                    }
+                    total += b;
+                    let f = f.clone();
+                    sim.spawn(async move {
+                        f.send(NodeId(s), NodeId(d), b).await;
+                    });
+                }
+                let report = sim.run();
+                prop_assert!(report.is_clean());
+                let tx: u64 =
+                    (0..n as u32).map(|i| f.tx_stats(NodeId(i)).bytes_moved).sum();
+                let rx: u64 =
+                    (0..n as u32).map(|i| f.rx_stats(NodeId(i)).bytes_moved).sum();
+                prop_assert_eq!(tx, total);
+                prop_assert_eq!(rx, total);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_accounting_is_topology_invariant() {
+        // Only the endpoint NICs count bytes_moved; the tier flows are
+        // modeled but uncounted, so delivered-byte totals match the flat
+        // fabric under any leaf/spine shape.
+        let sim = Sim::new(0);
+        let f = ls_fabric(&sim, 4, 2, 4.0);
+        let f2 = f.clone();
+        sim.spawn(async move {
+            f2.send(NodeId(0), NodeId(2), 1_000_000).await;
+        });
+        sim.run();
+        assert_eq!(f.tx_stats(NodeId(0)).bytes_moved, 1_000_000);
+        assert_eq!(f.rx_stats(NodeId(2)).bytes_moved, 1_000_000);
+        assert_eq!(f.spine_stats().unwrap().bytes_moved, 0);
+        assert_eq!(f.spine_stats().unwrap().flows_served, 1);
     }
 }

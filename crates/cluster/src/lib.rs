@@ -17,6 +17,6 @@ mod fabric;
 mod node;
 mod topology;
 
-pub use fabric::{Fabric, FabricSpec};
+pub use fabric::{Fabric, FabricSpec, TopologySpec};
 pub use node::{Node, NodeId, NodeSpec, NvmeDevice};
 pub use topology::{Cluster, ClusterSpec};

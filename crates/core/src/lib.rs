@@ -60,6 +60,7 @@ pub mod prelude {
         run_once, run_once_warm, run_study, FaultTotals, RunMetrics, StagingTotals,
     };
     pub use crate::schedule::FrameSchedule;
+    pub use cluster::{FabricSpec, TopologySpec};
     pub use faults::{ChaosSpec, FaultEvent, FaultKind, FaultPlan, RetryPolicy};
     pub use mdsim::Model;
     pub use staging::RetentionPolicy;

@@ -59,7 +59,10 @@ fn parse(raw: &'static str) -> Vec<Fixture> {
 }
 
 fn run(f: &Fixture) -> RunMetrics {
-    let cal = Calibration::corona();
+    run_with_calibration(f, Calibration::corona())
+}
+
+fn run_with_calibration(f: &Fixture, cal: Calibration) -> RunMetrics {
     let wf = match f.solution {
         "dyad" => WorkflowConfig::new(
             Solution::Dyad,
@@ -145,6 +148,50 @@ fn results_match_pinned_fixtures_exactly() {
             f.solution,
             f.pairs
         );
+    }
+}
+
+/// `TopologySpec::Flat` is the pinned-capture topology, and a leaf/spine
+/// fabric that degenerates to a single leaf (radix ≥ node count,
+/// oversubscription 1.0) builds no switch tiers at all — both must
+/// replay the fig6 DYAD/XFS pinned schedules *bit-identically*:
+/// makespans, event counts and staging counters. This is the PR 8
+/// topology-plumbing guard: adding the topology axis must not perturb
+/// any existing schedule.
+#[test]
+fn flat_and_degenerate_leaf_spine_replay_pinned_schedules() {
+    let mut ls = Calibration::corona();
+    ls.fabric = ls.fabric.with_topology(TopologySpec::LeafSpine {
+        radix: 65_536,
+        oversubscription: 1.0,
+    });
+    for f in parse(PINNED) {
+        if f.solution == "lustre" {
+            continue; // fig6 is DYAD vs XFS; lustre is covered above
+        }
+        for cal in [Calibration::corona(), ls.clone()] {
+            let topo = cal.fabric.topology;
+            let m = run_with_calibration(&f, cal);
+            assert_eq!(
+                m.makespan.nanos(),
+                f.makespan_ns,
+                "{} {}p makespan drifted under {topo:?}",
+                f.solution,
+                f.pairs
+            );
+            assert_eq!(
+                m.events, f.events,
+                "{} {}p event count drifted under {topo:?}",
+                f.solution, f.pairs
+            );
+            assert_eq!(
+                staging_value(&m),
+                f.staging,
+                "{} {}p staging counters drifted under {topo:?}",
+                f.solution,
+                f.pairs
+            );
+        }
     }
 }
 

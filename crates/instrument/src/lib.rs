@@ -20,7 +20,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use simcore::intern::{intern, FxHashMap, Symbol};
+use simcore::intern::{intern, Symbol};
 use simcore::trace::{SpanGuard, Tracer};
 use simcore::{Ctx, SimDuration, SimTime};
 
@@ -121,15 +121,45 @@ impl Profile {
 /// the per-region hot path never allocates; [`Recorder::finish`]
 /// resolves symbols back to strings when building the public
 /// [`Profile`].
+///
+/// Metrics and children live in insertion-ordered vecs rather than hash
+/// maps: real region trees are a handful of entries wide, so a linear
+/// scan over `u32` symbols beats two hash probes, and a `Vec` carries
+/// none of the map's bucket overhead — at 100k+ pairs the recorder trees
+/// are a measurable share of peak RSS (see DESIGN.md §11).
 #[derive(Default)]
 struct RecNode {
     count: u64,
     inclusive: SimDuration,
-    metrics: FxHashMap<Symbol, f64>,
-    children: FxHashMap<Symbol, RecNode>,
+    metrics: Vec<(Symbol, f64)>,
+    children: Vec<(Symbol, RecNode)>,
 }
 
 impl RecNode {
+    /// Child node for `name`, created on first use (insertion order).
+    fn child(&mut self, name: Symbol) -> &mut RecNode {
+        let idx = match self.children.iter().position(|(k, _)| *k == name) {
+            Some(i) => i,
+            None => {
+                self.children.push((name, RecNode::default()));
+                self.children.len() - 1
+            }
+        };
+        &mut self.children[idx].1
+    }
+
+    /// Accumulator slot for metric `key`, created on first use.
+    fn metric(&mut self, key: Symbol) -> &mut f64 {
+        let idx = match self.metrics.iter().position(|(k, _)| *k == key) {
+            Some(i) => i,
+            None => {
+                self.metrics.push((key, 0.0));
+                self.metrics.len() - 1
+            }
+        };
+        &mut self.metrics[idx].1
+    }
+
     fn to_profile(&self) -> ProfileNode {
         ProfileNode {
             count: self.count,
@@ -215,13 +245,13 @@ impl Recorder {
         // mutably — no clone of the path on this hot call.
         let RecState { root, stack } = &mut *st;
         let node = Self::node_at(root, stack);
-        *node.metrics.entry(intern(key)).or_insert(0.0) += value;
+        *node.metric(intern(key)) += value;
     }
 
     fn node_at<'a>(root: &'a mut RecNode, path: &[Symbol]) -> &'a mut RecNode {
         let mut cur = root;
         for comp in path {
-            cur = cur.children.entry(*comp).or_default();
+            cur = cur.child(*comp);
         }
         cur
     }

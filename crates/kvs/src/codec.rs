@@ -6,38 +6,46 @@
 //! (payload sizes on the wire match what a real broker would move).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use simcore::intern::{intern, Symbol};
 
 /// Operations understood by the broker.
+///
+/// Keys are interned [`Symbol`]s: the client interns each key exactly
+/// once at the API boundary and every later hop (request struct, broker
+/// store, client cache) hashes a 4-byte id instead of re-hashing the
+/// full path. The *wire* still carries the resolved string bytes, so
+/// message lengths — and therefore fabric costs — are exactly those of
+/// the string protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Store `value` under `key`, bumping the global version.
     Commit {
         /// Key to store under.
-        key: String,
+        key: Symbol,
         /// Value bytes.
         value: Bytes,
     },
     /// Read the current value of `key`, if any.
     Lookup {
         /// Key to read.
-        key: String,
+        key: Symbol,
     },
     /// Block until `key` exists, then return it (server-side watch).
     WaitKey {
         /// Key to watch.
-        key: String,
+        key: Symbol,
     },
     /// Remove `key`.
     Unlink {
         /// Key to remove.
-        key: String,
+        key: Symbol,
     },
     /// Shard-to-shard replication delta (mesh mode only): one write as
     /// observed at `origin`, causally ordered by a per-key version
     /// vector. `value: None` propagates an unlink.
     Delta {
         /// Key the write applies to.
-        key: String,
+        key: Symbol,
         /// Shard id the write originated on.
         origin: u32,
         /// Per-(key, origin) sequence number of this write.
@@ -95,35 +103,31 @@ fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> String {
+/// Decode a length-prefixed key without allocating: the symbol is
+/// interned straight from the wire buffer's bytes.
+fn get_sym(buf: &mut Bytes) -> Symbol {
     let len = buf.get_u16() as usize;
-    let raw = buf.split_to(len);
-    String::from_utf8(raw.to_vec()).expect("kvs keys are UTF-8")
+    let sym = intern(std::str::from_utf8(&buf[..len]).expect("kvs keys are UTF-8"));
+    buf.advance(len);
+    sym
 }
 
 impl Request {
     /// Encode to wire bytes.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
         match self {
             Request::Commit { key, value } => {
+                let key = key.resolve();
+                let mut buf = BytesMut::with_capacity(1 + 2 + key.len() + 4 + value.len());
                 buf.put_u8(OP_COMMIT);
-                put_str(&mut buf, key);
+                put_str(&mut buf, &key);
                 buf.put_u32(value.len() as u32);
                 buf.put_slice(value);
+                buf.freeze()
             }
-            Request::Lookup { key } => {
-                buf.put_u8(OP_LOOKUP);
-                put_str(&mut buf, key);
-            }
-            Request::WaitKey { key } => {
-                buf.put_u8(OP_WAIT);
-                put_str(&mut buf, key);
-            }
-            Request::Unlink { key } => {
-                buf.put_u8(OP_UNLINK);
-                put_str(&mut buf, key);
-            }
+            Request::Lookup { key } => encode_keyed(OP_LOOKUP, *key),
+            Request::WaitKey { key } => encode_keyed(OP_WAIT, *key),
+            Request::Unlink { key } => encode_keyed(OP_UNLINK, *key),
             Request::Delta {
                 key,
                 origin,
@@ -131,8 +135,13 @@ impl Request {
                 deps,
                 value,
             } => {
+                let key = key.resolve();
+                let val_len = value.as_ref().map_or(0, |v| 4 + v.len());
+                let mut buf = BytesMut::with_capacity(
+                    1 + 2 + key.len() + 4 + 8 + 2 + deps.len() * 12 + 1 + val_len,
+                );
                 buf.put_u8(OP_DELTA);
-                put_str(&mut buf, key);
+                put_str(&mut buf, &key);
                 buf.put_u32(*origin);
                 buf.put_u64(*seq);
                 buf.put_u16(deps.len() as u16);
@@ -148,9 +157,9 @@ impl Request {
                     }
                     None => buf.put_u8(0),
                 }
+                buf.freeze()
             }
         }
-        buf.freeze()
     }
 
     /// Decode from wire bytes. Panics on malformed input (the simulation
@@ -158,22 +167,22 @@ impl Request {
     pub fn decode(mut raw: Bytes) -> Request {
         match raw.get_u8() {
             OP_COMMIT => {
-                let key = get_str(&mut raw);
+                let key = get_sym(&mut raw);
                 let len = raw.get_u32() as usize;
                 let value = raw.split_to(len);
                 Request::Commit { key, value }
             }
             OP_LOOKUP => Request::Lookup {
-                key: get_str(&mut raw),
+                key: get_sym(&mut raw),
             },
             OP_WAIT => Request::WaitKey {
-                key: get_str(&mut raw),
+                key: get_sym(&mut raw),
             },
             OP_UNLINK => Request::Unlink {
-                key: get_str(&mut raw),
+                key: get_sym(&mut raw),
             },
             OP_DELTA => {
-                let key = get_str(&mut raw);
+                let key = get_sym(&mut raw);
                 let origin = raw.get_u32();
                 let seq = raw.get_u64();
                 let n_deps = raw.get_u16() as usize;
@@ -200,10 +209,22 @@ impl Request {
     }
 }
 
+/// Encode a bare `op + key` request with one exact-capacity allocation.
+fn encode_keyed(op: u8, key: Symbol) -> Bytes {
+    let key = key.resolve();
+    let mut buf = BytesMut::with_capacity(1 + 2 + key.len());
+    buf.put_u8(op);
+    put_str(&mut buf, &key);
+    buf.freeze()
+}
+
 impl Response {
     /// Encode to wire bytes.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+        let mut buf = match self {
+            Response::Value { value, .. } => BytesMut::with_capacity(1 + 8 + 4 + value.len()),
+            _ => BytesMut::with_capacity(1 + 8),
+        };
         match self {
             Response::Committed { version } => {
                 buf.put_u8(RESP_COMMITTED);
@@ -252,21 +273,21 @@ mod tests {
     fn request_round_trips() {
         for req in [
             Request::Commit {
-                key: "a/b/c".into(),
+                key: intern("a/b/c"),
                 value: Bytes::from_static(b"payload"),
             },
-            Request::Lookup { key: "x".into() },
-            Request::WaitKey { key: "".into() },
-            Request::Unlink { key: "k".into() },
+            Request::Lookup { key: intern("x") },
+            Request::WaitKey { key: intern("") },
+            Request::Unlink { key: intern("k") },
             Request::Delta {
-                key: "frames/p0001/f3".into(),
+                key: intern("frames/p0001/f3"),
                 origin: 2,
                 seq: 7,
                 deps: vec![(0, 3), (2, 6)],
                 value: Some(Bytes::from_static(b"meta")),
             },
             Request::Delta {
-                key: "tomb".into(),
+                key: intern("tomb"),
                 origin: 0,
                 seq: 1,
                 deps: vec![],
@@ -275,6 +296,18 @@ mod tests {
         ] {
             assert_eq!(Request::decode(req.encode()), req);
         }
+    }
+
+    /// The symbol-keyed codec puts exactly the same bytes on the wire as
+    /// the string protocol: opcode, u16 length, then the key text.
+    #[test]
+    fn wire_bytes_carry_the_resolved_key_text() {
+        let raw = Request::Lookup {
+            key: intern("dir/frame07"),
+        }
+        .encode();
+        assert_eq!(raw.len(), 1 + 2 + "dir/frame07".len());
+        assert_eq!(&raw[3..], b"dir/frame07");
     }
 
     #[test]
@@ -303,7 +336,7 @@ mod tests {
             #[test]
             fn commit_round_trips(key in "[a-z/._0-9]{0,64}",
                                   value in proptest::collection::vec(any::<u8>(), 0..1024)) {
-                let req = Request::Commit { key: key.clone(), value: Bytes::from(value) };
+                let req = Request::Commit { key: intern(&key), value: Bytes::from(value) };
                 prop_assert_eq!(Request::decode(req.encode()), req);
             }
 
@@ -322,7 +355,7 @@ mod tests {
                                  tombstone in any::<bool>(),
                                  value in proptest::collection::vec(any::<u8>(), 0..256)) {
                 let req = Request::Delta {
-                    key,
+                    key: intern(&key),
                     origin,
                     seq,
                     deps,

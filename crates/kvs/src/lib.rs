@@ -266,7 +266,6 @@ impl KvsServer {
 pub(crate) async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response {
     match req {
         Request::Commit { key, value } => {
-            let key = intern(&key);
             let mut st = store.borrow_mut();
             st.version += 1;
             let version = st.version;
@@ -278,7 +277,6 @@ pub(crate) async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response 
             Response::Committed { version }
         }
         Request::Lookup { key } => {
-            let key = intern(&key);
             let mut st = store.borrow_mut();
             st.stats.lookups += 1;
             let found = st.map.get(&key).cloned();
@@ -291,7 +289,6 @@ pub(crate) async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response 
             }
         }
         Request::WaitKey { key } => {
-            let key = intern(&key);
             let mut first = true;
             loop {
                 let notify = {
@@ -319,7 +316,6 @@ pub(crate) async fn handle(store: Rc<RefCell<Store>>, req: Request) -> Response 
             }
         }
         Request::Unlink { key } => {
-            let key = intern(&key);
             let mut st = store.borrow_mut();
             st.map.remove(&key);
             st.stats.unlinks += 1;
@@ -396,8 +392,9 @@ impl KvsClient {
 
     /// Commit `value` under `key`; returns the new global version.
     pub async fn commit(&self, key: &str, value: Bytes) -> u64 {
+        let key = intern(key);
         let req = Request::Commit {
-            key: key.to_string(),
+            key,
             value: value.clone(),
         };
         let resp = Response::decode(self.ep.rpc(self.broker, self.am, req.encode()).await);
@@ -405,7 +402,7 @@ impl KvsClient {
             Response::Committed { version } => {
                 self.cache
                     .borrow_mut()
-                    .insert(intern(key), VersionedValue { version, value });
+                    .insert(key, VersionedValue { version, value });
                 version
             }
             other => panic!("unexpected commit response {other:?}"),
@@ -415,14 +412,13 @@ impl KvsClient {
     /// Read `key` from the broker (always a round trip; updates the
     /// cache).
     pub async fn lookup(&self, key: &str) -> Option<VersionedValue> {
-        let req = Request::Lookup {
-            key: key.to_string(),
-        };
+        let key = intern(key);
+        let req = Request::Lookup { key };
         let resp = Response::decode(self.ep.rpc(self.broker, self.am, req.encode()).await);
         match resp {
             Response::Value { version, value } => {
                 let v = VersionedValue { version, value };
-                self.cache.borrow_mut().insert(intern(key), v.clone());
+                self.cache.borrow_mut().insert(key, v.clone());
                 Some(v)
             }
             Response::NotFound => None,
@@ -439,14 +435,13 @@ impl KvsClient {
     /// Block until `key` exists, using a **server-side watch**: one RPC
     /// that parks in the broker. This is DYAD's cold-path synchronization.
     pub async fn wait_key(&self, key: &str) -> VersionedValue {
-        let req = Request::WaitKey {
-            key: key.to_string(),
-        };
+        let key = intern(key);
+        let req = Request::WaitKey { key };
         let resp = Response::decode(self.ep.rpc(self.broker, self.am, req.encode()).await);
         match resp {
             Response::Value { version, value } => {
                 let v = VersionedValue { version, value };
-                self.cache.borrow_mut().insert(intern(key), v.clone());
+                self.cache.borrow_mut().insert(key, v.clone());
                 v
             }
             other => panic!("unexpected wait response {other:?}"),
@@ -470,11 +465,10 @@ impl KvsClient {
 
     /// Remove `key` on the broker and locally.
     pub async fn unlink(&self, key: &str) {
-        let req = Request::Unlink {
-            key: key.to_string(),
-        };
+        let key = intern(key);
+        let req = Request::Unlink { key };
         let _ = self.ep.rpc(self.broker, self.am, req.encode()).await;
-        self.cache.borrow_mut().remove(&intern(key));
+        self.cache.borrow_mut().remove(&key);
     }
 
     /// Fallible [`KvsClient::commit`]: retries through broker outages per
@@ -482,8 +476,9 @@ impl KvsClient {
     /// exhausted. Commits are idempotent (last-writer-wins on the same
     /// key), so a retry after a lost reply is safe.
     pub async fn try_commit(&self, key: &str, value: Bytes) -> Result<u64, TransportError> {
+        let key = intern(key);
         let req = Request::Commit {
-            key: key.to_string(),
+            key,
             value: value.clone(),
         };
         let mut rng = self.fork_rng();
@@ -495,7 +490,7 @@ impl KvsClient {
             Response::Committed { version } => {
                 self.cache
                     .borrow_mut()
-                    .insert(intern(key), VersionedValue { version, value });
+                    .insert(key, VersionedValue { version, value });
                 Ok(version)
             }
             Response::ShardDown => Err(TransportError::Unreachable { node: self.broker }),
@@ -505,9 +500,8 @@ impl KvsClient {
 
     /// Fallible [`KvsClient::lookup`] with retry.
     pub async fn try_lookup(&self, key: &str) -> Result<Option<VersionedValue>, TransportError> {
-        let req = Request::Lookup {
-            key: key.to_string(),
-        };
+        let key = intern(key);
+        let req = Request::Lookup { key };
         let mut rng = self.fork_rng();
         let raw = self
             .ep
@@ -516,7 +510,7 @@ impl KvsClient {
         match Response::decode(raw) {
             Response::Value { version, value } => {
                 let v = VersionedValue { version, value };
-                self.cache.borrow_mut().insert(intern(key), v.clone());
+                self.cache.borrow_mut().insert(key, v.clone());
                 Ok(Some(v))
             }
             Response::NotFound => Ok(None),
@@ -529,9 +523,8 @@ impl KvsClient {
     /// (no per-attempt timeout): the RPC parks server-side until the key
     /// is committed, so only unreachability triggers a retry.
     pub async fn try_wait_key(&self, key: &str) -> Result<VersionedValue, TransportError> {
-        let req = Request::WaitKey {
-            key: key.to_string(),
-        };
+        let key = intern(key);
+        let req = Request::WaitKey { key };
         let mut rng = self.fork_rng();
         let raw = self
             .ep
@@ -546,7 +539,7 @@ impl KvsClient {
         match Response::decode(raw) {
             Response::Value { version, value } => {
                 let v = VersionedValue { version, value };
-                self.cache.borrow_mut().insert(intern(key), v.clone());
+                self.cache.borrow_mut().insert(key, v.clone());
                 Ok(v)
             }
             Response::ShardDown => Err(TransportError::Unreachable { node: self.broker }),
@@ -589,9 +582,8 @@ impl KvsClient {
 
     /// Fallible [`KvsClient::unlink`] with retry.
     pub async fn try_unlink(&self, key: &str) -> Result<(), TransportError> {
-        let req = Request::Unlink {
-            key: key.to_string(),
-        };
+        let key = intern(key);
+        let req = Request::Unlink { key };
         let mut rng = self.fork_rng();
         let raw = self
             .ep
@@ -600,7 +592,7 @@ impl KvsClient {
         if let Response::ShardDown = Response::decode(raw) {
             return Err(TransportError::Unreachable { node: self.broker });
         }
-        self.cache.borrow_mut().remove(&intern(key));
+        self.cache.borrow_mut().remove(&key);
         Ok(())
     }
 }

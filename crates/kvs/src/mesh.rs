@@ -39,7 +39,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use cluster::NodeId;
 use faults::FaultBoard;
-use simcore::intern::{intern, FxHashMap};
+use simcore::intern::{FxHashMap, Symbol};
 use simcore::{splitmix64, Ctx};
 use transport::{AmId, Transport, TransportError};
 
@@ -293,37 +293,35 @@ pub(crate) async fn serve(
 ) -> Response {
     match req {
         Request::Commit { key, value } => {
-            let sym = intern(&key);
             let (version, seq, deps) = {
                 let mut st = store.borrow_mut();
                 st.version += 1;
                 let version = st.version;
                 st.map.insert(
-                    sym,
+                    key,
                     VersionedValue {
                         version,
                         value: value.clone(),
                     },
                 );
                 st.stats.commits += 1;
-                if let Some(n) = st.watches.remove(&sym) {
+                if let Some(n) = st.watches.remove(&key) {
                     n.notify_all();
                 }
-                let (seq, deps) = st.repl.record_local(&sym, shard);
+                let (seq, deps) = st.repl.record_local(&key, shard);
                 (version, seq, deps)
             };
-            replicate(store, shard, topo, tp, &key, Some(value), seq, deps).await;
+            replicate(store, shard, topo, tp, key, Some(value), seq, deps).await;
             Response::Committed { version }
         }
         Request::Unlink { key } => {
-            let sym = intern(&key);
             let (seq, deps) = {
                 let mut st = store.borrow_mut();
-                st.map.remove(&sym);
+                st.map.remove(&key);
                 st.stats.unlinks += 1;
-                st.repl.record_local(&sym, shard)
+                st.repl.record_local(&key, shard)
             };
-            replicate(store, shard, topo, tp, &key, None, seq, deps).await;
+            replicate(store, shard, topo, tp, key, None, seq, deps).await;
             Response::Unlinked
         }
         Request::Delta {
@@ -333,10 +331,9 @@ pub(crate) async fn serve(
             deps,
             value,
         } => {
-            let sym = intern(&key);
             let mut st = store.borrow_mut();
             let ready = st.repl.offer(Delta {
-                key: sym,
+                key,
                 origin,
                 seq,
                 deps,
@@ -376,7 +373,7 @@ async fn replicate(
     shard: u32,
     topo: &Rc<MeshTopology>,
     tp: &Transport,
-    key: &str,
+    key: Symbol,
     value: Option<Bytes>,
     seq: u64,
     deps: Vec<(u32, u64)>,
@@ -386,7 +383,7 @@ async fn replicate(
     }
     let board = tp.faults();
     let ep = tp.endpoint(topo.node(shard));
-    for peer in topo.preference(key) {
+    for peer in topo.preference(&key.resolve()) {
         if peer == shard {
             continue;
         }
@@ -398,7 +395,7 @@ async fn replicate(
             }
         }
         let req = Request::Delta {
-            key: key.to_string(),
+            key,
             origin: shard,
             seq,
             deps: deps.clone(),

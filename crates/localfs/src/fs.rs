@@ -12,9 +12,8 @@
 //! `fsync`/`close`; reads hit the page cache (memory-bandwidth cost) when
 //! the content is resident, otherwise the device.
 
-use simcore::intern::{intern, FxHashMap, Symbol};
+use simcore::intern::{intern, FxHashMap, FxHashSet, Symbol};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use bytes::{Bytes, BytesMut};
@@ -198,10 +197,10 @@ struct OpenFile {
 }
 
 struct FsInner {
-    inodes: HashMap<Ino, Inode>,
+    inodes: FxHashMap<Ino, Inode>,
     next_ino: u64,
     root: Ino,
-    fds: HashMap<Fd, OpenFile>,
+    fds: FxHashMap<Fd, OpenFile>,
     next_fd: u64,
     alloc: ExtentAllocator,
     journal: Journal,
@@ -214,7 +213,14 @@ struct FsInner {
     /// last descriptor closes, so a concurrent reader — e.g. a consumer
     /// mid-fetch while the staging evictor retires the frame — keeps a
     /// consistent view of the data.
-    orphans: HashSet<Ino>,
+    orphans: FxHashSet<Ino>,
+    /// Host-side dentry cache: interned absolute directory path → inode.
+    /// Directories are never unlinked or renamed (both refuse
+    /// `IsDirectory`), so a cached entry can never go stale. This is a
+    /// pure host-time optimisation — every operation still charges its
+    /// `meta_cpu` sim cost — so it cannot perturb trajectories. The
+    /// `RefCell` lets read-only lookups populate it.
+    dcache: RefCell<FxHashMap<Symbol, Ino>>,
 }
 
 impl FsInner {
@@ -249,8 +255,15 @@ pub struct LocalFs {
     io_probe: Option<Rc<dyn Fn() -> bool>>,
 }
 
-fn split_path(path: &str) -> Vec<&str> {
-    path.split('/').filter(|c| !c.is_empty()).collect()
+/// Split a path into `(parent directory, final name)` without
+/// allocating. The directory part may retain interior empty components
+/// ("a//b"); walkers filter those out.
+fn dir_and_name(path: &str) -> (&str, &str) {
+    let p = path.trim_matches('/');
+    match p.rsplit_once('/') {
+        Some((dir, name)) => (dir, name),
+        None => ("", p),
+    }
 }
 
 impl LocalFs {
@@ -258,7 +271,7 @@ impl LocalFs {
     pub fn new(ctx: &Ctx, dev: NvmeDevice, spec: LocalFsSpec) -> Self {
         let total_blocks = spec.capacity_bytes / spec.block_size;
         let root = Ino(1);
-        let mut inodes = HashMap::new();
+        let mut inodes = FxHashMap::default();
         inodes.insert(root, Inode::new_dir());
         LocalFs {
             ctx: ctx.clone(),
@@ -268,13 +281,14 @@ impl LocalFs {
                 inodes,
                 next_ino: 2,
                 root,
-                fds: HashMap::new(),
+                fds: FxHashMap::default(),
                 next_fd: 3, // 0,1,2 "reserved", POSIX-style
                 alloc: ExtentAllocator::new(total_blocks, spec.ag_count),
                 journal: Journal::new(spec.journal_record_bytes),
                 stats: FsStats::default(),
                 used_blocks: 0,
-                orphans: HashSet::new(),
+                orphans: FxHashSet::default(),
+                dcache: RefCell::new(FxHashMap::default()),
             })),
             io_probe: None,
         }
@@ -393,9 +407,21 @@ impl LocalFs {
         )
     }
 
-    fn lookup(inner: &FsInner, path: &str) -> FsResult<Ino> {
+    /// Resolve a directory path, consulting the dentry cache first. A
+    /// miss walks component-by-component and caches the result (only
+    /// when it is actually a directory — files can be renamed away, so
+    /// a file-terminated prefix is returned uncached for the caller to
+    /// reject).
+    fn resolve_dir(inner: &FsInner, dir: &str) -> FsResult<Ino> {
+        if dir.is_empty() {
+            return Ok(inner.root);
+        }
+        let sym = intern(dir);
+        if let Some(&ino) = inner.dcache.borrow().get(&sym) {
+            return Ok(ino);
+        }
         let mut cur = inner.root;
-        for comp in split_path(path) {
+        for comp in dir.split('/').filter(|c| !c.is_empty()) {
             let node = inner.inodes.get(&cur).ok_or(FsError::NotFound)?;
             match &node.kind {
                 InodeKind::Dir { children } => {
@@ -403,24 +429,39 @@ impl LocalFs {
                 }
                 InodeKind::File { .. } => return Err(FsError::NotDirectory),
             }
+        }
+        if matches!(
+            inner.inodes.get(&cur).map(|n| &n.kind),
+            Some(InodeKind::Dir { .. })
+        ) {
+            inner.dcache.borrow_mut().insert(sym, cur);
         }
         Ok(cur)
     }
 
-    fn lookup_parent<'p>(inner: &FsInner, path: &'p str) -> FsResult<(Ino, &'p str)> {
-        let comps = split_path(path);
-        let (name, dirs) = comps.split_last().ok_or(FsError::AlreadyExists)?;
-        let mut cur = inner.root;
-        for comp in dirs {
-            let node = inner.inodes.get(&cur).ok_or(FsError::NotFound)?;
-            match &node.kind {
-                InodeKind::Dir { children } => {
-                    cur = *children.get(&intern(comp)).ok_or(FsError::NotFound)?;
-                }
-                InodeKind::File { .. } => return Err(FsError::NotDirectory),
-            }
+    fn lookup(inner: &FsInner, path: &str) -> FsResult<Ino> {
+        let (dir, name) = dir_and_name(path);
+        if name.is_empty() {
+            return Ok(inner.root);
         }
-        Ok((cur, name))
+        let parent = Self::resolve_dir(inner, dir)?;
+        let node = inner.inodes.get(&parent).ok_or(FsError::NotFound)?;
+        match &node.kind {
+            InodeKind::Dir { children } => children
+                .get(&intern(name))
+                .copied()
+                .ok_or(FsError::NotFound),
+            InodeKind::File { .. } => Err(FsError::NotDirectory),
+        }
+    }
+
+    fn lookup_parent<'p>(inner: &FsInner, path: &'p str) -> FsResult<(Ino, &'p str)> {
+        let (dir, name) = dir_and_name(path);
+        if name.is_empty() {
+            return Err(FsError::AlreadyExists);
+        }
+        let parent = Self::resolve_dir(inner, dir)?;
+        Ok((parent, name))
     }
 
     /// Create every missing directory along `path`.
@@ -428,8 +469,14 @@ impl LocalFs {
         self.device_check()?;
         self.ctx.sleep(self.spec.meta_cpu).await;
         let mut inner = self.inner.borrow_mut();
+        let p = path.trim_matches('/');
+        // Fast path: the whole chain was seen before, so every directory
+        // already exists and no journal records would be appended.
+        if !p.is_empty() && inner.dcache.borrow().contains_key(&intern(p)) {
+            return Ok(());
+        }
         let mut cur = inner.root;
-        for comp in split_path(path) {
+        for comp in p.split('/').filter(|c| !c.is_empty()) {
             let next = {
                 let node = inner.inodes.get(&cur).ok_or(FsError::NotFound)?;
                 match &node.kind {
@@ -454,6 +501,9 @@ impl LocalFs {
                     ino
                 }
             };
+        }
+        if !p.is_empty() {
+            inner.dcache.borrow_mut().insert(intern(p), cur);
         }
         Ok(())
     }

@@ -12,14 +12,12 @@
 //! deterministic for a fixed seed and spawn order.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::{Rc, Weak};
 use std::sync::Arc;
 
-use crate::intern::FxHashMap;
 use std::task::{Context, Poll, Wake, Waker};
 
 use parking_lot::Mutex;
@@ -28,7 +26,29 @@ use rand::SeedableRng;
 
 use crate::time::{SimDuration, SimTime};
 
+/// Dense task handle: the low 32 bits index the task slab, the high 32
+/// bits carry the slot's generation at spawn time. Packing both into one
+/// word keeps wake queues and calendar entries exactly as small as the
+/// old sequential-id scheme while making stale wakes (a wake delivered
+/// after the task completed and its slot was reused) recognizably dead:
+/// completion bumps the slot generation, so a stale id fails the
+/// generation check exactly where the old scheme missed the task map.
 pub(crate) type TaskId = u64;
+
+#[inline]
+const fn task_slot(id: TaskId) -> u32 {
+    id as u32
+}
+
+#[inline]
+const fn task_gen(id: TaskId) -> u32 {
+    (id >> 32) as u32
+}
+
+#[inline]
+const fn task_id(slot: u32, gen: u32) -> TaskId {
+    ((gen as u64) << 32) | slot as u64
+}
 
 /// What the calendar fires when an event's timestamp is reached.
 enum EventKind {
@@ -41,6 +61,11 @@ enum EventKind {
     /// Run an arbitrary callback (used by event-driven resources such as
     /// [`crate::resource::SharedBandwidth`]).
     Call(Box<dyn FnOnce()>),
+    /// Run a reusable callback. Arming clones an `Rc` instead of boxing a
+    /// fresh closure, so a resource that re-arms its provisional "next
+    /// completion" timer on every flow-set change (the hottest timer
+    /// pattern in the workspace) allocates nothing after the first arm.
+    CallRc(Rc<dyn Fn()>),
 }
 
 /// A calendar entry. The payload lives in the slot slab so that heap
@@ -70,6 +95,116 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// 4-ary implicit min-heap over calendar entries, keyed by `(at, seq)`.
+///
+/// Versus `BinaryHeap` this halves the tree depth and lays all four
+/// children of a node out contiguously, so a push or pop at a calendar
+/// population of hundreds of thousands of entries touches roughly half
+/// as many cache lines. The pop *order* is exactly the `(at, seq)` total
+/// order — `seq` is unique — so heap arity is invisible to trajectories;
+/// only host time changes.
+#[derive(Default)]
+struct EventHeap {
+    v: Vec<Event>,
+}
+
+impl EventHeap {
+    const D: usize = 4;
+
+    fn new() -> Self {
+        EventHeap { v: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    fn peek(&self) -> Option<&Event> {
+        self.v.first()
+    }
+
+    fn clear(&mut self) {
+        self.v.clear();
+    }
+
+    fn push(&mut self, e: Event) {
+        self.v.push(e);
+        self.sift_up(self.v.len() - 1);
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        let n = self.v.len();
+        if n == 0 {
+            return None;
+        }
+        self.v.swap(0, n - 1);
+        let top = self.v.pop();
+        if !self.v.is_empty() {
+            self.sift_down(0);
+        }
+        top
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let e = self.v[i];
+        let key = (e.at, e.seq);
+        while i > 0 {
+            let parent = (i - 1) / Self::D;
+            let p = self.v[parent];
+            if (p.at, p.seq) <= key {
+                break;
+            }
+            self.v[i] = p;
+            i = parent;
+        }
+        self.v[i] = e;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let e = self.v[i];
+        let key = (e.at, e.seq);
+        let n = self.v.len();
+        loop {
+            let first = i * Self::D + 1;
+            if first >= n {
+                break;
+            }
+            let last = (first + Self::D).min(n);
+            let mut min_j = first;
+            let mut min_key = (self.v[first].at, self.v[first].seq);
+            for j in first + 1..last {
+                let k = (self.v[j].at, self.v[j].seq);
+                if k < min_key {
+                    min_j = j;
+                    min_key = k;
+                }
+            }
+            if key <= min_key {
+                break;
+            }
+            self.v[i] = self.v[min_j];
+            i = min_j;
+        }
+        self.v[i] = e;
+    }
+
+    /// Bottom-up heapify (used by tombstone compaction).
+    fn from_vec(v: Vec<Event>) -> Self {
+        let mut h = EventHeap { v };
+        if h.v.len() > 1 {
+            let last_parent = (h.v.len() - 2) / Self::D;
+            for i in (0..=last_parent).rev() {
+                h.sift_down(i);
+            }
+        }
+        h
+    }
+
+    fn into_vec(self) -> Vec<Event> {
+        self.v
     }
 }
 
@@ -111,6 +246,22 @@ struct Task {
     waker: Waker,
 }
 
+/// Slab slot holding one spawned process. Vacated (and its generation
+/// bumped) when the process completes, so wakes carrying the old id are
+/// skipped instead of hitting the slot's next tenant.
+struct TaskSlot {
+    gen: u32,
+    state: TaskState,
+}
+
+enum TaskState {
+    Vacant { next_free: u32 },
+    /// Parked between polls (or queued in `ready`).
+    Parked(Task),
+    /// Taken out by the dispatch loop for the duration of one poll.
+    Polling,
+}
+
 /// Slab slot holding the payload of one scheduled calendar entry.
 struct Slot {
     /// Bumped every time the slot is disarmed (fired or cancelled), so a
@@ -150,18 +301,21 @@ pub struct CalendarStats {
 pub(crate) struct Core {
     now: SimTime,
     seq: u64,
-    events: BinaryHeap<Reverse<Event>>,
+    events: EventHeap,
     slots: Vec<Slot>,
     free_head: u32,
     tombstones: usize,
     compactions: u64,
-    tasks: FxHashMap<TaskId, Task>,
+    tasks: Vec<TaskSlot>,
+    task_free: u32,
+    /// Spawned-but-not-completed processes (what `tasks.len()` was when
+    /// tasks lived in a map keyed by a never-reused id).
+    live_tasks: usize,
     ready: VecDeque<TaskId>,
     /// Task currently being polled; only meaningful during dispatch.
     current: TaskId,
     wakes: Arc<WakeQueue>,
     wake_scratch: Vec<TaskId>,
-    next_task: TaskId,
     seed: u64,
     events_processed: u64,
     tasks_spawned: u64,
@@ -188,7 +342,7 @@ impl Core {
         let gen = self.slots[slot as usize].gen;
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Event { at, seq, slot, gen }));
+        self.events.push(Event { at, seq, slot, gen });
         (slot, gen)
     }
 
@@ -240,7 +394,7 @@ impl Core {
     /// Discard cancelled entries sitting at the top of the heap so `peek`
     /// always sees the next event that will actually fire.
     fn skim_stale(&mut self) {
-        while let Some(Reverse(e)) = self.events.peek() {
+        while let Some(e) = self.events.peek() {
             if !self.is_stale(e) {
                 break;
             }
@@ -255,12 +409,74 @@ impl Core {
     fn maybe_compact(&mut self) {
         let live = self.events.len() - self.tombstones;
         if self.tombstones >= COMPACT_FLOOR && self.tombstones > live {
-            let mut entries = std::mem::take(&mut self.events).into_vec();
-            entries.retain(|Reverse(e)| !self.is_stale(e));
-            self.events = BinaryHeap::from(entries);
+            let mut entries = std::mem::replace(&mut self.events, EventHeap::new()).into_vec();
+            entries.retain(|e| !self.is_stale(e));
+            self.events = EventHeap::from_vec(entries);
             self.tombstones = 0;
             self.compactions += 1;
         }
+    }
+
+    /// Allocate a task slot, returning the packed id. The generation is
+    /// whatever the slot carries (0 for fresh slots, bumped per reuse).
+    fn insert_task(&mut self, task: Task) -> TaskId {
+        let slot = if self.task_free != NO_FREE {
+            let s = self.task_free;
+            let TaskState::Vacant { next_free } = self.tasks[s as usize].state else {
+                unreachable!("task free list points at an occupied slot");
+            };
+            self.task_free = next_free;
+            self.tasks[s as usize].state = TaskState::Parked(task);
+            s
+        } else {
+            let s = u32::try_from(self.tasks.len()).expect("task slab overflow");
+            self.tasks.push(TaskSlot {
+                gen: 0,
+                state: TaskState::Parked(task),
+            });
+            s
+        };
+        self.live_tasks += 1;
+        self.tasks_spawned += 1;
+        task_id(slot, self.tasks[slot as usize].gen)
+    }
+
+    /// Take the task out for polling. `None` for stale ids (the task
+    /// completed — possibly long ago, with the slot since reused) and
+    /// for duplicate wakes of an id already consumed this dispatch.
+    fn take_task(&mut self, id: TaskId) -> Option<Task> {
+        let s = self.tasks.get_mut(task_slot(id) as usize)?;
+        if s.gen != task_gen(id) {
+            return None;
+        }
+        match std::mem::replace(&mut s.state, TaskState::Polling) {
+            TaskState::Parked(t) => Some(t),
+            other => {
+                s.state = other;
+                None
+            }
+        }
+    }
+
+    /// Re-park a task that returned `Pending`.
+    fn park_task(&mut self, id: TaskId, task: Task) {
+        let s = &mut self.tasks[task_slot(id) as usize];
+        debug_assert!(matches!(s.state, TaskState::Polling));
+        s.state = TaskState::Parked(task);
+    }
+
+    /// Retire a completed task: vacate the slot and bump its generation
+    /// so in-flight wakes for this id die at the generation check.
+    fn finish_task(&mut self, id: TaskId) {
+        let slot = task_slot(id);
+        let s = &mut self.tasks[slot as usize];
+        debug_assert!(matches!(s.state, TaskState::Polling));
+        s.state = TaskState::Vacant {
+            next_free: self.task_free,
+        };
+        s.gen = s.gen.wrapping_add(1);
+        self.task_free = slot;
+        self.live_tasks -= 1;
     }
 
     fn calendar_stats(&self) -> CalendarStats {
@@ -323,17 +539,18 @@ impl Sim {
             core: Rc::new(RefCell::new(Core {
                 now: SimTime::ZERO,
                 seq: 0,
-                events: BinaryHeap::new(),
+                events: EventHeap::new(),
                 slots: Vec::new(),
                 free_head: NO_FREE,
                 tombstones: 0,
                 compactions: 0,
-                tasks: FxHashMap::default(),
+                tasks: Vec::new(),
+                task_free: NO_FREE,
+                live_tasks: 0,
                 ready: VecDeque::new(),
                 current: 0,
                 wake_scratch: Vec::new(),
                 wakes: Arc::new(WakeQueue::default()),
-                next_task: 0,
                 seed,
                 events_processed: 0,
                 tasks_spawned: 0,
@@ -406,8 +623,9 @@ impl Sim {
                         break;
                     };
                     // A task may be woken multiple times or woken after
-                    // completion; in both cases it is absent from the map.
-                    match core.tasks.remove(&id) {
+                    // completion; in both cases the slab take misses
+                    // (duplicate wake this dispatch, or stale generation).
+                    match core.take_task(id) {
                         Some(t) => {
                             core.current = id;
                             (id, t)
@@ -419,9 +637,13 @@ impl Sim {
                 // future; polling allocates nothing.
                 let mut cx = Context::from_waker(&task.waker);
                 match task.fut.as_mut().poll(&mut cx) {
-                    Poll::Ready(()) => {}
+                    Poll::Ready(()) => {
+                        // `task` (future + waker) drops at scope end,
+                        // outside the core borrow.
+                        self.core.borrow_mut().finish_task(id);
+                    }
                     Poll::Pending => {
-                        self.core.borrow_mut().tasks.insert(id, task);
+                        self.core.borrow_mut().park_task(id, task);
                     }
                 }
             }
@@ -434,12 +656,12 @@ impl Sim {
                 core.skim_stale();
                 match core.events.peek() {
                     None => None,
-                    Some(Reverse(e)) => {
+                    Some(e) => {
                         if deadline.is_some_and(|d| e.at > d) {
                             core.now = deadline.unwrap();
                             None
                         } else {
-                            let Reverse(e) = core.events.pop().unwrap();
+                            let e = core.events.pop().unwrap();
                             core.now = e.at;
                             core.events_processed += 1;
                             Some(core.take_fired(e.slot))
@@ -453,6 +675,7 @@ impl Sim {
                     // Callbacks run with the core unborrowed so they may
                     // schedule further events or wake tasks.
                     EventKind::Call(f) => f(),
+                    EventKind::CallRc(f) => f(),
                 },
                 None => {
                     // Calendar dry (or deadline passed); if a straggler wake
@@ -469,7 +692,7 @@ impl Sim {
             end_time: core.now,
             events_processed: core.events_processed,
             tasks_spawned: core.tasks_spawned,
-            deadlocked_tasks: core.tasks.len(),
+            deadlocked_tasks: core.live_tasks,
         }
     }
 }
@@ -481,8 +704,10 @@ impl Default for Sim {
 }
 
 /// Recycled executor allocations: the event calendar, slot slab, task
-/// map, ready queue and wake buffers of a finished [`Sim`], emptied but
-/// with their capacities kept.
+/// slab, ready queue and wake buffers of a finished [`Sim`], emptied but
+/// with their capacities kept. Clearing the task slab drops every slot
+/// outright, so slot generations restart at zero exactly as in a cold
+/// [`Sim::new`].
 ///
 /// A sweep that executes thousands of short runs back to back pays a
 /// measurable allocation tax rebuilding these containers from scratch
@@ -497,9 +722,9 @@ impl Default for Sim {
 /// `Send`: keep each arena on the worker thread that uses it.
 #[derive(Default)]
 pub struct SimArena {
-    events: BinaryHeap<Reverse<Event>>,
+    events: EventHeap,
     slots: Vec<Slot>,
-    tasks: FxHashMap<TaskId, Task>,
+    tasks: Vec<TaskSlot>,
     ready: VecDeque<TaskId>,
     wake_scratch: Vec<TaskId>,
     woken: Vec<TaskId>,
@@ -537,6 +762,8 @@ impl Sim {
                 tombstones: 0,
                 compactions: 0,
                 tasks,
+                task_free: NO_FREE,
+                live_tasks: 0,
                 ready,
                 current: 0,
                 wake_scratch,
@@ -544,7 +771,6 @@ impl Sim {
                     woken: Mutex::new(woken),
                     nonempty: std::sync::atomic::AtomicBool::new(false),
                 }),
-                next_task: 0,
                 seed,
                 events_processed: 0,
                 tasks_spawned: 0,
@@ -651,20 +877,22 @@ impl Ctx {
         };
         let core = self.core();
         let mut core = core.borrow_mut();
-        let id = core.next_task;
-        core.next_task += 1;
-        core.tasks_spawned += 1;
+        // The waker needs the packed id, which needs the slot: insert
+        // with a placeholder waker, then swap in the real one. A task is
+        // only ever polled through the dispatch loop, so the placeholder
+        // is never observed.
+        let id = core.insert_task(Task {
+            fut: Box::pin(wrapped),
+            waker: Waker::noop().clone(),
+        });
         let waker = Waker::from(Arc::new(TaskWaker {
             id,
             queue: core.wakes.clone(),
         }));
-        core.tasks.insert(
-            id,
-            Task {
-                fut: Box::pin(wrapped),
-                waker,
-            },
-        );
+        match &mut core.tasks[task_slot(id) as usize].state {
+            TaskState::Parked(t) => t.waker = waker,
+            _ => unreachable!("freshly inserted task is parked"),
+        }
         core.ready.push_back(id);
         JoinHandle { inner }
     }
@@ -705,6 +933,22 @@ impl Ctx {
         let mut core = core.borrow_mut();
         let at = core.now + d;
         let (slot, gen) = core.push_event(at, EventKind::Call(Box::new(f)));
+        TimerHandle {
+            core: self.core.clone(),
+            slot,
+            gen,
+        }
+    }
+
+    /// [`Ctx::call_after`] taking a shared, reusable callback: arming
+    /// costs one `Rc` clone rather than a fresh closure box. Meant for
+    /// resources that re-arm the same logical timer over and over; the
+    /// callback reads its parameters out of the resource's own state.
+    pub fn call_after_rc(&self, d: SimDuration, f: Rc<dyn Fn()>) -> TimerHandle {
+        let core = self.core();
+        let mut core = core.borrow_mut();
+        let at = core.now + d;
+        let (slot, gen) = core.push_event(at, EventKind::CallRc(f));
         TimerHandle {
             core: self.core.clone(),
             slot,

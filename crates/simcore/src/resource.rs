@@ -15,8 +15,6 @@
 //! crediting every in-flight flow on every event; see DESIGN.md.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 use std::future::Future;
@@ -24,7 +22,6 @@ use std::pin::Pin;
 use std::task::{Context, Poll};
 
 use crate::executor::{Ctx, TaskId, TimerHandle};
-use crate::intern::{FxHashMap, FxHashSet};
 use crate::sync::Semaphore;
 use crate::time::{SimDuration, SimTime};
 
@@ -113,13 +110,19 @@ pub struct BwStats {
 
 /// A transfer waiting for its virtual finish tag to be reached.
 ///
-/// Min-ordered by `(fin, id)`; the id both breaks ties deterministically
-/// (arrival order) and makes the ordering total despite the float tag.
+/// Min-ordered by `(fin, seq)`; the monotonically assigned sequence
+/// number both breaks ties deterministically (arrival order, exactly as
+/// the old per-flow id did) and makes the ordering total despite the
+/// float tag. `slot` indexes the flow slab, which holds the waiter
+/// state; slots are reused, which is why they cannot double as the
+/// heap tie-break.
+#[derive(Clone, Copy)]
 struct Pending {
     /// Virtual finish tag: the class service level `s` at which every
     /// byte of this flow has been delivered.
     fin: f64,
-    id: u64,
+    seq: u64,
+    slot: u32,
     /// Bytes added to [`BwStats::bytes_moved`] when this flow completes
     /// (zero for transfers started through the uncounted entry points).
     counted_bytes: u64,
@@ -127,7 +130,7 @@ struct Pending {
 
 impl PartialEq for Pending {
     fn eq(&self, other: &Self) -> bool {
-        self.fin.total_cmp(&other.fin).is_eq() && self.id == other.id
+        self.fin.total_cmp(&other.fin).is_eq() && self.seq == other.seq
     }
 }
 impl Eq for Pending {}
@@ -138,8 +141,118 @@ impl PartialOrd for Pending {
 }
 impl Ord for Pending {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.fin.total_cmp(&other.fin).then(self.id.cmp(&other.id))
+        self.fin.total_cmp(&other.fin).then(self.seq.cmp(&other.seq))
     }
+}
+
+/// 4-ary implicit min-heap of pending flows, keyed by `(fin, seq)`.
+///
+/// Same rationale as the executor's calendar heap: a heavily shared link
+/// (a spine tier under 100k+ concurrent pairs) holds thousands of
+/// in-flight flows, and the 4-ary layout halves the levels — and so the
+/// cache lines — touched per join and completion. Pop order is the total
+/// `(fin, seq)` order (`seq` is unique), identical to any correct
+/// priority queue, so heap arity cannot perturb completion order.
+#[derive(Default)]
+struct PendingHeap {
+    v: Vec<Pending>,
+}
+
+impl PendingHeap {
+    const D: usize = 4;
+
+    fn new() -> Self {
+        PendingHeap::default()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    fn peek(&self) -> Option<&Pending> {
+        self.v.first()
+    }
+
+    fn push(&mut self, p: Pending) {
+        self.v.push(p);
+        let mut i = self.v.len() - 1;
+        let e = self.v[i];
+        while i > 0 {
+            let parent = (i - 1) / Self::D;
+            let pa = self.v[parent];
+            if pa.cmp(&e).is_le() {
+                break;
+            }
+            self.v[i] = pa;
+            i = parent;
+        }
+        self.v[i] = e;
+    }
+
+    fn pop(&mut self) -> Option<Pending> {
+        let n = self.v.len();
+        if n == 0 {
+            return None;
+        }
+        self.v.swap(0, n - 1);
+        let top = self.v.pop();
+        let n = self.v.len();
+        if n > 0 {
+            let mut i = 0;
+            let e = self.v[0];
+            loop {
+                let first = i * Self::D + 1;
+                if first >= n {
+                    break;
+                }
+                let last = (first + Self::D).min(n);
+                let mut min_j = first;
+                for j in first + 1..last {
+                    if self.v[j].cmp(&self.v[min_j]).is_lt() {
+                        min_j = j;
+                    }
+                }
+                if e.cmp(&self.v[min_j]).is_le() {
+                    break;
+                }
+                self.v[i] = self.v[min_j];
+                i = min_j;
+            }
+            self.v[i] = e;
+        }
+        top
+    }
+}
+
+/// Sentinel for "flow free list empty".
+const NO_FREE: u32 = u32::MAX;
+
+/// Waiter bookkeeping for one in-flight transfer, held in a dense slab
+/// indexed by the `u32` slot in [`Pending`] and [`TfState::Waiting`].
+/// Replaces the old `parked: FxHashMap<u64, TaskId>` +
+/// `finished: FxHashSet<u64>` pair: one direct index instead of two hash
+/// probes on every poll/complete, and fixed 16-byte slots instead of map
+/// buckets on the hottest allocation path in the simulator.
+struct FlowSlot {
+    /// Bumped when the slot is vacated; [`TfState::Waiting`] carries the
+    /// generation it was issued so protocol bugs surface as panics
+    /// instead of cross-flow wakes.
+    gen: u32,
+    state: FlowState,
+}
+
+enum FlowState {
+    Vacant { next_free: u32 },
+    /// Transfer modeled, future not yet parked (or re-polled).
+    InFlight,
+    /// Future polled and parked: wake this task on completion.
+    Parked(TaskId),
+    /// Completed before the future was (re)polled; the next poll (or the
+    /// future's drop) vacates the slot.
+    Finished,
+    /// Future dropped while the modeled flow was still in flight; the
+    /// flow still completes (and is counted), then the slot is vacated.
+    Abandoned,
 }
 
 /// All flows sharing one resolved per-flow rate ceiling.
@@ -158,7 +271,7 @@ struct Class {
     cap: Option<f64>,
     /// Cumulative per-flow service in bytes — the class virtual clock.
     s: f64,
-    queue: BinaryHeap<Reverse<Pending>>,
+    queue: PendingHeap,
 }
 
 struct BwInner {
@@ -167,18 +280,23 @@ struct BwInner {
     /// Cap classes in creation order (deterministic iteration).
     classes: Vec<Class>,
     n_total: usize,
-    next_id: u64,
+    /// Monotonic arrival counter, used only for the heap tie-break.
+    next_seq: u64,
     last_update: SimTime,
     /// Provisional next-completion event; retired (cancelled) whenever
     /// the flow set changes instead of firing as a stale no-op.
     timer: Option<TimerHandle>,
-    /// Flows whose [`TransferFut`] has been polled and parked: flow id →
-    /// task to wake on completion. Reusable-capacity maps here replace a
-    /// per-transfer channel allocation on the hottest path in the
-    /// simulator.
-    parked: FxHashMap<u64, TaskId>,
-    /// Flows that completed before their future was (re)polled.
-    finished: FxHashSet<u64>,
+    /// `(class index, finish tag)` the armed timer will complete. Stored
+    /// here so the (single, reusable) timer callback can read them back
+    /// instead of capturing them in a fresh closure per arm.
+    armed: (usize, f64),
+    /// The reusable timer callback, built on first arm. Re-arming clones
+    /// this `Rc` — no allocation — which matters because the timer is
+    /// retired and re-armed on *every* flow join and completion.
+    timer_cb: Option<Rc<dyn Fn()>>,
+    /// Dense per-flow waiter slab; see [`FlowSlot`].
+    flows: Vec<FlowSlot>,
+    flow_free: u32,
     stats: BwStats,
 }
 
@@ -209,6 +327,38 @@ impl BwInner {
         self.stats.busy += SimDuration::from_secs_f64(dt);
     }
 
+    /// Allocate a flow slot, returning `(slot, gen)`.
+    fn alloc_flow(&mut self) -> (u32, u32) {
+        let slot = if self.flow_free != NO_FREE {
+            let s = self.flow_free;
+            let FlowState::Vacant { next_free } = self.flows[s as usize].state else {
+                unreachable!("flow free list points at a live slot");
+            };
+            self.flow_free = next_free;
+            self.flows[s as usize].state = FlowState::InFlight;
+            s
+        } else {
+            let s = u32::try_from(self.flows.len()).expect("flow slab overflow");
+            self.flows.push(FlowSlot {
+                gen: 0,
+                state: FlowState::InFlight,
+            });
+            s
+        };
+        (slot, self.flows[slot as usize].gen)
+    }
+
+    /// Vacate a flow slot and bump its generation.
+    fn free_flow(&mut self, slot: u32) {
+        let s = &mut self.flows[slot as usize];
+        debug_assert!(!matches!(s.state, FlowState::Vacant { .. }));
+        s.state = FlowState::Vacant {
+            next_free: self.flow_free,
+        };
+        s.gen = s.gen.wrapping_add(1);
+        self.flow_free = slot;
+    }
+
     /// Index of the class for `cap`, creating it on first use.
     fn class_index(&mut self, cap: Option<f64>) -> usize {
         let key = cap.map(f64::to_bits);
@@ -222,7 +372,7 @@ impl BwInner {
         self.classes.push(Class {
             cap,
             s: 0.0,
-            queue: BinaryHeap::new(),
+            queue: PendingHeap::new(),
         });
         self.classes.len() - 1
     }
@@ -258,11 +408,13 @@ impl SharedBandwidth {
                 flow_cap: None,
                 classes: Vec::new(),
                 n_total: 0,
-                next_id: 0,
+                next_seq: 0,
                 last_update: SimTime::ZERO,
                 timer: None,
-                parked: FxHashMap::default(),
-                finished: FxHashSet::default(),
+                armed: (0, 0.0),
+                timer_cb: None,
+                flows: Vec::new(),
+                flow_free: NO_FREE,
                 stats: BwStats::default(),
             })),
         }
@@ -324,21 +476,23 @@ impl SharedBandwidth {
                 state: TfState::Done,
             };
         }
-        let id;
+        let (slot, gen);
         {
             let mut inner = self.inner.borrow_mut();
             let now = self.ctx.now();
             inner.advance(now);
-            id = inner.next_id;
-            inner.next_id += 1;
+            (slot, gen) = inner.alloc_flow();
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
             let resolved = cap.or(inner.flow_cap);
             let ci = inner.class_index(resolved);
             let fin = inner.classes[ci].s + bytes as f64;
-            inner.classes[ci].queue.push(Reverse(Pending {
+            inner.classes[ci].queue.push(Pending {
                 fin,
-                id,
+                seq,
+                slot,
                 counted_bytes,
-            }));
+            });
             inner.n_total += 1;
             inner.stats.peak_concurrency = inner.stats.peak_concurrency.max(inner.n_total);
         }
@@ -346,7 +500,8 @@ impl SharedBandwidth {
         TransferFut {
             state: TfState::Waiting {
                 bw: self.clone(),
-                id,
+                slot,
+                gen,
             },
         }
     }
@@ -366,21 +521,35 @@ impl SharedBandwidth {
             let inner = &mut *inner;
             let mut served = 0u64;
             let mut bytes_moved = 0u64;
-            for class in inner.classes.iter_mut() {
-                while let Some(Reverse(p)) = class.queue.peek() {
+            for ci in 0..inner.classes.len() {
+                loop {
+                    let class = &mut inner.classes[ci];
+                    let Some(p) = class.queue.peek() else {
+                        break;
+                    };
                     if p.fin > class.s {
                         break;
                     }
-                    let Reverse(p) = class.queue.pop().unwrap();
+                    let p = class.queue.pop().unwrap();
                     bytes_moved += p.counted_bytes;
                     // Mark done first — the woken future's re-poll looks
-                    // for the id there. Waking goes through the executor's
-                    // ordinary wake queue (same ordering as a waker would
-                    // produce) and touches neither `inner` nor any
-                    // allocation.
-                    inner.finished.insert(p.id);
-                    if let Some(task) = inner.parked.remove(&p.id) {
-                        self.ctx.wake_task(task);
+                    // at the slot state. Waking goes through the
+                    // executor's ordinary wake queue (same ordering as a
+                    // waker would produce) and touches neither `inner`
+                    // nor any allocation.
+                    let prev = std::mem::replace(
+                        &mut inner.flows[p.slot as usize].state,
+                        FlowState::Finished,
+                    );
+                    match prev {
+                        FlowState::InFlight => {}
+                        FlowState::Parked(task) => self.ctx.wake_task(task),
+                        // Future already dropped: nobody will poll again,
+                        // vacate the slot here.
+                        FlowState::Abandoned => inner.free_flow(p.slot),
+                        FlowState::Vacant { .. } | FlowState::Finished => {
+                            unreachable!("completed flow in impossible state")
+                        }
                     }
                     served += 1;
                 }
@@ -396,7 +565,7 @@ impl SharedBandwidth {
                 // change, so the head tag's arrival time is exact.
                 let mut best: Option<(f64, usize, f64)> = None;
                 for (ci, class) in inner.classes.iter().enumerate() {
-                    let Some(Reverse(p)) = class.queue.peek() else {
+                    let Some(p) = class.queue.peek() else {
                         continue;
                     };
                     let secs = (p.fin - class.s) / inner.class_rate(class.cap);
@@ -408,10 +577,34 @@ impl SharedBandwidth {
             };
         }
         if let Some((delay, ci, fin)) = next {
-            let this = self.clone();
-            let handle = self
-                .ctx
-                .call_after(delay, move || this.on_completion(ci, fin));
+            let cb = {
+                let mut inner = self.inner.borrow_mut();
+                inner.armed = (ci, fin);
+                match &inner.timer_cb {
+                    Some(cb) => cb.clone(),
+                    None => {
+                        // Built once per link. Captures a `Weak` so the
+                        // callback does not keep the link alive through
+                        // the calendar (mirroring how the boxed-closure
+                        // path dropped its captures on cancellation).
+                        let ctx = self.ctx.clone();
+                        let weak = Rc::downgrade(&self.inner);
+                        let cb: Rc<dyn Fn()> = Rc::new(move || {
+                            if let Some(inner) = weak.upgrade() {
+                                let (ci, fin) = inner.borrow().armed;
+                                let bw = SharedBandwidth {
+                                    ctx: ctx.clone(),
+                                    inner,
+                                };
+                                bw.on_completion(ci, fin);
+                            }
+                        });
+                        inner.timer_cb = Some(cb.clone());
+                        cb
+                    }
+                }
+            };
+            let handle = self.ctx.call_after_rc(delay, cb);
             self.inner.borrow_mut().timer = Some(handle);
         }
     }
@@ -451,13 +644,17 @@ impl SharedBandwidth {
 
 enum TfState {
     Done,
-    Waiting { bw: SharedBandwidth, id: u64 },
+    Waiting {
+        bw: SharedBandwidth,
+        slot: u32,
+        gen: u32,
+    },
 }
 
 /// Future for one in-flight transfer, returned by the
 /// [`SharedBandwidth`] transfer methods.
 ///
-/// Completion is delivered through the link's own bookkeeping (flow id →
+/// Completion is delivered through the link's own flow slab (slot →
 /// waiting task), not a per-transfer channel, so starting and finishing
 /// a transfer allocates nothing beyond the heap entry. Dropping the
 /// future abandons the wait; the modeled flow still runs to completion
@@ -469,18 +666,23 @@ pub struct TransferFut {
 impl Future for TransferFut {
     type Output = ();
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        let TfState::Waiting { bw, id } = &self.state else {
+        let TfState::Waiting { bw, slot, gen } = &self.state else {
             return Poll::Ready(());
         };
-        let id = *id;
+        let (slot, gen) = (*slot, *gen);
         let task = bw.ctx.current_task();
         let mut inner = bw.inner.borrow_mut();
-        if inner.finished.remove(&id) {
+        let fs = &mut inner.flows[slot as usize];
+        // The slot is vacated only by this future's own poll/drop, so a
+        // generation mismatch is a protocol bug, not a race.
+        assert_eq!(fs.gen, gen, "transfer future polled a reused flow slot");
+        if matches!(fs.state, FlowState::Finished) {
+            inner.free_flow(slot);
             drop(inner);
             self.state = TfState::Done;
             Poll::Ready(())
         } else {
-            inner.parked.insert(id, task);
+            fs.state = FlowState::Parked(task);
             drop(inner);
             // Woken directly by task id on completion; no waker wraps
             // exist in this workspace (see `EventKind::WakeTask`).
@@ -492,10 +694,22 @@ impl Future for TransferFut {
 
 impl Drop for TransferFut {
     fn drop(&mut self) {
-        if let TfState::Waiting { bw, id } = &self.state {
+        if let TfState::Waiting { bw, slot, gen } = &self.state {
             let mut inner = bw.inner.borrow_mut();
-            inner.parked.remove(id);
-            inner.finished.remove(id);
+            let fs = &mut inner.flows[*slot as usize];
+            assert_eq!(fs.gen, *gen, "transfer future dropped a reused flow slot");
+            match fs.state {
+                // Completed but never re-polled: vacate now.
+                FlowState::Finished => inner.free_flow(*slot),
+                // Still in flight: the modeled flow runs to completion
+                // and the completion path vacates the slot.
+                FlowState::InFlight | FlowState::Parked(_) => {
+                    fs.state = FlowState::Abandoned;
+                }
+                FlowState::Vacant { .. } | FlowState::Abandoned => {
+                    unreachable!("live transfer future over a dead slot")
+                }
+            }
         }
     }
 }
