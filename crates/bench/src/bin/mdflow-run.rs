@@ -140,12 +140,14 @@ fn main() {
             if !(oversubscription > 0.0 && oversubscription.is_finite()) {
                 die("--oversubscription must be positive and finite");
             }
-            study.calibration.fabric = study.calibration.fabric.with_topology(
-                mdflow::prelude::TopologySpec::LeafSpine {
-                    radix,
-                    oversubscription,
-                },
-            );
+            study.calibration.fabric =
+                study
+                    .calibration
+                    .fabric
+                    .with_topology(mdflow::prelude::TopologySpec::LeafSpine {
+                        radix,
+                        oversubscription,
+                    });
         }
         other => die(&format!("unknown topology {other}")),
     }

@@ -69,6 +69,52 @@ impl FabricSpec {
         }
     }
 
+    /// Number of event-calendar shards a simulation of `n_nodes` should
+    /// use under this topology: shard 0 for cross-leaf activity (spine
+    /// transfers, metadata RPCs, campaign timers) plus one shard per
+    /// leaf switch. Flat fabrics — and leaf/spines that degenerate to a
+    /// single leaf — need exactly one shard (the classic global
+    /// calendar). Shard placement is a locality hint only; see
+    /// [`simcore::SimConfig`].
+    pub fn shard_count(&self, n_nodes: usize) -> u32 {
+        match self.topology {
+            TopologySpec::Flat => 1,
+            TopologySpec::LeafSpine { radix, .. } => {
+                let n_leaves = n_nodes.div_ceil(radix as usize);
+                if n_leaves <= 1 {
+                    1
+                } else {
+                    n_leaves as u32 + 1
+                }
+            }
+        }
+    }
+
+    /// Calendar shard for `node`-local activity: `1 + leaf(node)` when
+    /// [`FabricSpec::shard_count`] actually shards, else shard 0.
+    pub fn shard_of(&self, node: NodeId, n_nodes: usize) -> u32 {
+        match self.topology {
+            TopologySpec::LeafSpine { radix, .. } if n_nodes.div_ceil(radix as usize) > 1 => {
+                1 + node.0 / radix
+            }
+            _ => 0,
+        }
+    }
+
+    /// Minimum simulated time for an event on one leaf to influence
+    /// another leaf — the conservative window lookahead. A cross-leaf
+    /// message pays the per-message overhead plus four wire hops
+    /// (node→leaf→spine→leaf→node) before anything remote can observe
+    /// it; a flat fabric pays overhead plus two hops. Lookahead only
+    /// sizes staging windows (batching); correctness never depends on
+    /// it.
+    pub fn shard_lookahead(&self) -> SimDuration {
+        match self.topology {
+            TopologySpec::Flat => self.msg_overhead + self.hop_latency * 2,
+            TopologySpec::LeafSpine { .. } => self.msg_overhead + self.hop_latency * 4,
+        }
+    }
+
     /// Same spec with a different switch topology.
     pub fn with_topology(mut self, topology: TopologySpec) -> Self {
         if let TopologySpec::LeafSpine {
@@ -136,10 +182,25 @@ impl Fabric {
     /// topology. `mem_bw` is the intra-node copy bandwidth used when
     /// source and destination are the same node.
     pub fn new(ctx: &Ctx, n_nodes: usize, spec: FabricSpec, mem_bw: f64) -> Self {
+        // Pin each resource's completion timer to its topology domain
+        // when the simulation actually shards its calendar: NICs to
+        // their node's leaf shard, leaf up/downlinks to that leaf's
+        // shard, the spine to cross-leaf shard 0. Placement never
+        // changes the schedule, so the unsharded path skips the wrap.
+        let sharded = ctx.num_shards() > 1;
         let nics = (0..n_nodes)
-            .map(|_| Nic {
-                tx: SharedBandwidth::new(ctx, spec.link_bw),
-                rx: SharedBandwidth::new(ctx, spec.link_bw),
+            .map(|i| {
+                let tx = SharedBandwidth::new(ctx, spec.link_bw);
+                let rx = SharedBandwidth::new(ctx, spec.link_bw);
+                if sharded {
+                    let sh = spec.shard_of(NodeId(i as u32), n_nodes);
+                    Nic {
+                        tx: tx.pin_to_shard(sh),
+                        rx: rx.pin_to_shard(sh),
+                    }
+                } else {
+                    Nic { tx, rx }
+                }
             })
             .collect();
         let tiers = match spec.topology {
@@ -166,15 +227,29 @@ impl Fabric {
                     let up_rate = radix as f64 * spec.link_bw / oversubscription;
                     let spine_rate = n_leaves as f64 * up_rate / 2.0;
                     let leaves = (0..n_leaves)
-                        .map(|_| LeafSwitch {
-                            up: SharedBandwidth::new(ctx, up_rate),
-                            down: SharedBandwidth::new(ctx, up_rate),
+                        .map(|leaf| {
+                            let up = SharedBandwidth::new(ctx, up_rate);
+                            let down = SharedBandwidth::new(ctx, up_rate);
+                            if sharded {
+                                let sh = 1 + leaf as u32;
+                                LeafSwitch {
+                                    up: up.pin_to_shard(sh),
+                                    down: down.pin_to_shard(sh),
+                                }
+                            } else {
+                                LeafSwitch { up, down }
+                            }
                         })
                         .collect();
+                    let spine = SharedBandwidth::new(ctx, spine_rate);
                     Some(Rc::new(LeafSpine {
                         radix,
                         leaves,
-                        spine: SharedBandwidth::new(ctx, spine_rate),
+                        spine: if sharded {
+                            spine.pin_to_shard(0)
+                        } else {
+                            spine
+                        },
                     }))
                 }
             }

@@ -70,6 +70,11 @@ pub struct RunTimings {
     pub setup_secs: f64,
     /// Seconds spent advancing the simulation and collecting results.
     pub sim_secs: f64,
+    /// Calendar-shard load summary (worker-invariant counters only).
+    /// Not serialized: host-facing diagnostics, kept out of anything
+    /// that is byte-compared across runs.
+    #[serde(skip)]
+    pub shard_load: Option<instrument::ShardLoad>,
 }
 
 /// Reusable per-worker run state: the recycled executor arena. Keep one
@@ -114,6 +119,10 @@ pub struct ClusterSnapshot {
     /// Per-pair staging registration keys `(frame_dir, consumer_id)`,
     /// non-empty only for DYAD.
     pub(crate) registrations: Vec<(String, String)>,
+    /// Executor worker threads every run built from this snapshot uses
+    /// (1 = classic single-threaded core). Like shard placement, worker
+    /// count never changes the schedule.
+    pub(crate) workers: usize,
 }
 
 impl ClusterSnapshot {
@@ -186,7 +195,29 @@ impl ClusterSnapshot {
             fault_plan,
             template,
             registrations,
+            workers: 1,
         }
+    }
+
+    /// Set the executor worker count for runs built from this snapshot.
+    /// Reports and traces are byte-identical for any value; values above
+    /// 1 only help when the host actually has spare cores.
+    pub fn with_workers(mut self, workers: usize) -> ClusterSnapshot {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Executor configuration for one run at `seed`: calendar shards and
+    /// conservative-window lookahead derived from the snapshot's fabric
+    /// topology (one shard per leaf plus cross-leaf shard 0; a flat
+    /// fabric degenerates to the classic single shard), plus the
+    /// snapshot's worker count.
+    pub fn sim_config(&self, seed: u64) -> simcore::SimConfig {
+        let fabric = &self.spec.fabric;
+        simcore::SimConfig::new(seed)
+            .with_shards(fabric.shard_count(self.n_total))
+            .with_workers(self.workers)
+            .with_lookahead(fabric.shard_lookahead())
     }
 
     /// The workflow this snapshot was prepared for.

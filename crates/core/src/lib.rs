@@ -57,7 +57,8 @@ pub mod prelude {
     };
     pub use crate::report::{speedup, Breakdown, StudyReport};
     pub use crate::runner::{
-        run_once, run_once_warm, run_study, FaultTotals, RunMetrics, StagingTotals,
+        run_once, run_once_traced, run_once_traced_snap, run_once_warm, run_study, FaultTotals,
+        RunMetrics, StagingTotals,
     };
     pub use crate::schedule::FrameSchedule;
     pub use cluster::{FabricSpec, TopologySpec};

@@ -158,13 +158,17 @@ pub struct RunMetrics {
     pub kvs: KvsTotals,
 }
 
-/// Spawn a process and record the simulated time at which it finished.
+/// Spawn a process on calendar shard `shard` and record the simulated
+/// time at which it finished. Shard placement is a locality hint only
+/// (see [`simcore::Ctx::spawn_on`]); the workload pins each producer and
+/// consumer to its node's leaf shard.
 fn spawn_timed(
     ctx: &simcore::Ctx,
+    shard: u32,
     fut: impl std::future::Future<Output = Profile> + 'static,
 ) -> simcore::JoinHandle<(Profile, SimTime)> {
     let ctx2 = ctx.clone();
-    ctx.spawn(async move {
+    ctx.spawn_on(shard, async move {
         let p = fut.await;
         (p, ctx2.now())
     })
@@ -174,10 +178,11 @@ fn spawn_timed(
 pub fn run_once(wf: &WorkflowConfig, cal: &Calibration, seed: u64) -> RunMetrics {
     let setup_started = Instant::now();
     let snap = ClusterSnapshot::prepare(wf, cal, seed ^ 0x7E3A);
+    let sim = Sim::with_config(snap.sim_config(seed));
     run_prepared(
         &snap,
         simcore::trace::Tracer::disabled(),
-        Sim::new(seed),
+        sim,
         setup_started,
     )
     .metrics
@@ -191,11 +196,25 @@ pub fn run_once_traced(
     cal: &Calibration,
     seed: u64,
 ) -> (RunMetrics, simcore::trace::Tracer) {
-    let tracer = simcore::trace::Tracer::enabled();
     let setup_started = Instant::now();
     let snap = ClusterSnapshot::prepare(wf, cal, seed ^ 0x7E3A);
-    let metrics = run_prepared(&snap, tracer.clone(), Sim::new(seed), setup_started).metrics;
+    let (metrics, _, tracer) = run_once_traced_snap(&snap, seed, setup_started);
     (metrics, tracer)
+}
+
+/// Traced run against a prepared snapshot, honoring the snapshot's
+/// worker count. This is what the worker-identity fixtures drive: the
+/// returned tracer's Chrome JSON must be byte-identical for any
+/// [`ClusterSnapshot::with_workers`] value.
+pub fn run_once_traced_snap(
+    snap: &ClusterSnapshot,
+    seed: u64,
+    setup_started: Instant,
+) -> (RunMetrics, RunTimings, simcore::trace::Tracer) {
+    let tracer = simcore::trace::Tracer::enabled();
+    let sim = Sim::with_config(snap.sim_config(seed));
+    let out = run_prepared(snap, tracer.clone(), sim, setup_started);
+    (out.metrics, out.timings, tracer)
 }
 
 /// Warm-start variant of [`run_once`]: execute one repetition against a
@@ -209,9 +228,10 @@ pub fn run_once_warm(
     arena: &mut RunArena,
 ) -> (RunMetrics, RunTimings) {
     let setup_started = Instant::now();
+    let cfg = snap.sim_config(seed);
     let sim = match arena.sim.take() {
-        Some(recycled) => Sim::with_arena(seed, recycled),
-        None => Sim::new(seed),
+        Some(recycled) => Sim::with_config_arena(cfg, recycled),
+        None => Sim::with_config(cfg),
     };
     let out = run_prepared(snap, simcore::trace::Tracer::disabled(), sim, setup_started);
     arena.sim = Some(out.arena);
@@ -255,6 +275,11 @@ fn run_prepared(
     let pfs_nodes = snap.pfs_nodes.clone();
     let cluster = Cluster::build(&ctx, &snap.spec);
     let tp = Transport::new(&ctx, cluster.fabric().clone(), cal.transport);
+    // Calendar shard for node-local activity: the node's leaf shard
+    // when the fabric topology shards the calendar, else shard 0.
+    // Placement is a locality hint; it never changes the schedule.
+    let fabric_spec = snap.spec.fabric;
+    let node_shard = move |n: u32| fabric_spec.shard_of(NodeId(n), n_total);
 
     // ---- fault board -----------------------------------------------------
     // Built only when the plan is non-empty: a disabled FaultConfig arms
@@ -284,7 +309,7 @@ fn run_prepared(
                     fs_probe = Some(Rc::new(move || b.nvme_error(i)) as Rc<dyn Fn() -> bool>);
                 }
             }
-            let mut fs = LocalFs::new(&ctx, nvme, cal.localfs);
+            let mut fs = ctx.with_shard(node_shard(i), || LocalFs::new(&ctx, nvme, cal.localfs));
             if let Some(p) = fs_probe {
                 fs.set_io_error_probe(p);
             }
@@ -338,18 +363,21 @@ fn run_prepared(
                 } else {
                     None
                 };
-                let mgr = StagingManager::new(
-                    &ctx,
-                    NodeId(i),
-                    local_fs[i as usize].clone(),
-                    kvs_client(i),
-                    pfs_client,
-                    spec,
-                );
-                // Only burn evictor wake-ups when a pass can ever act.
-                if mgr.is_bounded() || wf.staging.retention == RetentionPolicy::EagerRetire {
-                    mgr.spawn_evictor();
-                }
+                let mgr = ctx.with_shard(node_shard(i), || {
+                    let mgr = StagingManager::new(
+                        &ctx,
+                        NodeId(i),
+                        local_fs[i as usize].clone(),
+                        kvs_client(i),
+                        pfs_client,
+                        spec,
+                    );
+                    // Only burn evictor wake-ups when a pass can ever act.
+                    if mgr.is_bounded() || wf.staging.retention == RetentionPolicy::EagerRetire {
+                        mgr.spawn_evictor();
+                    }
+                    mgr
+                });
                 Some(mgr)
             })
             .collect()
@@ -361,15 +389,17 @@ fn run_prepared(
             .map(|i| {
                 let mut spec = cal.dyad.clone();
                 spec.warm_sync = wf.dyad_warm_sync;
-                DyadService::start_staged(
-                    &ctx,
-                    &tp,
-                    NodeId(i),
-                    local_fs[i as usize].clone(),
-                    kvs_client(i),
-                    spec,
-                    staging_mgrs[i as usize].clone(),
-                )
+                ctx.with_shard(node_shard(i), || {
+                    DyadService::start_staged(
+                        &ctx,
+                        &tp,
+                        NodeId(i),
+                        local_fs[i as usize].clone(),
+                        kvs_client(i),
+                        spec,
+                        staging_mgrs[i as usize].clone(),
+                    )
+                })
             })
             .collect()
     } else {
@@ -471,14 +501,23 @@ fn run_prepared(
                     let (frame_dir, consumer_id) = &snap.registrations[pair as usize];
                     mgr.register_consumer(frame_dir, consumer_id);
                 }
-                prod_handles.push(spawn_timed(&ctx, producer_dyad(pargs, psvc, rng_stream)));
-                cons_handles.push(spawn_timed(&ctx, consumer_dyad(cargs, csvc)));
+                prod_handles.push(spawn_timed(
+                    &ctx,
+                    node_shard(pn),
+                    producer_dyad(pargs, psvc, rng_stream),
+                ));
+                cons_handles.push(spawn_timed(
+                    &ctx,
+                    node_shard(cn),
+                    consumer_dyad(cargs, csvc),
+                ));
             }
             Solution::Xfs => {
                 let storage = Storage::Local(local_fs[pn as usize].clone());
                 let s = pair_sync();
                 prod_handles.push(spawn_timed(
                     &ctx,
+                    node_shard(pn),
                     producer_manual(
                         pargs,
                         storage.clone(),
@@ -490,6 +529,7 @@ fn run_prepared(
                 ));
                 cons_handles.push(spawn_timed(
                     &ctx,
+                    node_shard(cn),
                     consumer_manual(
                         cargs,
                         storage,
@@ -507,6 +547,7 @@ fn run_prepared(
                 let s = pair_sync();
                 prod_handles.push(spawn_timed(
                     &ctx,
+                    node_shard(pn),
                     producer_manual(
                         pargs,
                         pstore,
@@ -518,6 +559,7 @@ fn run_prepared(
                 ));
                 cons_handles.push(spawn_timed(
                     &ctx,
+                    node_shard(cn),
                     consumer_manual(
                         cargs,
                         cstore,
@@ -534,10 +576,12 @@ fn run_prepared(
                 let cstore = Storage::Pfs(fs.client(&ctx, NodeId(cn)));
                 prod_handles.push(spawn_timed(
                     &ctx,
+                    node_shard(pn),
                     producer_dyad_on_pfs(pargs, pstore, kvs_client(pn), NodeId(pn), rng_stream),
                 ));
                 cons_handles.push(spawn_timed(
                     &ctx,
+                    node_shard(cn),
                     consumer_dyad_on_pfs(cargs, cstore, kvs_client(cn), wf.dyad_warm_sync),
                 ));
             }
@@ -635,6 +679,9 @@ fn run_prepared(
     }
     drop(kvs_server);
     drop(kvs_mesh);
+    // Worker-invariant per-shard load summary, read out before the
+    // arena teardown clears the counters.
+    let shard_load = instrument::ShardLoad::from_stats(&sim.shard_stats());
     // Recover the executor allocations for the next warm run. Pending
     // background tasks and their timers drop here exactly as dropping
     // the Sim would drop them (the substrates hold weak Ctx handles, so
@@ -653,6 +700,7 @@ fn run_prepared(
         timings: RunTimings {
             setup_secs,
             sim_secs: sim_started.elapsed().as_secs_f64(),
+            shard_load: Some(shard_load),
         },
         arena,
     }

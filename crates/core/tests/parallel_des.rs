@@ -1,0 +1,169 @@
+//! Parallel-DES determinism fixtures (PR 9).
+//!
+//! The sharded calendar and the staging worker pool are required to be
+//! *behavior-invisible*: shard placement is a locality hint and window
+//! staging is pure batching, so for any `(shard count, worker count)`
+//! the executor must replay the exact serial schedule. These tests pin
+//! that guarantee at the workflow level:
+//!
+//! * `workers = 1` replays freshly captured pinned schedules for both a
+//!   `Flat` fabric (degenerate single shard) and a genuinely multi-leaf
+//!   `LeafSpine` fabric (one calendar shard per leaf plus the
+//!   cross-leaf/spine shard 0) — makespans and event counts exactly.
+//! * `workers ∈ {1, 2, 4}` produce byte-identical serialized reports
+//!   *and* byte-identical Chrome traces on the fig6-sized scenario.
+//!
+//! Re-pin the constants deliberately (and say so in the commit message)
+//! only after an intentional trajectory change.
+
+use mdflow::prelude::*;
+
+/// Fig6-sized scenario: 64 producer/consumer pairs, 12 frames, the
+/// PR 4 fixture seed.
+const PAIRS: u32 = 64;
+const FRAMES: u64 = 12;
+const SEED: u64 = 2024;
+
+/// Radix-4 leaf/spine at 2:1 oversubscription: small enough that the
+/// fig6 node count spans several leaves, so the calendar genuinely
+/// shards (shard 0 plus one shard per leaf).
+const MULTI_LEAF: TopologySpec = TopologySpec::LeafSpine {
+    radix: 4,
+    oversubscription: 2.0,
+};
+
+/// Pinned `(makespan_ns, events)` captures for the current model,
+/// workers = 1. The `Flat` rows must equal `determinism_pr4_pinned.json`
+/// (the sharded executor degenerates to the serial calendar); the
+/// `LeafSpine` rows were captured fresh on the multi-leaf fabric above.
+const PINS: &[(Solution, Topo, u64, u64)] = &[
+    (Solution::Dyad, Topo::Flat, 11_554_585_966, 41_835),
+    (Solution::Xfs, Topo::Flat, 20_615_097_294, 10_159),
+    (Solution::Dyad, Topo::MultiLeaf, 11_554_618_858, 59_043),
+    // XFS is pinned to one node (it cannot span leaves), so Lustre —
+    // whose split placement and PFS traffic cross the spine — covers the
+    // second multi-leaf workload instead.
+    (Solution::Lustre, Topo::MultiLeaf, 20_644_484_762, 106_448),
+];
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Topo {
+    Flat,
+    MultiLeaf,
+}
+
+fn workflow(solution: Solution) -> WorkflowConfig {
+    let placement = match solution {
+        Solution::Xfs => Placement::SingleNode,
+        _ => Placement::Split { pairs_per_node: 8 },
+    };
+    WorkflowConfig::new(solution, PAIRS, placement).with_frames(FRAMES)
+}
+
+fn calibration(topo: Topo) -> Calibration {
+    let mut cal = Calibration::corona();
+    if topo == Topo::MultiLeaf {
+        cal.fabric = cal.fabric.with_topology(MULTI_LEAF);
+    }
+    cal
+}
+
+/// Canonical serialized report for byte comparison: every field a worker
+/// could perturb, in a fixed order. Wall-clock timings are deliberately
+/// excluded (they are nondeterministic by nature and `#[serde(skip)]`ed
+/// out of persisted reports for the same reason).
+fn report_bytes(m: &RunMetrics) -> String {
+    let staging = serde_json::to_string(&m.staging).expect("staging json");
+    format!(
+        "{{\"makespan_ns\":{},\"events\":{},\"producers\":{},\"consumers\":{},\
+         \"staging\":{staging},\"kvs_commits\":{},\"kvs_lookups\":{},\"kvs_waits\":{}}}",
+        m.makespan.nanos(),
+        m.events,
+        m.producers.len(),
+        m.consumers.len(),
+        m.kvs.commits,
+        m.kvs.lookups,
+        m.kvs.waits,
+    )
+}
+
+/// `workers = 1` on the sharded executor replays the pinned serial
+/// schedules exactly — on the degenerate single-shard `Flat` fabric and
+/// on a genuinely multi-leaf `LeafSpine` fabric alike.
+#[test]
+fn sharded_workers1_replays_pinned_schedules() {
+    for &(solution, topo, makespan_ns, events) in PINS {
+        let wf = workflow(solution);
+        let cal = calibration(topo);
+        let snap = ClusterSnapshot::prepare(&wf, &cal, SEED ^ 0x7E3A);
+        let shards = snap.sim_config(SEED).shards;
+        match topo {
+            Topo::Flat => assert_eq!(shards, 1, "{solution:?}: Flat must not shard"),
+            Topo::MultiLeaf => assert!(
+                shards > 2,
+                "{solution:?}: radix-4 leaf/spine should span several leaves, got {shards} shards"
+            ),
+        }
+        let m = run_once(&wf, &cal, SEED);
+        assert_eq!(
+            (m.makespan.nanos(), m.events),
+            (makespan_ns, events),
+            "{solution:?} under {topo:?}: schedule drifted from pinned capture \
+             (got makespan {} events {})",
+            m.makespan.nanos(),
+            m.events,
+        );
+    }
+}
+
+/// Worker-pool identity on the fig6-sized scenario: for `workers ∈
+/// {1, 2, 4}` the serialized report *and* the full Chrome trace are
+/// byte-identical. The trace pins every event timestamp and track, so
+/// this is the strongest whole-workflow statement of the conservative
+/// window design: staging never reorders, it only batches.
+#[test]
+fn worker_pool_reports_and_traces_are_byte_identical() {
+    let wf = workflow(Solution::Dyad);
+    let cal = calibration(Topo::MultiLeaf);
+    let mut baseline: Option<(String, String)> = None;
+    for workers in [1usize, 2, 4] {
+        let snap = ClusterSnapshot::prepare(&wf, &cal, SEED ^ 0x7E3A).with_workers(workers);
+        assert!(
+            snap.sim_config(SEED).shards > 2,
+            "scenario must actually shard for the pool to engage"
+        );
+        let (metrics, timings, tracer) =
+            run_once_traced_snap(&snap, SEED, std::time::Instant::now());
+        let report = report_bytes(&metrics);
+        let trace = tracer.to_chrome_json();
+        let load = timings.shard_load.expect("sharded run reports shard load");
+        assert_eq!(load.fired_total, metrics.events);
+        assert!(load.fired_max >= load.fired_total / u64::from(load.shards));
+        match &baseline {
+            None => baseline = Some((report, trace)),
+            Some((r1, t1)) => {
+                assert_eq!(&report, r1, "workers={workers}: serialized report drifted");
+                assert_eq!(&trace, t1, "workers={workers}: Chrome trace drifted");
+            }
+        }
+    }
+}
+
+/// The warm-start arena path honors the snapshot's worker count and
+/// stays trajectory-identical to the cold path across recycles.
+#[test]
+fn warm_arena_with_workers_matches_cold_run() {
+    let wf = workflow(Solution::Dyad);
+    let cal = calibration(Topo::MultiLeaf);
+    let cold = run_once(&wf, &cal, SEED);
+    let snap = ClusterSnapshot::prepare(&wf, &cal, SEED ^ 0x7E3A).with_workers(2);
+    let mut arena = RunArena::default();
+    for round in 0..2 {
+        let (m, _) = run_once_warm(&snap, SEED, &mut arena);
+        assert_eq!(
+            (m.makespan, m.events),
+            (cold.makespan, cold.events),
+            "round {round}: warm 2-worker run drifted from the cold serial run"
+        );
+    }
+}

@@ -313,6 +313,45 @@ impl Drop for RegionGuard {
     }
 }
 
+/// Calendar-shard load summary distilled from [`simcore::ShardStats`].
+///
+/// Built from *worker-invariant* counters only (events fired per shard),
+/// so it is safe to surface in any report that must stay byte-identical
+/// across worker counts. The worker-variant staging counter is
+/// deliberately not carried here.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardLoad {
+    /// Number of calendar shards the run was configured with.
+    pub shards: u32,
+    /// Events fired across all shards.
+    pub fired_total: u64,
+    /// Events fired by the busiest shard.
+    pub fired_max: u64,
+    /// `fired_max / (fired_total / shards)`: 1.0 is perfectly balanced,
+    /// `shards` means one shard did everything. 0.0 when nothing fired.
+    pub imbalance: f64,
+}
+
+impl ShardLoad {
+    /// Summarize a run's per-shard counters.
+    pub fn from_stats(stats: &[simcore::ShardStats]) -> ShardLoad {
+        let shards = stats.len() as u32;
+        let fired_total: u64 = stats.iter().map(|s| s.fired).sum();
+        let fired_max = stats.iter().map(|s| s.fired).max().unwrap_or(0);
+        let imbalance = if fired_total == 0 || shards == 0 {
+            0.0
+        } else {
+            fired_max as f64 / (fired_total as f64 / shards as f64)
+        };
+        ShardLoad {
+            shards,
+            fired_total,
+            fired_max,
+            imbalance,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

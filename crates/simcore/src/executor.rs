@@ -10,6 +10,30 @@
 //! Events at equal timestamps are processed in insertion order (a strictly
 //! increasing sequence number breaks ties), which makes runs fully
 //! deterministic for a fixed seed and spawn order.
+//!
+//! # Sharded calendars and conservative windows
+//!
+//! The calendar can be split into *shards* ([`SimConfig::shards`]) —
+//! one per topology domain (leaf switch) plus a cross-domain shard 0 —
+//! each holding its own small heap. Execution order never changes: the
+//! executor always fires the globally smallest `(time, seq)` entry,
+//! found through an indexed min-heap over the per-shard heads. Because
+//! `seq` is globally unique, the cross-shard merge order
+//! `(time, shard_id, seq)` collapses to `(time, seq)` — the exact serial
+//! order — so a sharded run is bit-identical to a single-shard run for
+//! *any* shard assignment. Sharding is purely a locality optimization:
+//! hot heaps shrink from one multi-megabyte structure to cache-resident
+//! per-shard ones.
+//!
+//! On top of that, [`SimConfig::workers`] (default 1) enables a
+//! conservative-window worker pool: when the next event opens a new time
+//! window `[t, t + lookahead]`, worker threads drain each shard's heap
+//! of entries inside the window into a sorted *staged run* in parallel;
+//! the (single-threaded) dispatch loop then consumes staged runs with
+//! cheap cursor advances instead of heap pops. Window sealing is a pure
+//! batching decision — consumption still follows the global
+//! `(time, seq)` order across staged runs *and* heaps — so reports and
+//! traces are byte-identical for any worker count.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -20,7 +44,7 @@ use std::sync::Arc;
 
 use std::task::{Context, Poll, Wake, Waker};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -114,10 +138,6 @@ struct EventHeap {
 impl EventHeap {
     const D: usize = 4;
 
-    fn new() -> Self {
-        EventHeap { v: Vec::new() }
-    }
-
     fn len(&self) -> usize {
         self.v.len()
     }
@@ -208,6 +228,395 @@ impl EventHeap {
     }
 }
 
+/// Head key of an empty shard: sorts after every real `(at, seq)` key
+/// (no real entry carries `seq == u64::MAX`).
+const NO_EVENT: (SimTime, u64) = (SimTime::MAX, u64::MAX);
+
+/// One calendar shard: a heap of future entries plus an optional
+/// *staged run* — entries inside the current conservative window, moved
+/// out of the heap in sorted `(at, seq)` order (heap pops are sorted)
+/// and consumed through `cursor` with plain increments.
+///
+/// A shard's head is the smaller of the staged-run head and the heap
+/// head; consumption always takes the global minimum across all shard
+/// heads, so where an entry sits (heap vs staged run) never affects
+/// execution order — staging is batching, not scheduling.
+#[derive(Default)]
+struct ShardCal {
+    heap: EventHeap,
+    staged: Vec<Event>,
+    cursor: usize,
+    /// Events fired from this shard (worker-invariant).
+    fired: u64,
+    /// Entries that went through a staged window (worker-*variant*:
+    /// zero for `workers = 1`; must never enter serialized reports).
+    staged_total: u64,
+}
+
+impl ShardCal {
+    fn head_key(&self) -> (SimTime, u64) {
+        let s = self.staged.get(self.cursor).map(|e| (e.at, e.seq));
+        let h = self.heap.peek().map(|e| (e.at, e.seq));
+        match (s, h) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => NO_EVENT,
+        }
+    }
+
+    fn peek_head(&self) -> Option<Event> {
+        match (self.staged.get(self.cursor), self.heap.peek()) {
+            (Some(s), Some(h)) => Some(if (s.at, s.seq) <= (h.at, h.seq) {
+                *s
+            } else {
+                *h
+            }),
+            (Some(s), None) => Some(*s),
+            (None, Some(h)) => Some(*h),
+            (None, None) => None,
+        }
+    }
+
+    fn pop_head(&mut self) -> Option<Event> {
+        let take_staged = match (self.staged.get(self.cursor), self.heap.peek()) {
+            (Some(s), Some(h)) => (s.at, s.seq) <= (h.at, h.seq),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_staged {
+            let e = self.staged[self.cursor];
+            self.cursor += 1;
+            if self.cursor == self.staged.len() {
+                self.staged.clear();
+                self.cursor = 0;
+            }
+            Some(e)
+        } else {
+            self.heap.pop()
+        }
+    }
+
+    fn pending_len(&self) -> usize {
+        self.heap.len() + (self.staged.len() - self.cursor)
+    }
+
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.staged.clear();
+        self.cursor = 0;
+        self.fired = 0;
+        self.staged_total = 0;
+    }
+}
+
+/// Move every heap entry at or before `window_end` into the staged run.
+/// Pops come off the heap in `(at, seq)` order, so the run stays sorted.
+/// Runs on worker threads; touches nothing but this one shard.
+fn stage_shard(sc: &mut ShardCal, window_end: SimTime) {
+    debug_assert_eq!(sc.cursor, sc.staged.len(), "staging over an unconsumed run");
+    sc.staged.clear();
+    sc.cursor = 0;
+    while let Some(e) = sc.heap.peek() {
+        if e.at > window_end {
+            break;
+        }
+        let e = *e;
+        sc.heap.pop();
+        sc.staged.push(e);
+    }
+    sc.staged_total += sc.staged.len() as u64;
+}
+
+/// Indexed 4-ary min-heap over shard ids, keyed by each shard's head
+/// `(at, seq)`. A position map makes the per-event key update (the shard
+/// we just popped from got a new head) an O(log₄ shards) sift instead of
+/// a lazy push/pop pair.
+struct ShardIndex {
+    /// Heap of shard ids, min `keys[heap[0]]` at the root.
+    heap: Vec<u32>,
+    /// shard id → position in `heap`.
+    pos: Vec<u32>,
+    /// shard id → current head key.
+    keys: Vec<(SimTime, u64)>,
+}
+
+impl ShardIndex {
+    const D: usize = 4;
+
+    fn new(n: usize) -> ShardIndex {
+        ShardIndex {
+            heap: (0..n as u32).collect(),
+            pos: (0..n as u32).collect(),
+            keys: vec![NO_EVENT; n],
+        }
+    }
+
+    /// Shard with the globally smallest head key, and that key.
+    fn min(&self) -> (u32, (SimTime, u64)) {
+        let s = self.heap[0];
+        (s, self.keys[s as usize])
+    }
+
+    fn key(&self, shard: u32) -> (SimTime, u64) {
+        self.keys[shard as usize]
+    }
+
+    fn set_key(&mut self, shard: u32, key: (SimTime, u64)) {
+        let old = self.keys[shard as usize];
+        if old == key {
+            return;
+        }
+        self.keys[shard as usize] = key;
+        let i = self.pos[shard as usize] as usize;
+        if key < old {
+            self.sift_up(i);
+        } else {
+            self.sift_down(i);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let s = self.heap[i];
+        let key = self.keys[s as usize];
+        while i > 0 {
+            let parent = (i - 1) / Self::D;
+            let p = self.heap[parent];
+            if self.keys[p as usize] <= key {
+                break;
+            }
+            self.heap[i] = p;
+            self.pos[p as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = s;
+        self.pos[s as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let s = self.heap[i];
+        let key = self.keys[s as usize];
+        let n = self.heap.len();
+        loop {
+            let first = i * Self::D + 1;
+            if first >= n {
+                break;
+            }
+            let last = (first + Self::D).min(n);
+            let mut min_j = first;
+            let mut min_key = self.keys[self.heap[first] as usize];
+            for j in first + 1..last {
+                let k = self.keys[self.heap[j] as usize];
+                if k < min_key {
+                    min_j = j;
+                    min_key = k;
+                }
+            }
+            if key <= min_key {
+                break;
+            }
+            let c = self.heap[min_j];
+            self.heap[i] = c;
+            self.pos[c as usize] = i as u32;
+            i = min_j;
+        }
+        self.heap[i] = s;
+        self.pos[s as usize] = i as u32;
+    }
+}
+
+/// Executor construction parameters. [`Sim::new`] is shorthand for the
+/// default single-shard, single-worker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// RNG seed; determines every [`Ctx::rng`] stream.
+    pub seed: u64,
+    /// Calendar shards. 1 (the default) is the classic global calendar;
+    /// the cluster layer maps this to one shard per leaf switch plus a
+    /// cross-leaf shard 0. Trajectories are identical for any value.
+    pub shards: u32,
+    /// Worker threads draining conservative windows. 1 (the default)
+    /// never spawns a thread; values above 1 engage the window pool when
+    /// `shards > 1`. Reports and traces are byte-identical for any
+    /// worker count.
+    pub workers: usize,
+    /// Conservative window width: how far past the next event the
+    /// window stagers may reach. Derived from the minimum cross-shard
+    /// fabric latency by the cluster layer. Purely a batching knob —
+    /// correctness never depends on it.
+    pub lookahead: SimDuration,
+}
+
+impl SimConfig {
+    /// Single-shard, single-worker configuration (what [`Sim::new`]
+    /// uses).
+    pub fn new(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            shards: 1,
+            workers: 1,
+            lookahead: SimDuration::from_nanos(0),
+        }
+    }
+
+    /// Set the shard count (values below 1 are clamped to 1).
+    pub fn with_shards(mut self, shards: u32) -> SimConfig {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Set the worker count (values below 1 are clamped to 1).
+    pub fn with_workers(mut self, workers: usize) -> SimConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the conservative window width.
+    pub fn with_lookahead(mut self, lookahead: SimDuration) -> SimConfig {
+        self.lookahead = lookahead;
+        self
+    }
+}
+
+/// Per-shard calendar counters. `fired` and `pending` are
+/// worker-invariant; `staged` counts window-pool extractions and is
+/// worker-*variant* (zero at `workers = 1`) — keep it out of anything
+/// that must be byte-identical across worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard id (0 is the cross-domain shard).
+    pub shard: u32,
+    /// Events fired from this shard so far.
+    pub fired: u64,
+    /// Live + tombstoned entries currently held by this shard.
+    pub pending: usize,
+    /// Entries that passed through a staged window (worker-variant).
+    pub staged: u64,
+}
+
+/// Live entries below which a new window is not worth a pool handshake.
+const WINDOW_STAGE_MIN: usize = 32;
+
+/// A `*mut [ShardCal]` that can cross the pool handshake. Workers claim
+/// disjoint shard indices through [`StagePool::next`], so no two threads
+/// ever form a `&mut` to the same shard.
+#[derive(Clone, Copy)]
+struct ShardSlice {
+    ptr: *mut ShardCal,
+    len: usize,
+}
+
+unsafe impl Send for ShardSlice {}
+
+struct StageJob {
+    epoch: u64,
+    shutdown: bool,
+    window_end: SimTime,
+    shards: ShardSlice,
+    /// Workers that have not yet finished the current epoch.
+    active: usize,
+}
+
+/// Sealed-window staging pool: persistent scoped worker threads woken
+/// once per window through an epoch handshake (no per-window spawns).
+/// The coordinator participates in the drain, then blocks until every
+/// worker reports done — the barrier that makes the raw-pointer shard
+/// claims race-free.
+struct StagePool {
+    job: Mutex<StageJob>,
+    go: Condvar,
+    done: Condvar,
+    next: std::sync::atomic::AtomicUsize,
+    /// Spawned worker threads (excluding the coordinator).
+    spawned: usize,
+}
+
+impl StagePool {
+    fn new(spawned: usize) -> StagePool {
+        StagePool {
+            job: Mutex::new(StageJob {
+                epoch: 0,
+                shutdown: false,
+                window_end: SimTime::ZERO,
+                shards: ShardSlice {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                },
+                active: 0,
+            }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+            next: std::sync::atomic::AtomicUsize::new(0),
+            spawned,
+        }
+    }
+
+    fn worker_loop(&self) {
+        let mut seen = 0u64;
+        loop {
+            let (slice, end) = {
+                let mut j = self.job.lock();
+                while j.epoch == seen && !j.shutdown {
+                    self.go.wait(&mut j);
+                }
+                if j.shutdown {
+                    return;
+                }
+                seen = j.epoch;
+                (j.shards, j.window_end)
+            };
+            self.drain(slice, end);
+            let mut j = self.job.lock();
+            j.active -= 1;
+            if j.active == 0 {
+                drop(j);
+                self.done.notify_one();
+            }
+        }
+    }
+
+    fn drain(&self, slice: ShardSlice, end: SimTime) {
+        use std::sync::atomic::Ordering;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= slice.len {
+                return;
+            }
+            // SAFETY: `i` was claimed exclusively through the shared
+            // atomic counter, and the coordinator blocks in
+            // `run_window` until every worker is done, so this `&mut`
+            // aliases nothing.
+            let sc = unsafe { &mut *slice.ptr.add(i) };
+            stage_shard(sc, end);
+        }
+    }
+
+    /// Publish a window, help drain it, and wait for the pool to finish.
+    fn run_window(&self, slice: ShardSlice, end: SimTime) {
+        {
+            let mut j = self.job.lock();
+            j.epoch += 1;
+            j.window_end = end;
+            j.shards = slice;
+            j.active = self.spawned;
+            self.next.store(0, std::sync::atomic::Ordering::Relaxed);
+            self.go.notify_all();
+        }
+        self.drain(slice, end);
+        let mut j = self.job.lock();
+        while j.active > 0 {
+            self.done.wait(&mut j);
+        }
+    }
+
+    fn shutdown(&self) {
+        let mut j = self.job.lock();
+        j.shutdown = true;
+        self.go.notify_all();
+    }
+}
+
 /// Queue of task ids woken since the last executor dispatch.
 ///
 /// `Waker` must be `Send + Sync`, so the wake path goes through a real
@@ -251,11 +660,16 @@ struct Task {
 /// skipped instead of hitting the slot's next tenant.
 struct TaskSlot {
     gen: u32,
+    /// Calendar shard this task's events land on (set at spawn; purely
+    /// a locality hint — never part of the execution order).
+    shard: u32,
     state: TaskState,
 }
 
 enum TaskState {
-    Vacant { next_free: u32 },
+    Vacant {
+        next_free: u32,
+    },
     /// Parked between polls (or queued in `ready`).
     Parked(Task),
     /// Taken out by the dispatch loop for the duration of one poll.
@@ -301,7 +715,21 @@ pub struct CalendarStats {
 pub(crate) struct Core {
     now: SimTime,
     seq: u64,
-    events: EventHeap,
+    shards: Vec<ShardCal>,
+    index: ShardIndex,
+    /// Entries (live + tombstoned) across every shard heap and staged run.
+    total_entries: usize,
+    /// Shard new events land on: the shard of the task being polled, the
+    /// shard the firing event was popped from, or an explicit
+    /// [`Ctx::with_shard`] override. 0 outside any of those.
+    current_shard: u32,
+    lookahead: SimDuration,
+    /// End of the currently sealed staging window. Lives on the core —
+    /// not the run loop — because deadline-sliced runs (`run_until` in a
+    /// loop) can pause mid-window with staged-but-unconsumed entries;
+    /// restaging that window from scratch would clobber them.
+    window_end: SimTime,
+    workers: usize,
     slots: Vec<Slot>,
     free_head: u32,
     tombstones: usize,
@@ -342,7 +770,16 @@ impl Core {
         let gen = self.slots[slot as usize].gen;
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Event { at, seq, slot, gen });
+        let sh = self.current_shard;
+        self.shards[sh as usize]
+            .heap
+            .push(Event { at, seq, slot, gen });
+        self.total_entries += 1;
+        // The index key mirrors the shard head; a push only moves it when
+        // the new entry becomes that head.
+        if (at, seq) < self.index.key(sh) {
+            self.index.set_key(sh, (at, seq));
+        }
         (slot, gen)
     }
 
@@ -391,27 +828,64 @@ impl Core {
         self.slots[e.slot as usize].gen != e.gen
     }
 
-    /// Discard cancelled entries sitting at the top of the heap so `peek`
-    /// always sees the next event that will actually fire.
-    fn skim_stale(&mut self) {
-        while let Some(e) = self.events.peek() {
-            if !self.is_stale(e) {
-                break;
+    /// Advance past tombstoned shard heads and return the shard and key
+    /// of the globally next *live* entry, or `None` when every shard is
+    /// dry. Discarded tombstones neither advance the clock nor count as
+    /// processed events.
+    fn next_live(&mut self) -> Option<(u32, SimTime)> {
+        loop {
+            let (sh, key) = self.index.min();
+            if key == NO_EVENT {
+                return None;
             }
-            self.events.pop();
+            let e = self.shards[sh as usize]
+                .peek_head()
+                .expect("index key without a shard head");
+            if !self.is_stale(&e) {
+                return Some((sh, key.0));
+            }
+            self.shards[sh as usize].pop_head();
+            self.total_entries -= 1;
             self.tombstones -= 1;
+            let k = self.shards[sh as usize].head_key();
+            self.index.set_key(sh, k);
         }
     }
 
-    /// Rebuild the heap without tombstones once they outnumber live
-    /// entries (and exceed the floor). Keeps wasted heap capacity — and
-    /// pop-path skip work — proportional to the live entry count.
+    /// Pop the head of `sh` — which [`Core::next_live`] just certified
+    /// as the globally next live entry — and refresh the index.
+    fn pop_live(&mut self, sh: u32) -> Event {
+        let sc = &mut self.shards[sh as usize];
+        let e = sc.pop_head().expect("pop_live on a dry shard");
+        sc.fired += 1;
+        let k = sc.head_key();
+        self.total_entries -= 1;
+        self.index.set_key(sh, k);
+        e
+    }
+
+    /// Rebuild every shard heap (and filter its staged run) without
+    /// tombstones once they outnumber live entries (and exceed the
+    /// floor). Keeps wasted heap capacity — and pop-path skip work —
+    /// proportional to the live entry count.
     fn maybe_compact(&mut self) {
-        let live = self.events.len() - self.tombstones;
+        let live = self.total_entries - self.tombstones;
         if self.tombstones >= COMPACT_FLOOR && self.tombstones > live {
-            let mut entries = std::mem::replace(&mut self.events, EventHeap::new()).into_vec();
-            entries.retain(|e| !self.is_stale(e));
-            self.events = EventHeap::from_vec(entries);
+            let slots = &self.slots;
+            let mut total = 0;
+            for (sh, sc) in self.shards.iter_mut().enumerate() {
+                let mut entries = std::mem::take(&mut sc.heap).into_vec();
+                entries.retain(|e| slots[e.slot as usize].gen == e.gen);
+                sc.heap = EventHeap::from_vec(entries);
+                if sc.cursor > 0 {
+                    sc.staged.drain(..sc.cursor);
+                    sc.cursor = 0;
+                }
+                sc.staged.retain(|e| slots[e.slot as usize].gen == e.gen);
+                total += sc.heap.len() + sc.staged.len();
+                self.index.set_key(sh as u32, sc.head_key());
+            }
+            self.total_entries = total;
             self.tombstones = 0;
             self.compactions += 1;
         }
@@ -419,7 +893,8 @@ impl Core {
 
     /// Allocate a task slot, returning the packed id. The generation is
     /// whatever the slot carries (0 for fresh slots, bumped per reuse).
-    fn insert_task(&mut self, task: Task) -> TaskId {
+    /// `shard` is where the task's future calendar entries will land.
+    fn insert_task(&mut self, task: Task, shard: u32) -> TaskId {
         let slot = if self.task_free != NO_FREE {
             let s = self.task_free;
             let TaskState::Vacant { next_free } = self.tasks[s as usize].state else {
@@ -427,11 +902,13 @@ impl Core {
             };
             self.task_free = next_free;
             self.tasks[s as usize].state = TaskState::Parked(task);
+            self.tasks[s as usize].shard = shard;
             s
         } else {
             let s = u32::try_from(self.tasks.len()).expect("task slab overflow");
             self.tasks.push(TaskSlot {
                 gen: 0,
+                shard,
                 state: TaskState::Parked(task),
             });
             s
@@ -481,7 +958,7 @@ impl Core {
 
     fn calendar_stats(&self) -> CalendarStats {
         CalendarStats {
-            pending: self.events.len() - self.tombstones,
+            pending: self.total_entries - self.tombstones,
             tombstones: self.tombstones,
             compactions: self.compactions,
             slab_slots: self.slots.len(),
@@ -533,29 +1010,18 @@ pub struct Sim {
 impl Sim {
     /// Create a simulation with the given RNG seed. The seed determines
     /// every stream returned by [`Ctx::rng`], so identical programs with
-    /// identical seeds produce identical trajectories.
+    /// identical seeds produce identical trajectories. Shorthand for
+    /// [`Sim::with_config`] with the default single-shard,
+    /// single-worker [`SimConfig`].
     pub fn new(seed: u64) -> Self {
-        Sim {
-            core: Rc::new(RefCell::new(Core {
-                now: SimTime::ZERO,
-                seq: 0,
-                events: EventHeap::new(),
-                slots: Vec::new(),
-                free_head: NO_FREE,
-                tombstones: 0,
-                compactions: 0,
-                tasks: Vec::new(),
-                task_free: NO_FREE,
-                live_tasks: 0,
-                ready: VecDeque::new(),
-                current: 0,
-                wake_scratch: Vec::new(),
-                wakes: Arc::new(WakeQueue::default()),
-                seed,
-                events_processed: 0,
-                tasks_spawned: 0,
-            })),
-        }
+        Sim::with_config(SimConfig::new(seed))
+    }
+
+    /// Create a simulation from an explicit [`SimConfig`]. Trajectories
+    /// depend only on `seed` — shard count, worker count and lookahead
+    /// change host time, never the schedule.
+    pub fn with_config(cfg: SimConfig) -> Self {
+        Sim::with_config_arena(cfg, SimArena::new())
     }
 
     /// A cheap, clonable handle for use inside processes.
@@ -613,6 +1079,38 @@ impl Sim {
     }
 
     fn run_inner(&self, deadline: Option<SimTime>) -> RunReport {
+        let (workers, n_shards) = {
+            let core = self.core.borrow();
+            (core.workers, core.shards.len())
+        };
+        if workers > 1 && n_shards > 1 {
+            // Persistent scoped staging pool. The spawned threads only
+            // ever touch the `StagePool` and the raw `ShardSlice`
+            // published through it — never `self` — so the `!Send`
+            // executor core stays on this thread.
+            let pool = StagePool::new((workers.min(n_shards)) - 1);
+            std::thread::scope(|s| {
+                for _ in 0..pool.spawned {
+                    s.spawn(|| pool.worker_loop());
+                }
+                // Shut the pool down even if the run body panics —
+                // otherwise the scope join would wait forever on workers
+                // parked at the window condvar.
+                struct ShutdownGuard<'a>(&'a StagePool);
+                impl Drop for ShutdownGuard<'_> {
+                    fn drop(&mut self) {
+                        self.0.shutdown();
+                    }
+                }
+                let _guard = ShutdownGuard(&pool);
+                self.run_loop(deadline, Some(&pool))
+            })
+        } else {
+            self.run_loop(deadline, None)
+        }
+    }
+
+    fn run_loop(&self, deadline: Option<SimTime>, pool: Option<&StagePool>) -> RunReport {
         loop {
             // Dispatch every runnable process at the current instant.
             loop {
@@ -628,6 +1126,9 @@ impl Sim {
                     match core.take_task(id) {
                         Some(t) => {
                             core.current = id;
+                            // Events the task schedules while polled land
+                            // on its home shard.
+                            core.current_shard = core.tasks[task_slot(id) as usize].shard;
                             (id, t)
                         }
                         None => continue,
@@ -648,21 +1149,48 @@ impl Sim {
                 }
             }
 
-            // All processes blocked: advance the clock to the next event.
-            // Cancelled entries are skimmed first — they neither advance
-            // the clock nor count as processed events.
+            // All processes blocked: advance the clock to the next live
+            // event across all shard heads. Cancelled entries are skimmed
+            // by `next_live` — they neither advance the clock nor count
+            // as processed events.
             let ev = {
                 let mut core = self.core.borrow_mut();
-                core.skim_stale();
-                match core.events.peek() {
+                let core = &mut *core;
+                match core.next_live() {
                     None => None,
-                    Some(e) => {
-                        if deadline.is_some_and(|d| e.at > d) {
+                    Some((sh, at)) => {
+                        if deadline.is_some_and(|d| at > d) {
                             core.now = deadline.unwrap();
                             None
                         } else {
-                            let e = core.events.pop().unwrap();
+                            if let Some(pool) = pool {
+                                // `at` is the global minimum across shard
+                                // heads, so advancing past the sealed
+                                // window implies every staged run at or
+                                // before it has been fully consumed —
+                                // restaging cannot clobber live entries.
+                                if at > core.window_end {
+                                    // Seal the next window. Only engage the
+                                    // pool when there is enough live work to
+                                    // amortize the handshake; otherwise
+                                    // re-check at the next later instant.
+                                    let end = at.window_end(core.lookahead);
+                                    if core.total_entries - core.tombstones >= WINDOW_STAGE_MIN {
+                                        core.window_end = end;
+                                        let slice = ShardSlice {
+                                            ptr: core.shards.as_mut_ptr(),
+                                            len: core.shards.len(),
+                                        };
+                                        pool.run_window(slice, end);
+                                    } else {
+                                        core.window_end = at;
+                                    }
+                                }
+                            }
+                            let e = core.pop_live(sh);
                             core.now = e.at;
+                            // Callbacks the event runs inherit its shard.
+                            core.current_shard = sh;
                             core.events_processed += 1;
                             Some(core.take_fired(e.slot))
                         }
@@ -722,7 +1250,7 @@ impl Default for Sim {
 /// `Send`: keep each arena on the worker thread that uses it.
 #[derive(Default)]
 pub struct SimArena {
-    events: EventHeap,
+    shards: Vec<ShardCal>,
     slots: Vec<Slot>,
     tasks: Vec<TaskSlot>,
     ready: VecDeque<TaskId>,
@@ -744,19 +1272,37 @@ impl Sim {
     /// every counter restarts from zero, so trajectories do not depend
     /// on which (if any) arena a run recycled.
     pub fn with_arena(seed: u64, arena: SimArena) -> Sim {
+        Sim::with_config_arena(SimConfig::new(seed), arena)
+    }
+
+    /// [`Sim::with_config`] reusing the container capacities of `arena`.
+    /// The arena's shard vector is resized to `cfg.shards` (extra shards
+    /// are dropped, missing ones start cold), so an arena recycled from
+    /// a differently-sharded run is still valid — and still behaviorally
+    /// invisible.
+    pub fn with_config_arena(cfg: SimConfig, arena: SimArena) -> Sim {
         let SimArena {
-            events,
+            mut shards,
             slots,
             tasks,
             ready,
             wake_scratch,
             woken,
         } = arena;
+        let n = cfg.shards.max(1) as usize;
+        shards.truncate(n);
+        shards.resize_with(n, ShardCal::default);
         Sim {
             core: Rc::new(RefCell::new(Core {
                 now: SimTime::ZERO,
                 seq: 0,
-                events,
+                index: ShardIndex::new(n),
+                shards,
+                total_entries: 0,
+                current_shard: 0,
+                lookahead: cfg.lookahead,
+                window_end: SimTime::ZERO,
+                workers: cfg.workers.max(1),
                 slots,
                 free_head: NO_FREE,
                 tombstones: 0,
@@ -771,11 +1317,27 @@ impl Sim {
                     woken: Mutex::new(woken),
                     nonempty: std::sync::atomic::AtomicBool::new(false),
                 }),
-                seed,
+                seed: cfg.seed,
                 events_processed: 0,
                 tasks_spawned: 0,
             })),
         }
+    }
+
+    /// Per-shard calendar counters. `fired` and `pending` are
+    /// worker-invariant; `staged` is not — see [`ShardStats`].
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let core = self.core.borrow();
+        core.shards
+            .iter()
+            .enumerate()
+            .map(|(i, sc)| ShardStats {
+                shard: i as u32,
+                fired: sc.fired,
+                pending: sc.pending_len(),
+                staged: sc.staged_total,
+            })
+            .collect()
     }
 
     /// Tear the simulation down and recover its allocations for reuse
@@ -794,7 +1356,7 @@ impl Sim {
             .unwrap_or_else(|_| panic!("Sim::into_arena: outstanding strong core references"))
             .into_inner();
         let Core {
-            mut events,
+            mut shards,
             mut slots,
             mut tasks,
             mut ready,
@@ -807,13 +1369,15 @@ impl Sim {
         // also capture resources. Both drop with the core already dead.
         tasks.clear();
         slots.clear();
-        events.clear();
+        for sc in &mut shards {
+            sc.reset();
+        }
         ready.clear();
         wake_scratch.clear();
         let mut woken = std::mem::take(&mut *wakes.woken.lock());
         woken.clear();
         SimArena {
-            events,
+            shards,
             slots,
             tasks,
             ready,
@@ -858,8 +1422,24 @@ impl Ctx {
     }
 
     /// Spawn a process. The returned [`JoinHandle`] can be awaited for the
-    /// process's output; dropping it detaches the process.
+    /// process's output; dropping it detaches the process. The process
+    /// inherits the ambient calendar shard (the shard of the spawning
+    /// task or firing event, or shard 0 at the root).
     pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let shard = self.core().borrow().current_shard;
+        self.spawn_on(shard, fut)
+    }
+
+    /// [`Ctx::spawn`] pinned to calendar shard `shard`: every event the
+    /// process schedules while polled lands on that shard's calendar.
+    /// Placement is a locality hint only — it never changes the
+    /// schedule. Out-of-range shards fall back to shard 0 (so callers
+    /// may pass topology-derived ids unconditionally).
+    pub fn spawn_on<T: 'static>(
+        &self,
+        shard: u32,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
         let inner: Rc<RefCell<JoinInner<T>>> = Rc::new(RefCell::new(JoinInner {
             value: None,
             waker: None,
@@ -881,10 +1461,18 @@ impl Ctx {
         // with a placeholder waker, then swap in the real one. A task is
         // only ever polled through the dispatch loop, so the placeholder
         // is never observed.
-        let id = core.insert_task(Task {
-            fut: Box::pin(wrapped),
-            waker: Waker::noop().clone(),
-        });
+        let shard = if (shard as usize) < core.shards.len() {
+            shard
+        } else {
+            0
+        };
+        let id = core.insert_task(
+            Task {
+                fut: Box::pin(wrapped),
+                waker: Waker::noop().clone(),
+            },
+            shard,
+        );
         let waker = Waker::from(Arc::new(TaskWaker {
             id,
             queue: core.wakes.clone(),
@@ -985,6 +1573,39 @@ impl Ctx {
     /// Snapshot of event-calendar internals. See [`Sim::calendar_stats`].
     pub fn calendar_stats(&self) -> CalendarStats {
         self.core().borrow().calendar_stats()
+    }
+
+    /// Run `f` with the ambient calendar shard set to `shard`, restoring
+    /// the previous ambient shard afterwards. Events scheduled and tasks
+    /// spawned inside `f` land on `shard`. Like [`Ctx::spawn_on`], this
+    /// is a locality hint only: it never changes the schedule, and
+    /// out-of-range shards fall back to shard 0.
+    pub fn with_shard<R>(&self, shard: u32, f: impl FnOnce() -> R) -> R {
+        let core = self.core();
+        let prev = {
+            let mut c = core.borrow_mut();
+            let prev = c.current_shard;
+            c.current_shard = if (shard as usize) < c.shards.len() {
+                shard
+            } else {
+                0
+            };
+            prev
+        };
+        // `f` runs with the core unborrowed so it may schedule freely.
+        let out = f();
+        core.borrow_mut().current_shard = prev;
+        out
+    }
+
+    /// The ambient calendar shard new events and processes inherit.
+    pub fn shard(&self) -> u32 {
+        self.core().borrow().current_shard
+    }
+
+    /// Number of calendar shards this simulation was configured with.
+    pub fn num_shards(&self) -> u32 {
+        self.core().borrow().shards.len() as u32
     }
 }
 
@@ -1522,5 +2143,156 @@ mod tests {
             report.end_time
         );
         assert!(worst.get().0 > 0, "monitor never saw churn");
+    }
+
+    /// Order-sensitive fingerprint of a cross-shard workload: every wake
+    /// folds `(now, task, step)` into a running hash in execution order,
+    /// so any reordering — not just a timing change — alters the result.
+    fn cross_shard_fingerprint(cfg: SimConfig, n_tasks: u64) -> (u64, u64, u64) {
+        let sim = Sim::with_config(cfg);
+        let hash = Rc::new(Cell::new(0xfeed_beefu64));
+        let shards = sim.ctx().num_shards().max(1) as u64;
+        for i in 0..n_tasks {
+            let ctx = sim.ctx();
+            let hash = hash.clone();
+            let shard = (i % shards) as u32;
+            ctx.clone().spawn_on(shard, async move {
+                use rand::RngExt;
+                let mut rng = ctx.rng(i);
+                for step in 0..6u64 {
+                    let d: u64 = rng.random_range(1..700);
+                    ctx.sleep(SimDuration::from_nanos(d)).await;
+                    let mixed = splitmix64(ctx.now().nanos() ^ (i << 24) ^ step);
+                    hash.set(hash.get().rotate_left(7) ^ mixed);
+                }
+            });
+        }
+        let report = sim.run();
+        (report.end_time.nanos(), report.events_processed, hash.get())
+    }
+
+    /// Shard placement is a locality hint, never an ordering input: the
+    /// same workload must replay bit-identically for any shard count.
+    #[test]
+    fn shard_count_is_trajectory_neutral() {
+        let serial = cross_shard_fingerprint(SimConfig::new(42), 64);
+        for shards in [2u32, 4, 7, 33] {
+            let cfg = SimConfig::new(42)
+                .with_shards(shards)
+                .with_lookahead(SimDuration::from_nanos(50));
+            assert_eq!(
+                cross_shard_fingerprint(cfg, 64),
+                serial,
+                "shards={shards} diverged from the serial calendar"
+            );
+        }
+    }
+
+    /// The staging pool (workers > 1) must be behavior-invisible: the
+    /// full execution-order fingerprint is identical for any pool size.
+    #[test]
+    fn worker_count_is_trajectory_neutral() {
+        let base = cross_shard_fingerprint(
+            SimConfig::new(7)
+                .with_shards(8)
+                .with_lookahead(SimDuration::from_nanos(200)),
+            96,
+        );
+        for workers in [2usize, 3, 4] {
+            let cfg = SimConfig::new(7)
+                .with_shards(8)
+                .with_workers(workers)
+                .with_lookahead(SimDuration::from_nanos(200));
+            assert_eq!(
+                cross_shard_fingerprint(cfg, 96),
+                base,
+                "workers={workers} diverged from the single-worker run"
+            );
+        }
+    }
+
+    /// Ambient-shard bookkeeping: tasks observe the shard they were
+    /// spawned on, `with_shard` overrides it lexically, and out-of-range
+    /// requests clamp to shard 0 instead of corrupting the calendar.
+    #[test]
+    fn ambient_shard_follows_spawn_and_with_shard() {
+        let sim = Sim::with_config(SimConfig::new(1).with_shards(3));
+        let seen = Rc::new(Cell::new((u32::MAX, u32::MAX, u32::MAX)));
+        {
+            let ctx = sim.ctx();
+            let seen = seen.clone();
+            ctx.clone().spawn_on(2, async move {
+                let at_spawn = ctx.shard();
+                ctx.sleep(SimDuration::from_nanos(5)).await;
+                let after_sleep = ctx.shard();
+                let inside = ctx.with_shard(1, || ctx.shard());
+                seen.set((at_spawn, after_sleep, inside));
+            });
+        }
+        // Out-of-range spawn shard clamps to 0.
+        let clamped = Rc::new(Cell::new(u32::MAX));
+        {
+            let ctx = sim.ctx();
+            let clamped = clamped.clone();
+            ctx.clone().spawn_on(99, async move {
+                clamped.set(ctx.shard());
+            });
+        }
+        let report = sim.run();
+        assert!(report.is_clean());
+        assert_eq!(seen.get(), (2, 2, 1));
+        assert_eq!(clamped.get(), 0);
+    }
+
+    /// Per-shard accounting: fired counts must sum to the report total
+    /// and land on the shards the events were routed to.
+    #[test]
+    fn shard_stats_account_for_all_events() {
+        let cfg = SimConfig::new(3).with_shards(4);
+        let sim = Sim::with_config(cfg);
+        for i in 0..40u64 {
+            let ctx = sim.ctx();
+            ctx.clone().spawn_on((i % 4) as u32, async move {
+                ctx.sleep(SimDuration::from_nanos(1 + i)).await;
+            });
+        }
+        let report = sim.run();
+        let stats = sim.shard_stats();
+        assert_eq!(stats.len(), 4);
+        let fired: u64 = stats.iter().map(|s| s.fired).sum();
+        assert_eq!(fired, report.events_processed);
+        for s in &stats {
+            assert!(s.fired > 0, "shard {} never fired", s.shard);
+            assert_eq!(s.pending, 0);
+        }
+    }
+
+    #[cfg(test)]
+    mod shard_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            // Window-boundary merges preserve the `(time, seq)` total
+            // order under arbitrary cross-shard interleavings: any
+            // (shard count, worker count, lookahead) triple replays the
+            // serial calendar's fingerprint exactly.
+            #[test]
+            fn merge_preserves_total_order(
+                seed in any::<u64>(),
+                n_tasks in 1u64..48,
+                shards in 1u32..9,
+                workers in 1usize..4,
+                lookahead in 0u64..2_000,
+            ) {
+                let serial = cross_shard_fingerprint(SimConfig::new(seed), n_tasks);
+                let cfg = SimConfig::new(seed)
+                    .with_shards(shards)
+                    .with_workers(workers)
+                    .with_lookahead(SimDuration::from_nanos(lookahead));
+                prop_assert_eq!(cross_shard_fingerprint(cfg, n_tasks), serial);
+            }
+        }
     }
 }

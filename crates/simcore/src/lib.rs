@@ -1,8 +1,11 @@
 //! # simcore — deterministic discrete-event simulation kernel
 //!
 //! The foundation of the DYAD-vs-traditional-I/O reproduction: a
-//! single-threaded, deterministic discrete-event simulator whose processes
-//! are plain Rust `async` functions.
+//! deterministic discrete-event simulator whose processes are plain Rust
+//! `async` functions. The core dispatch loop is single-threaded; an
+//! opt-in staging pool ([`SimConfig::workers`]) pre-sorts sharded event
+//! calendars inside conservative time windows without ever changing the
+//! schedule.
 //!
 //! * [`Sim`] owns the event calendar and executor; [`Ctx`] is the handle
 //!   processes use to sleep, spawn, and draw random numbers.
@@ -44,8 +47,8 @@ pub mod trace;
 
 pub use combinators::{race, timeout, Either, Race, TimedOut, Timeout};
 pub use executor::{
-    splitmix64, CalendarStats, Ctx, JoinHandle, RunReport, Sim, SimArena, Sleep, TimerHandle,
-    YieldNow,
+    splitmix64, CalendarStats, Ctx, JoinHandle, RunReport, ShardStats, Sim, SimArena, SimConfig,
+    Sleep, TimerHandle, YieldNow,
 };
 pub use time::{SimDuration, SimTime};
 

@@ -141,7 +141,9 @@ impl PartialOrd for Pending {
 }
 impl Ord for Pending {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.fin.total_cmp(&other.fin).then(self.seq.cmp(&other.seq))
+        self.fin
+            .total_cmp(&other.fin)
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -242,7 +244,9 @@ struct FlowSlot {
 }
 
 enum FlowState {
-    Vacant { next_free: u32 },
+    Vacant {
+        next_free: u32,
+    },
     /// Transfer modeled, future not yet parked (or re-polled).
     InFlight,
     /// Future polled and parked: wake this task on completion.
@@ -297,6 +301,11 @@ struct BwInner {
     /// Dense per-flow waiter slab; see [`FlowSlot`].
     flows: Vec<FlowSlot>,
     flow_free: u32,
+    /// Calendar shard the completion timer is pinned to. Unpinned links
+    /// arm on the ambient shard of whoever changed the flow set, which
+    /// scatters a shared link's timer churn across shards; pinning keeps
+    /// it on the link's home domain. Locality only — never ordering.
+    pin_shard: Option<u32>,
     stats: BwStats,
 }
 
@@ -415,6 +424,7 @@ impl SharedBandwidth {
                 timer_cb: None,
                 flows: Vec::new(),
                 flow_free: NO_FREE,
+                pin_shard: None,
                 stats: BwStats::default(),
             })),
         }
@@ -424,6 +434,16 @@ impl SharedBandwidth {
     pub fn with_flow_cap(self, cap: f64) -> Self {
         assert!(cap > 0.0 && cap.is_finite());
         self.inner.borrow_mut().flow_cap = Some(cap);
+        self
+    }
+
+    /// Pin this link's completion timer to calendar shard `shard`.
+    /// Unpinned links arm on the ambient shard of whoever changed the
+    /// flow set, scattering a shared link's timer churn across shards;
+    /// pinning keeps it on the link's home domain. A pure placement
+    /// hint: trajectories are identical pinned or not.
+    pub fn pin_to_shard(self, shard: u32) -> Self {
+        self.inner.borrow_mut().pin_shard = Some(shard);
         self
     }
 
@@ -604,7 +624,13 @@ impl SharedBandwidth {
                     }
                 }
             };
-            let handle = self.ctx.call_after_rc(delay, cb);
+            let pin = self.inner.borrow().pin_shard;
+            let handle = match pin {
+                Some(sh) => self
+                    .ctx
+                    .with_shard(sh, || self.ctx.call_after_rc(delay, cb)),
+                None => self.ctx.call_after_rc(delay, cb),
+            };
             self.inner.borrow_mut().timer = Some(handle);
         }
     }

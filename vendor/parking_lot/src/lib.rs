@@ -54,6 +54,47 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable with the `parking_lot` API shape: [`Condvar::wait`]
+/// takes the guard by `&mut` and reacquires the lock in place instead of
+/// consuming and returning the guard as `std::sync::Condvar` does.
+#[derive(Default, Debug)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Wake one thread blocked in [`Condvar::wait`].
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every thread blocked in [`Condvar::wait`].
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically release the lock and block until notified, reacquiring
+    /// the lock (and ignoring poisoning) before returning. Spurious
+    /// wakeups are possible, as with any condition variable.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY: the guard is moved out, consumed by the std wait, and
+        // the reacquired guard is written back before control returns to
+        // the caller; `std::sync::Condvar::wait` does not unwind (the
+        // poisoned re-lock is unwrapped into the live guard below).
+        unsafe {
+            let g = std::ptr::read(guard);
+            let g = match self.0.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            std::ptr::write(guard, g);
+        }
+    }
+}
+
 /// A non-poisoning reader-writer lock.
 #[derive(Default, Debug)]
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
