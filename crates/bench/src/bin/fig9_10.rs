@@ -10,15 +10,18 @@
 //! grows ~12.3× for the 45.3× larger model, while `explicit_sync` stays
 //! roughly constant — synchronization, not movement, limits Lustre.
 
-use bench::{print_ratio, save_json, Scale};
+use bench::{print_ratio, save_json, BackendOverride, Scale};
 use mdflow::calibration::Calibration;
 use mdflow::prelude::*;
 use thicket::{AggProfile, Ensemble, Query};
 
 fn consumer_ensemble(solution: Solution, model: Model, scale: Scale) -> AggProfile {
-    let wf = WorkflowConfig::new(solution, 16, Placement::Split { pairs_per_node: 16 })
+    let mut wf = WorkflowConfig::new(solution, 16, Placement::Split { pairs_per_node: 16 })
         .with_model(model)
         .with_frames(scale.frames);
+    if let Some(o) = BackendOverride::from_env() {
+        wf = o.apply(wf);
+    }
     let cal = Calibration::corona();
     // Repetitions share one snapshot and recycle one arena: the STMV
     // template (~30 MB) is synthesized once per figure cell, not per rep.
@@ -49,10 +52,24 @@ fn main() {
     println!("\n[Figure 9b] DYAD consumer call tree, STMV:");
     print!("{}", dyad_stmv.render_tree());
 
-    let movement = Query::parse("dyad_consume/dyad_get_data");
-    let store = Query::parse("dyad_consume/dyad_cons_store");
-    let read = Query::parse("dyad_consume/read_single_buf");
-    let fetch = Query::parse("dyad_consume/dyad_fetch");
+    // Under `--backend streaming` every cell runs the streaming data
+    // plane, so the call-tree queries follow its region names.
+    let streaming = BackendOverride::from_env().is_some_and(|o| o.solution == Solution::Streaming);
+    let (movement, store, read, fetch) = if streaming {
+        (
+            Query::parse("stream_consume/stream_get_data"),
+            Query::parse("stream_consume/stream_cons_store"),
+            Query::parse("stream_consume/read_single_buf"),
+            Query::parse("stream_consume/stream_sync"),
+        )
+    } else {
+        (
+            Query::parse("dyad_consume/dyad_get_data"),
+            Query::parse("dyad_consume/dyad_cons_store"),
+            Query::parse("dyad_consume/read_single_buf"),
+            Query::parse("dyad_consume/dyad_fetch"),
+        )
+    };
     let move_jac =
         dyad_jac.query_time(&movement) + dyad_jac.query_time(&store) + dyad_jac.query_time(&read);
     let move_stmv = dyad_stmv.query_time(&movement)
@@ -85,15 +102,24 @@ fn main() {
     println!("\n[Figure 10b] Lustre consumer call tree, STMV:");
     print!("{}", lus_stmv.render_tree());
 
-    let lread = Query::parse("consume/read_single_buf");
-    let lsync = Query::parse("consume/explicit_sync");
+    let (lread, lsync) = if streaming {
+        (
+            Query::parse("stream_consume/stream_get_data"),
+            Query::parse("stream_consume/stream_sync"),
+        )
+    } else {
+        (
+            Query::parse("consume/read_single_buf"),
+            Query::parse("consume/explicit_sync"),
+        )
+    };
     println!("\nFigure 10 analysis:");
     print_ratio(
         "Lustre data-movement time, STMV vs JAC",
         "12.3x",
-        lus_stmv.query_time(&lread) / lus_jac.query_time(&lread),
+        lus_stmv.query_time(&lread) / lus_jac.query_time(&lread).max(1e-12),
     );
-    let sync_ratio = lus_stmv.query_time(&lsync) / lus_jac.query_time(&lsync);
+    let sync_ratio = lus_stmv.query_time(&lsync) / lus_jac.query_time(&lsync).max(1e-12);
     print_ratio(
         "Lustre explicit_sync, STMV vs JAC (≈constant)",
         "~1x",

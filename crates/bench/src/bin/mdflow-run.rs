@@ -2,11 +2,13 @@
 //! line (the downstream-user entry point for one-off experiments).
 //!
 //! ```text
-//! mdflow-run [--solution dyad|xfs|lustre|dyad-on-pfs]
+//! mdflow-run [--solution dyad|xfs|lustre|dyad-on-pfs|streaming]
 //!            [--model jac|apoa1|f1|stmv]
 //!            [--pairs N] [--nodes single|split] [--per-node N]
 //!            [--stride N] [--frames N] [--reps N] [--seed N]
 //!            [--sync coarse|fine|polling] [--no-warm-sync]
+//!            [--fanout K] [--fanin K] [--window W] [--agg N]
+//!            [--group broadcast|partitioned] [--no-reclaim]
 //!            [--kvs-shards N] [--kvs-replication R]
 //!            [--topology flat|leaf-spine] [--radix N] [--oversubscription X]
 //!            [--quiet-testbed] [--json]
@@ -50,7 +52,8 @@ const HELP: &str = "\
 mdflow-run — run one MD-workflow data-movement experiment
 
 options:
-  --solution dyad|xfs|lustre|dyad-on-pfs   data-management solution [dyad]
+  --solution dyad|xfs|lustre|dyad-on-pfs|streaming
+                                           data-management solution [dyad]
   --model    jac|apoa1|f1|stmv             molecular model [jac]
   --pairs    N                             producer-consumer pairs [4]
   --nodes    single|split                  placement [split; xfs forces single]
@@ -61,6 +64,13 @@ options:
   --seed     N                             base seed [0xD1AD]
   --sync     coarse|fine|polling           manual sync protocol [coarse]
   --no-warm-sync                           disable DYAD's warm fast path
+  --fanout   K                             streaming: 1 pub -> K subs per group [1]
+  --fanin    K                             streaming: K pubs -> 1 reducer per group [1]
+  --window   W                             streaming: max unacked in-flight steps [4]
+  --agg      N                             streaming: frames aggregated per step [1]
+  --group    broadcast|partitioned         streaming fan-out group mode [broadcast]
+  --no-reclaim                             streaming: head-of-line stall on subscriber
+                                           crash instead of reclaiming window slots
   --kvs-shards N                           KVS metadata-plane shards [1]
   --kvs-replication R                      replicas per key (<= shards) [1]
   --topology flat|leaf-spine               switch topology [flat]
@@ -81,6 +91,7 @@ fn main() {
         "xfs" => Solution::Xfs,
         "lustre" => Solution::Lustre,
         "dyad-on-pfs" => Solution::DyadOnPfs,
+        "streaming" => Solution::Streaming,
         other => die(&format!("unknown solution {other}")),
     };
     let model = match args.value("--model").unwrap_or("jac") {
@@ -113,6 +124,25 @@ fn main() {
         other => die(&format!("unknown sync protocol {other}")),
     };
     wf.dyad_warm_sync = !args.flag("--no-warm-sync");
+    let fanout: u32 = args.num("--fanout", 1);
+    let fanin: u32 = args.num("--fanin", 1);
+    if (fanout > 1 || fanin > 1) && solution != Solution::Streaming {
+        die("--fanout/--fanin require --solution streaming");
+    }
+    if fanout > 1 && fanin > 1 {
+        die("streaming groups are 1→K (--fanout) or K→1 (--fanin), not both");
+    }
+    wf = wf
+        .with_fanout(fanout)
+        .with_fanin(fanin)
+        .with_stream_window(args.num("--window", 4))
+        .with_agg_frames(args.num("--agg", 1));
+    wf = match args.value("--group").unwrap_or("broadcast") {
+        "broadcast" => wf.with_group_mode(GroupMode::Broadcast),
+        "partitioned" => wf.with_group_mode(GroupMode::Partitioned),
+        other => die(&format!("unknown group mode {other}")),
+    };
+    wf = wf.with_window_reclaim(!args.flag("--no-reclaim"));
     let shards: u32 = args.num("--kvs-shards", 1);
     let replication: u32 = args.num("--kvs-replication", 1);
     if shards < 1 {
@@ -182,6 +212,14 @@ fn main() {
         "makespan:    {:.2} s (±{:.2})",
         report.makespan.mean, report.makespan.std
     );
+    if solution == Solution::Streaming {
+        println!(
+            "streaming:   group sync {:>12}/frame | {:.1} window stalls ({:.3} s stalled)",
+            fmt(report.group_sync_secs.mean),
+            report.window_stalls.mean,
+            report.window_stall_secs.mean,
+        );
+    }
 }
 
 fn fmt(s: f64) -> String {

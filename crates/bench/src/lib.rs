@@ -50,9 +50,102 @@ pub fn run(wf: WorkflowConfig, scale: Scale) -> StudyReport {
 
 /// The study configuration `run` executes for `wf` at `scale` — exposed
 /// so batch drivers can collect a whole suite's studies and push them
-/// through one executor invocation.
+/// through one executor invocation. Applies the global `--backend`
+/// override, so every figure binary gains the streaming axis for free.
 pub fn study_at(wf: WorkflowConfig, scale: Scale) -> StudyConfig {
+    let wf = match BackendOverride::from_env() {
+        Some(o) => o.apply(wf),
+        None => wf,
+    };
     StudyConfig::paper(wf.with_frames(scale.frames)).with_repetitions(scale.reps)
+}
+
+/// Backend override for the figure regenerators (the PR 10 streaming
+/// axis): `--backend streaming` on any figure binary's command line (or
+/// `MDFLOW_BACKEND=streaming`) reruns every scripted workload on the
+/// streaming data plane, shaped by `--fanout K` / `--fanin K` /
+/// `--window W` / `--agg N` (env `MDFLOW_FANOUT`, `MDFLOW_FANIN`,
+/// `MDFLOW_WINDOW`, `MDFLOW_AGG`). The other solution names force that
+/// backend instead; with no override each figure runs its scripted
+/// solutions untouched.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendOverride {
+    /// Forced solution.
+    pub solution: Solution,
+    /// Streaming fan-out (1 → K groups).
+    pub fanout: u32,
+    /// Streaming fan-in (K → 1 reduction groups).
+    pub fanin: u32,
+    /// Streaming bounded in-flight window.
+    pub window: Option<u32>,
+    /// Streaming frames aggregated per step.
+    pub agg: Option<u64>,
+}
+
+/// `--flag value` from this process's argv, else env fallback.
+fn arg_or_env(flag: &str, env: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var(env).ok())
+}
+
+impl BackendOverride {
+    /// Parse the override from argv/env; `None` leaves the figure's
+    /// scripted solutions in place. Announces itself once so override
+    /// runs are never mistaken for the scripted series.
+    pub fn from_env() -> Option<BackendOverride> {
+        let name = arg_or_env("--backend", "MDFLOW_BACKEND")?;
+        let solution = match name.as_str() {
+            "streaming" => Solution::Streaming,
+            "dyad" => Solution::Dyad,
+            "xfs" => Solution::Xfs,
+            "lustre" => Solution::Lustre,
+            "dyad-on-pfs" => Solution::DyadOnPfs,
+            other => panic!("unknown --backend {other}"),
+        };
+        let num = |flag: &str, env: &str| {
+            arg_or_env(flag, env).map(|v| v.parse::<u64>().expect("numeric flag"))
+        };
+        let o = BackendOverride {
+            solution,
+            fanout: num("--fanout", "MDFLOW_FANOUT").unwrap_or(1) as u32,
+            fanin: num("--fanin", "MDFLOW_FANIN").unwrap_or(1) as u32,
+            window: num("--window", "MDFLOW_WINDOW").map(|w| w as u32),
+            agg: num("--agg", "MDFLOW_AGG"),
+        };
+        assert!(
+            o.fanout == 1 || o.fanin == 1,
+            "streaming groups are 1→K or K→1, not K→K"
+        );
+        static ANNOUNCE: std::sync::Once = std::sync::Once::new();
+        ANNOUNCE.call_once(|| {
+            eprintln!(
+                "  [backend override: {} fanout={} fanin={}]",
+                name, o.fanout, o.fanin
+            );
+        });
+        Some(o)
+    }
+
+    /// Rewrite `wf` onto the forced backend, keeping its model, frame
+    /// count, schedule and placement (XFS's single-node shapes stay
+    /// single-node under streaming — every group collapses onto one
+    /// node, the streaming analogue of the figure).
+    pub fn apply(self, mut wf: WorkflowConfig) -> WorkflowConfig {
+        wf.solution = self.solution;
+        if self.solution == Solution::Streaming {
+            wf = wf.with_fanout(self.fanout).with_fanin(self.fanin);
+            if let Some(w) = self.window {
+                wf = wf.with_stream_window(w);
+            }
+            if let Some(a) = self.agg {
+                wf = wf.with_agg_frames(a);
+            }
+        }
+        wf
+    }
 }
 
 /// Format seconds with an appropriate unit.

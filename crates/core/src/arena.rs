@@ -38,7 +38,7 @@
 use serde::Serialize;
 
 use crate::calibration::Calibration;
-use crate::config::{PlacementPlan, Solution, WorkflowConfig};
+use crate::config::{PlacementPlan, Solution, StreamPlacement, WorkflowConfig};
 use cluster::{ClusterSpec, NodeId};
 use faults::FaultPlan;
 use mdsim::FrameTemplate;
@@ -119,6 +119,12 @@ pub struct ClusterSnapshot {
     /// Per-pair staging registration keys `(frame_dir, consumer_id)`,
     /// non-empty only for DYAD.
     pub(crate) registrations: Vec<(String, String)>,
+    /// Resolved M:N group placement, [`Solution::Streaming`] only.
+    pub(crate) stream_plan: Option<StreamPlacement>,
+    /// Streaming staging registrations `(publisher_node, step_dir,
+    /// subscriber_id)`, one per subscriber session that must ack a
+    /// group's steps before they can retire.
+    pub(crate) stream_regs: Vec<(u32, String, String)>,
     /// Executor worker threads every run built from this snapshot uses
     /// (1 = classic single-threaded core). Like shard placement, worker
     /// count never changes the schedule.
@@ -132,12 +138,24 @@ impl ClusterSnapshot {
     /// behavior, for a campaign point any fixed seed works (payload
     /// bytes never affect timing).
     pub fn prepare(wf: &WorkflowConfig, cal: &Calibration, template_seed: u64) -> ClusterSnapshot {
-        let plan = wf.placement_plan();
+        // Streaming placement is M:N per group, not pairwise; the pair
+        // plan stays empty so the runner's pair loop no-ops and the
+        // streaming spawn block takes over.
+        let stream_plan = (wf.solution == Solution::Streaming).then(|| wf.streaming_plan());
+        let plan = match &stream_plan {
+            Some(sp) => PlacementPlan {
+                compute_nodes: sp.compute_nodes,
+                pair_nodes: Vec::new(),
+            },
+            None => wf.placement_plan(),
+        };
         let n_compute = plan.compute_nodes;
         let mut n_total = n_compute;
-        // DYAD needs the PFS service nodes too when staging may spill.
-        let needs_pfs =
-            wf.solution.needs_pfs() || (wf.solution == Solution::Dyad && wf.staging.spill_to_pfs);
+        // The staged backends need the PFS service nodes too when
+        // staging may spill.
+        let needs_pfs = wf.solution.needs_pfs()
+            || (matches!(wf.solution, Solution::Dyad | Solution::Streaming)
+                && wf.staging.spill_to_pfs);
         let pfs_nodes = if needs_pfs {
             let mds = n_total as u32;
             let osts: Vec<NodeId> = (0..cal.n_osts as u32)
@@ -184,6 +202,41 @@ impl ClusterSnapshot {
         } else {
             Vec::new()
         };
+        // Streaming retention contract: every subscriber id that acks a
+        // group's steps is registered on the publisher's node, so the
+        // evictor holds each step until the whole group acknowledged it.
+        let stream_regs = match &stream_plan {
+            Some(sp) => {
+                let s = &wf.streaming;
+                let mut regs: Vec<(u32, String, String)> = Vec::new();
+                for (g, gp) in sp.groups.iter().enumerate() {
+                    if s.fanin > 1 {
+                        for (l, &pn) in gp.publishers.iter().enumerate() {
+                            regs.push((
+                                pn,
+                                format!("{}/steps/g{g:04}/l{l:02}", streaming::DEFAULT_MANAGED_DIR),
+                                format!("g{g}r"),
+                            ));
+                        }
+                    } else {
+                        let pn = gp.publishers[0];
+                        let dir = format!("{}/steps/g{g:04}", streaming::DEFAULT_MANAGED_DIR);
+                        match s.group {
+                            streaming::GroupMode::Broadcast => {
+                                for j in 0..gp.subscribers.len() {
+                                    regs.push((pn, dir.clone(), format!("g{g}s{j}")));
+                                }
+                            }
+                            streaming::GroupMode::Partitioned => {
+                                regs.push((pn, dir, format!("g{g}p")));
+                            }
+                        }
+                    }
+                }
+                regs
+            }
+            None => Vec::new(),
+        };
         ClusterSnapshot {
             workflow: wf.clone(),
             calibration: cal.clone(),
@@ -195,6 +248,8 @@ impl ClusterSnapshot {
             fault_plan,
             template,
             registrations,
+            stream_plan,
+            stream_regs,
             workers: 1,
         }
     }

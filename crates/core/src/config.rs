@@ -18,6 +18,11 @@ pub enum Solution {
     /// Ablation: DYAD synchronization over Lustre storage (isolates the
     /// synchronization benefit from the node-local-storage benefit).
     DyadOnPfs,
+    /// ADIOS2 SST-style streaming backend (the `streaming` crate):
+    /// publisher-side step aggregation, subscriber groups, and a bounded
+    /// in-flight window with ack-driven release, opening the M:N
+    /// topology axis (`StreamingConfig`).
+    Streaming,
 }
 
 impl Solution {
@@ -28,6 +33,7 @@ impl Solution {
             Solution::Xfs => "XFS",
             Solution::Lustre => "Lustre",
             Solution::DyadOnPfs => "DYAD/PFS",
+            Solution::Streaming => "SST",
         }
     }
 
@@ -36,9 +42,12 @@ impl Solution {
         matches!(self, Solution::Lustre | Solution::DyadOnPfs)
     }
 
-    /// Does this solution need the KVS broker (DYAD synchronization)?
+    /// Does this solution need the KVS broker (rendezvous metadata)?
     pub fn needs_kvs(self) -> bool {
-        matches!(self, Solution::Dyad | Solution::DyadOnPfs)
+        matches!(
+            self,
+            Solution::Dyad | Solution::DyadOnPfs | Solution::Streaming
+        )
     }
 }
 
@@ -112,6 +121,51 @@ mod retention_serde {
     use serde::Serializer;
     pub fn serialize<S: Serializer>(r: &staging::RetentionPolicy, s: S) -> Result<S::Ok, S::Error> {
         s.serialize_str(r.name())
+    }
+}
+
+/// Topology axis of the streaming backend ([`Solution::Streaming`]):
+/// each "pair" becomes a *group* of either 1 publisher → `fanout`
+/// subscribers, or `fanin` publishers → 1 reducer (a binary reduction
+/// tree). `fanout == fanin == 1` is the near-DYAD 1:1 shape.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct StreamingConfig {
+    /// Subscribers per group (1 producer → K analytics consumers).
+    pub fanout: u32,
+    /// Publishers per group (K producers → 1 reducer). Mutually
+    /// exclusive with `fanout > 1`.
+    pub fanin: u32,
+    /// Bounded in-flight window: max unacked steps per publisher.
+    pub window: u32,
+    /// Frames aggregated per published step (SST step aggregation;
+    /// also the reducer's sliding in-situ analysis window).
+    pub agg_frames: u64,
+    /// How a fan-out group shares the step sequence.
+    #[serde(serialize_with = "group_serde::serialize")]
+    pub group: streaming::GroupMode,
+    /// Under faults, reclaim window slots held by crashed subscribers
+    /// instead of head-of-line stalling until the restart.
+    pub reclaim_on_crash: bool,
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig {
+            fanout: 1,
+            fanin: 1,
+            window: 4,
+            agg_frames: 1,
+            group: streaming::GroupMode::Broadcast,
+            reclaim_on_crash: true,
+        }
+    }
+}
+
+// GroupMode is foreign; serialize via its stable name.
+mod group_serde {
+    use serde::Serializer;
+    pub fn serialize<S: Serializer>(g: &streaming::GroupMode, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(g.name())
     }
 }
 
@@ -214,9 +268,12 @@ pub struct WorkflowConfig {
     pub manual_sync: ManualSync,
     /// Warm fast-path enabled for DYAD (ablation knob).
     pub dyad_warm_sync: bool,
-    /// Staged-data lifecycle settings (DYAD only; ignored by the
-    /// manual baselines, which manage their own storage).
+    /// Staged-data lifecycle settings (DYAD/streaming only; ignored by
+    /// the manual baselines, which manage their own storage).
     pub staging: StagingConfig,
+    /// Streaming-backend topology settings (ignored by the other
+    /// solutions).
+    pub streaming: StreamingConfig,
     /// Deterministic fault-injection plan (disabled by default).
     pub faults: FaultConfig,
     /// KVS metadata-plane shards (`--kvs-shards N`). 1 = the legacy
@@ -260,6 +317,7 @@ impl WorkflowConfig {
             manual_sync: ManualSync::Coarse,
             dyad_warm_sync: true,
             staging: StagingConfig::default(),
+            streaming: StreamingConfig::default(),
             faults: FaultConfig::default(),
             kvs_shards: 1,
             kvs_replication: 1,
@@ -334,6 +392,48 @@ impl WorkflowConfig {
         self
     }
 
+    /// Set the streaming fan-out: 1 publisher → `k` subscribers per
+    /// group ([`Solution::Streaming`] only).
+    pub fn with_fanout(mut self, k: u32) -> Self {
+        assert!(k >= 1, "fanout must be at least 1");
+        self.streaming.fanout = k;
+        self
+    }
+
+    /// Set the streaming fan-in: `k` publishers → 1 reducer per group
+    /// with a binary reduction tree ([`Solution::Streaming`] only).
+    pub fn with_fanin(mut self, k: u32) -> Self {
+        assert!(k >= 1, "fanin must be at least 1");
+        self.streaming.fanin = k;
+        self
+    }
+
+    /// Bound the publisher's in-flight window to `w` unacked steps.
+    pub fn with_stream_window(mut self, w: u32) -> Self {
+        assert!(w >= 1, "window must admit at least 1 step");
+        self.streaming.window = w;
+        self
+    }
+
+    /// Aggregate `n` frames per published step.
+    pub fn with_agg_frames(mut self, n: u64) -> Self {
+        assert!(n >= 1, "steps must carry at least 1 frame");
+        self.streaming.agg_frames = n;
+        self
+    }
+
+    /// Choose how fan-out groups share the step sequence.
+    pub fn with_group_mode(mut self, mode: streaming::GroupMode) -> Self {
+        self.streaming.group = mode;
+        self
+    }
+
+    /// Enable/disable window reclaim for crashed subscribers.
+    pub fn with_window_reclaim(mut self, reclaim: bool) -> Self {
+        self.streaming.reclaim_on_crash = reclaim;
+        self
+    }
+
     /// Whether this run uses the mesh metadata plane (any sharding or
     /// replication beyond the legacy single broker, or the forced-mesh
     /// test knob).
@@ -377,6 +477,59 @@ impl WorkflowConfig {
             }
         }
     }
+
+    /// Concrete M:N placement for [`Solution::Streaming`]: each of the
+    /// `pairs` groups gets its publishers and subscribers, publishers
+    /// filling the first nodes and subscribers the following ones (the
+    /// same one-process-type-per-node discipline as
+    /// [`WorkflowConfig::placement_plan`]).
+    pub fn streaming_plan(&self) -> StreamPlacement {
+        type NodeOf = Box<dyn Fn(u32) -> u32>;
+        let s = &self.streaming;
+        assert!(
+            s.fanout == 1 || s.fanin == 1,
+            "streaming groups are either 1→K (fanout) or K→1 (fanin), not K→K"
+        );
+        let pubs_per_group = s.fanin.max(1);
+        let subs_per_group = if s.fanin > 1 { 1 } else { s.fanout.max(1) };
+        let total_pubs = self.pairs * pubs_per_group;
+        let total_subs = self.pairs * subs_per_group;
+        let (pub_node, sub_node): (NodeOf, NodeOf) = match self.placement {
+            Placement::SingleNode => (Box::new(|_| 0), Box::new(|_| 0)),
+            Placement::Split { pairs_per_node } => {
+                assert!(pairs_per_node >= 1);
+                let per = pairs_per_node;
+                let n_pub_nodes = total_pubs.div_ceil(per);
+                (
+                    Box::new(move |p| p / per),
+                    Box::new(move |c| n_pub_nodes + c / per),
+                )
+            }
+        };
+        let mut groups = Vec::with_capacity(self.pairs as usize);
+        for g in 0..self.pairs {
+            let publishers = (0..pubs_per_group)
+                .map(|l| pub_node(g * pubs_per_group + l))
+                .collect();
+            let subscribers = (0..subs_per_group)
+                .map(|j| sub_node(g * subs_per_group + j))
+                .collect();
+            groups.push(StreamGroupPlacement {
+                publishers,
+                subscribers,
+            });
+        }
+        let compute_nodes = match self.placement {
+            Placement::SingleNode => 1,
+            Placement::Split { pairs_per_node } => {
+                (total_pubs.div_ceil(pairs_per_node) + total_subs.div_ceil(pairs_per_node)) as usize
+            }
+        };
+        StreamPlacement {
+            compute_nodes,
+            groups,
+        }
+    }
 }
 
 /// Concrete placement: node indices are relative to the compute section
@@ -387,6 +540,25 @@ pub struct PlacementPlan {
     pub compute_nodes: usize,
     /// `(producer_node, consumer_node)` per pair.
     pub pair_nodes: Vec<(u32, u32)>,
+}
+
+/// One streaming group's node assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamGroupPlacement {
+    /// Node of each publisher (1 for fan-out groups, K for fan-in).
+    pub publishers: Vec<u32>,
+    /// Node of each subscriber (K for fan-out groups, 1 reducer for
+    /// fan-in).
+    pub subscribers: Vec<u32>,
+}
+
+/// Concrete M:N placement for the streaming backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamPlacement {
+    /// Compute nodes required.
+    pub compute_nodes: usize,
+    /// Per-group publisher/subscriber nodes (`pairs` groups).
+    pub groups: Vec<StreamGroupPlacement>,
 }
 
 /// A full study: one workflow configuration, repeated.

@@ -53,18 +53,20 @@ pub mod prelude {
         default_jobs, run_studies_jobs, run_study_jobs, Campaign, CampaignResult, CampaignStats,
     };
     pub use crate::config::{
-        FaultConfig, ManualSync, Placement, Solution, StagingConfig, StudyConfig, WorkflowConfig,
+        FaultConfig, ManualSync, Placement, Solution, StagingConfig, StreamingConfig, StudyConfig,
+        WorkflowConfig,
     };
     pub use crate::report::{speedup, Breakdown, StudyReport};
     pub use crate::runner::{
         run_once, run_once_traced, run_once_traced_snap, run_once_warm, run_study, FaultTotals,
-        RunMetrics, StagingTotals,
+        RunMetrics, StagingTotals, StreamTotals,
     };
     pub use crate::schedule::FrameSchedule;
     pub use cluster::{FabricSpec, TopologySpec};
     pub use faults::{ChaosSpec, FaultEvent, FaultKind, FaultPlan, RetryPolicy};
     pub use mdsim::Model;
     pub use staging::RetentionPolicy;
+    pub use streaming::GroupMode;
 }
 
 #[cfg(test)]

@@ -36,8 +36,13 @@ pub struct RunBreakdown {
     pub consumption: Breakdown,
     /// Simulated makespan of the repetition, seconds.
     pub makespan: f64,
-    /// Staging-lifecycle counters (DYAD only; zero otherwise).
+    /// Staging-lifecycle counters (DYAD/streaming only; zero otherwise).
     pub staging: crate::runner::StagingTotals,
+    /// Streaming data-plane counters (zero for the other solutions).
+    pub streaming: crate::runner::StreamTotals,
+    /// Per-group synchronization latency, s/frame (streaming only): the
+    /// subscriber-side `stream_sync` share of consumption.
+    pub group_sync_secs: f64,
     /// Fault-injection and recovery counters (zero when disabled).
     pub faults: crate::runner::FaultTotals,
 }
@@ -61,6 +66,7 @@ pub fn reduce_run(wf: &WorkflowConfig, run: &RunMetrics) -> RunBreakdown {
     }
     let production;
     let consumption;
+    let mut group_sync_secs = 0.0;
     match wf.solution {
         Solution::Dyad => {
             // Staging backpressure is synchronization (the producer
@@ -91,6 +97,27 @@ pub fn reduce_run(wf: &WorkflowConfig, run: &RunMetrics) -> RunBreakdown {
                 idle: secs(&cons, &["dyad_consume", "dyad_fetch"]) / per_frame,
             };
         }
+        Solution::Streaming => {
+            // Window stalls and staging backpressure are synchronization
+            // (the publisher waits on subscriber acks / the evictor),
+            // not data movement.
+            let window_wait = secs(&prod, &["stream_publish", "stream_window_wait"]);
+            let backpressure = secs(&prod, &["stream_publish", "staging_backpressure"]);
+            production = Breakdown {
+                movement: (secs(&prod, &["stream_publish"]) - window_wait - backpressure)
+                    / per_frame,
+                idle: (window_wait + backpressure) / per_frame,
+            };
+            group_sync_secs = secs(&cons, &["stream_consume", "stream_sync"]) / per_frame;
+            consumption = Breakdown {
+                movement: (secs(&cons, &["stream_consume", "stream_get_data"])
+                    + secs(&cons, &["stream_consume", "stream_cons_store"])
+                    + secs(&cons, &["stream_consume", "stream_pfs_fallback"])
+                    + secs(&cons, &["stream_consume", "read_single_buf"]))
+                    / per_frame,
+                idle: group_sync_secs,
+            };
+        }
         Solution::Xfs | Solution::Lustre => {
             production = Breakdown {
                 movement: secs(&prod, &["produce", "write_single_buf"]) / per_frame,
@@ -107,6 +134,8 @@ pub fn reduce_run(wf: &WorkflowConfig, run: &RunMetrics) -> RunBreakdown {
         consumption,
         makespan: run.makespan.as_secs_f64(),
         staging: run.staging,
+        streaming: run.streaming,
+        group_sync_secs,
         faults: run.faults,
     }
 }
@@ -158,6 +187,16 @@ pub struct StudyReport {
     pub backpressure_stall_secs: MeanStd,
     /// Consumes served from a spilled PFS copy (per repetition).
     pub pfs_fallbacks: MeanStd,
+    /// Streaming window stalls (per repetition; zero for non-streaming).
+    pub window_stalls: MeanStd,
+    /// Seconds publishers spent stalled on a full window (per
+    /// repetition).
+    pub window_stall_secs: MeanStd,
+    /// Per-group streaming sync latency, s/frame (per repetition).
+    pub group_sync_secs: MeanStd,
+    /// Window-slot ack entries reclaimed from crashed subscribers (per
+    /// repetition).
+    pub slots_reclaimed: MeanStd,
     /// Fault windows injected (per repetition; zero when disabled).
     pub fault_injections: MeanStd,
     /// Transport RPC retry attempts (per repetition).
@@ -200,6 +239,16 @@ impl StudyReport {
             ),
             pfs_fallbacks: MeanStd::from_samples(
                 reduced.iter().map(|r| r.staging.pfs_fallbacks as f64),
+            ),
+            window_stalls: MeanStd::from_samples(
+                reduced.iter().map(|r| r.streaming.window_stalls as f64),
+            ),
+            window_stall_secs: MeanStd::from_samples(
+                reduced.iter().map(|r| r.streaming.window_stall_secs),
+            ),
+            group_sync_secs: MeanStd::from_samples(reduced.iter().map(|r| r.group_sync_secs)),
+            slots_reclaimed: MeanStd::from_samples(
+                reduced.iter().map(|r| r.streaming.slots_reclaimed as f64),
             ),
             fault_injections: MeanStd::from_samples(
                 reduced.iter().map(|r| r.faults.injected as f64),

@@ -15,6 +15,7 @@ use rayon::prelude::*;
 use serde::Serialize;
 use simcore::{Sim, SimDuration, SimTime};
 use staging::{RetentionPolicy, StagingManager, StagingSpec, StagingStats};
+use streaming::{StreamAcker, StreamService, StreamSpec, StreamStats};
 use transport::Transport;
 
 use crate::arena::{ClusterSnapshot, RunArena, RunTimings};
@@ -22,7 +23,8 @@ use crate::calibration::Calibration;
 use crate::config::{Solution, StudyConfig, WorkflowConfig};
 use crate::workflow::{
     consumer_dyad, consumer_dyad_on_pfs, consumer_manual, pair_sync, producer_dyad,
-    producer_dyad_on_pfs, producer_manual, ConsumerArgs, ProducerArgs, Storage,
+    producer_dyad_on_pfs, producer_manual, publisher_stream, reducer_stream, subscriber_stream,
+    ConsumerArgs, ProducerArgs, Storage, StreamRole,
 };
 
 /// Staging-lifecycle counters summed over every node's
@@ -64,6 +66,53 @@ impl StagingTotals {
         self.pfs_fallbacks += s.pfs_fallbacks;
         self.acks_published += s.acks_published;
         self.peak_staged_bytes = self.peak_staged_bytes.max(s.peak_staged_bytes);
+    }
+}
+
+/// Streaming data-plane counters summed over every node's
+/// [`StreamService`] (all zero for the other solutions).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct StreamTotals {
+    /// Steps published across all groups.
+    pub steps_published: u64,
+    /// Steps consumed across all subscriber sessions.
+    pub steps_consumed: u64,
+    /// Bytes published.
+    pub bytes_published: u64,
+    /// Bytes consumed.
+    pub bytes_consumed: u64,
+    /// Publishes that found the bounded in-flight window full.
+    pub window_stalls: u64,
+    /// Simulated seconds publishers spent stalled on a full window.
+    pub window_stall_secs: f64,
+    /// Outstanding-ack entries reclaimed from crashed subscribers.
+    pub slots_reclaimed: u64,
+    /// Window ack-refresh sweeps (KVS ack-key reads).
+    pub ack_refreshes: u64,
+    /// Remote step fetches served by owner nodes.
+    pub fetches_served: u64,
+    /// Consumptions that parked in a KVS watch (cold syncs).
+    pub cold_syncs: u64,
+    /// Consumptions satisfied by the warm lookup fast path.
+    pub warm_syncs: u64,
+    /// Consumptions that found the step already node-local.
+    pub local_hits: u64,
+}
+
+impl StreamTotals {
+    fn absorb(&mut self, s: &StreamStats) {
+        self.steps_published += s.steps_published;
+        self.steps_consumed += s.steps_consumed;
+        self.bytes_published += s.bytes_published;
+        self.bytes_consumed += s.bytes_consumed;
+        self.window_stalls += s.window_stalls;
+        self.window_stall_secs += SimDuration::from_nanos(s.window_stall_ns).as_secs_f64();
+        self.slots_reclaimed += s.slots_reclaimed;
+        self.ack_refreshes += s.ack_refreshes;
+        self.fetches_served += s.fetches_served;
+        self.cold_syncs += s.cold_syncs;
+        self.warm_syncs += s.warm_syncs;
+        self.local_hits += s.local_hits;
     }
 }
 
@@ -150,8 +199,10 @@ pub struct RunMetrics {
     pub makespan: SimTime,
     /// Discrete events processed (simulator health metric).
     pub events: u64,
-    /// Staging-lifecycle counters (DYAD only).
+    /// Staging-lifecycle counters (DYAD/streaming only).
     pub staging: StagingTotals,
+    /// Streaming data-plane counters (zero for the other solutions).
+    pub streaming: StreamTotals,
     /// Fault-injection and recovery counters (zero when disabled).
     pub faults: FaultTotals,
     /// Metadata-plane counters (zero for solutions without a KVS).
@@ -346,9 +397,11 @@ fn run_prepared(
         }
     };
     let pfs = pfs_nodes.map(|(mds, osts)| ParallelFs::start(&ctx, &tp, mds, osts, cal.pfs));
-    // One staging manager per compute node for DYAD: tracks the staged-
-    // frame lifecycle and (when the budget is finite) runs the evictor.
-    let staging_mgrs: Vec<Option<Rc<StagingManager>>> = if wf.solution == Solution::Dyad {
+    // One staging manager per compute node for the staged backends
+    // (DYAD and streaming): tracks the staged-frame lifecycle and (when
+    // the budget is finite) runs the evictor.
+    let uses_staging = matches!(wf.solution, Solution::Dyad | Solution::Streaming);
+    let staging_mgrs: Vec<Option<Rc<StagingManager>>> = if uses_staging {
         let spec = StagingSpec {
             budget_bytes: wf.staging.budget_bytes.unwrap_or(u64::MAX),
             low_watermark: cal.staging_low_watermark,
@@ -391,6 +444,38 @@ fn run_prepared(
                 spec.warm_sync = wf.dyad_warm_sync;
                 ctx.with_shard(node_shard(i), || {
                     DyadService::start_staged(
+                        &ctx,
+                        &tp,
+                        NodeId(i),
+                        local_fs[i as usize].clone(),
+                        kvs_client(i),
+                        spec,
+                        staging_mgrs[i as usize].clone(),
+                    )
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    // Per-node stream services: the SST-style peer of the DYAD service,
+    // sharing the DYAD calibration constants so the fanout=1 shape is a
+    // like-for-like comparison.
+    let stream_services: Vec<Rc<StreamService>> = if wf.solution == Solution::Streaming {
+        (0..n_compute as u32)
+            .map(|i| {
+                let spec = StreamSpec {
+                    managed_dir: streaming::DEFAULT_MANAGED_DIR.to_string(),
+                    window: wf.streaming.window.max(1),
+                    publish_overhead: cal.dyad.produce_overhead,
+                    service_threads: cal.dyad.service_threads,
+                    service_time: cal.dyad.service_time,
+                    warm_sync: wf.dyad_warm_sync,
+                    reclaim_on_crash: wf.streaming.reclaim_on_crash,
+                    stall_poll: StreamSpec::default().stall_poll,
+                };
+                ctx.with_shard(node_shard(i), || {
+                    StreamService::start_staged(
                         &ctx,
                         &tp,
                         NodeId(i),
@@ -585,6 +670,119 @@ fn run_prepared(
                     consumer_dyad_on_pfs(cargs, cstore, kvs_client(cn), wf.dyad_warm_sync),
                 ));
             }
+            Solution::Streaming => {
+                unreachable!("streaming placement has no pair_nodes (see stream_plan)")
+            }
+        }
+    }
+
+    // Streaming workload: M:N groups instead of pairs. Registrations
+    // first (the retention contract must be in place before the first
+    // step lands), then one publisher per group leaf and one subscriber
+    // per group member (or the single fan-in reducer).
+    if let Some(sp) = &snap.stream_plan {
+        for (node, dir, consumer) in &snap.stream_regs {
+            if let Some(mgr) = &staging_mgrs[*node as usize] {
+                mgr.register_consumer(dir, consumer);
+            }
+        }
+        let s = &wf.streaming;
+        let mut pub_idx = 0u32;
+        let mut sub_idx = 0u32;
+        for (g, gp) in sp.groups.iter().enumerate() {
+            let g = g as u32;
+            // Same low-discrepancy launch stagger as the pair loop,
+            // per group.
+            let stagger = period.mul_f64((g as f64 * 0.618_033_988_75).fract());
+            let role = StreamRole {
+                group: g,
+                mode: s.group,
+                fanout: s.fanout.max(1),
+                fanin: s.fanin.max(1),
+                leaf: 0,
+                agg_frames: s.agg_frames.max(1),
+            };
+            let group_ackers: Vec<StreamAcker> = if s.fanin > 1 {
+                vec![StreamAcker {
+                    consumer: format!("g{g}r"),
+                    node: gp.subscribers[0],
+                }]
+            } else {
+                gp.subscribers
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &n)| StreamAcker {
+                        consumer: match s.group {
+                            streaming::GroupMode::Broadcast => format!("g{g}s{j}"),
+                            streaming::GroupMode::Partitioned => format!("g{g}p"),
+                        },
+                        node: n,
+                    })
+                    .collect()
+            };
+            for (l, &pn) in gp.publishers.iter().enumerate() {
+                let pargs = ProducerArgs {
+                    ctx: ctx.clone(),
+                    pair: pub_idx,
+                    frames: wf.frames,
+                    stride: wf.stride,
+                    clock,
+                    template: template.clone(),
+                    serialize_cpu: cal.serialize_cpu,
+                    start_offset: stagger,
+                    tracer: tracer.clone(),
+                    schedule: wf.schedule.clone(),
+                    faults: fault_board.as_ref().map(|(b, _)| b.clone()),
+                    node: pn,
+                };
+                let leaf_role = StreamRole {
+                    leaf: l as u32,
+                    ..role
+                };
+                prod_handles.push(spawn_timed(
+                    &ctx,
+                    node_shard(pn),
+                    publisher_stream(
+                        pargs,
+                        stream_services[pn as usize].clone(),
+                        leaf_role,
+                        group_ackers.clone(),
+                        0x9000 + pub_idx as u64,
+                    ),
+                ));
+                pub_idx += 1;
+            }
+            for (j, &cn) in gp.subscribers.iter().enumerate() {
+                let cargs = ConsumerArgs {
+                    ctx: ctx.clone(),
+                    pair: sub_idx,
+                    frames: wf.frames,
+                    analytics: period,
+                    jitter: cal.md_jitter,
+                    rng_stream: 0xC000 + sub_idx as u64,
+                    start_offset: stagger + period.mul_f64(cal.consumer_launch_delay),
+                    tracer: tracer.clone(),
+                    template: template.clone(),
+                    deserialize_cpu: cal.deserialize_cpu,
+                    faults: fault_board.as_ref().map(|(b, _)| b.clone()),
+                    node: cn,
+                };
+                let svc = stream_services[cn as usize].clone();
+                if s.fanin > 1 {
+                    cons_handles.push(spawn_timed(
+                        &ctx,
+                        node_shard(cn),
+                        reducer_stream(cargs, svc, role),
+                    ));
+                } else {
+                    cons_handles.push(spawn_timed(
+                        &ctx,
+                        node_shard(cn),
+                        subscriber_stream(cargs, svc, role, j as u32),
+                    ));
+                }
+                sub_idx += 1;
+            }
         }
     }
 
@@ -625,6 +823,10 @@ fn run_prepared(
     let producers: Vec<Profile> = prod_handles.into_iter().map(&mut take).collect();
     let consumers: Vec<Profile> = cons_handles.into_iter().map(&mut take).collect();
     let mut staging_totals = StagingTotals::default();
+    let mut stream_totals = StreamTotals::default();
+    for svc in &stream_services {
+        stream_totals.absorb(&svc.stats());
+    }
     let mut fault_totals = FaultTotals::default();
     for mgr in staging_mgrs.iter().flatten() {
         let s = mgr.stats();
@@ -694,6 +896,7 @@ fn run_prepared(
             makespan,
             events: report.events_processed,
             staging: staging_totals,
+            streaming: stream_totals,
             faults: fault_totals,
             kvs: kvs_totals,
         },
@@ -843,6 +1046,120 @@ mod tests {
             let m = run_once(&wf, &cal, 7);
             assert_eq!(m.producers.len(), 1);
         }
+    }
+
+    #[test]
+    fn streaming_one_to_one_pipelines_like_dyad() {
+        // fanout = fanin = 1 is the near-DYAD shape: same staging, same
+        // KVS rendezvous, bounded window never binds at depth 4.
+        let cal = Calibration::quiet();
+        let wf = small(
+            Solution::Streaming,
+            2,
+            Placement::Split { pairs_per_node: 8 },
+        );
+        let m = run_once(&wf, &cal, 1);
+        assert_eq!(m.producers.len(), 2);
+        assert_eq!(m.consumers.len(), 2);
+        assert_eq!(m.streaming.steps_published, 2 * 6);
+        assert_eq!(m.streaming.steps_consumed, 2 * 6);
+        assert_eq!(m.streaming.bytes_published, m.streaming.bytes_consumed);
+        let t = m.makespan.as_secs_f64();
+        assert!(t > 4.9 && t < 8.0, "makespan {t}");
+    }
+
+    #[test]
+    fn streaming_broadcast_fanout_delivers_to_every_subscriber() {
+        let cal = Calibration::quiet();
+        let wf = small(
+            Solution::Streaming,
+            1,
+            Placement::Split { pairs_per_node: 8 },
+        )
+        .with_fanout(3);
+        let m = run_once(&wf, &cal, 2);
+        assert_eq!(m.producers.len(), 1);
+        assert_eq!(m.consumers.len(), 3);
+        // Every subscriber consumed every step.
+        assert_eq!(m.streaming.steps_published, 6);
+        assert_eq!(m.streaming.steps_consumed, 3 * 6);
+        assert_eq!(m.streaming.bytes_consumed, 3 * m.streaming.bytes_published);
+        // Staging retention honored the 3-ack contract (checked by the
+        // retire-log assertion in run_prepared) and all acks landed.
+        assert_eq!(m.staging.acks_published, 3 * 6);
+    }
+
+    #[test]
+    fn streaming_partitioned_fanout_shares_the_step_sequence() {
+        let cal = Calibration::quiet();
+        let wf = small(
+            Solution::Streaming,
+            1,
+            Placement::Split { pairs_per_node: 8 },
+        )
+        .with_fanout(3)
+        .with_group_mode(streaming::GroupMode::Partitioned);
+        let m = run_once(&wf, &cal, 3);
+        // Each step consumed exactly once across the group.
+        assert_eq!(m.streaming.steps_published, 6);
+        assert_eq!(m.streaming.steps_consumed, 6);
+        assert_eq!(m.streaming.bytes_consumed, m.streaming.bytes_published);
+        assert_eq!(m.staging.acks_published, 6);
+    }
+
+    #[test]
+    fn streaming_fanin_reduction_completes() {
+        let cal = Calibration::quiet();
+        let wf = small(
+            Solution::Streaming,
+            1,
+            Placement::Split { pairs_per_node: 8 },
+        )
+        .with_fanin(4);
+        let m = run_once(&wf, &cal, 4);
+        assert_eq!(m.producers.len(), 4);
+        assert_eq!(m.consumers.len(), 1);
+        // The reducer consumed every leaf's steps; byte conservation
+        // through the tree is asserted inside the reducer body.
+        assert_eq!(m.streaming.steps_published, 4 * 6);
+        assert_eq!(m.streaming.steps_consumed, 4 * 6);
+        let reduced: f64 = m.consumers[0].sum_metric("reduced_steps");
+        assert_eq!(reduced as u64, 6);
+    }
+
+    #[test]
+    fn streaming_window_binds_and_is_deterministic() {
+        // Window depth 1 with slow analytics forces publisher stalls;
+        // the stall accounting must be seed-stable.
+        let cal = Calibration::quiet();
+        let wf = small(
+            Solution::Streaming,
+            2,
+            Placement::Split { pairs_per_node: 8 },
+        )
+        .with_stream_window(1);
+        let a = run_once(&wf, &cal, 5);
+        let b = run_once(&wf, &cal, 5);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.streaming.window_stalls, b.streaming.window_stalls);
+        assert_eq!(a.streaming.window_stall_secs, b.streaming.window_stall_secs);
+    }
+
+    #[test]
+    fn streaming_step_aggregation_publishes_fewer_larger_steps() {
+        let cal = Calibration::quiet();
+        let wf = small(
+            Solution::Streaming,
+            1,
+            Placement::Split { pairs_per_node: 8 },
+        )
+        .with_agg_frames(3);
+        let m = run_once(&wf, &cal, 6);
+        // 6 frames at 3 per step = 2 steps, all bytes conserved.
+        assert_eq!(m.streaming.steps_published, 2);
+        assert_eq!(m.streaming.steps_consumed, 2);
+        assert_eq!(m.streaming.bytes_consumed, m.streaming.bytes_published);
     }
 
     #[test]

@@ -39,6 +39,7 @@ use pfs::{LdlmClient, LockMode, PfsClient};
 use simcore::sync::{channel, Receiver, Sender};
 use simcore::trace::Tracer;
 use simcore::{Ctx, SimDuration};
+use streaming::StreamAcker;
 use transport::Payload;
 
 use crate::config::ManualSync;
@@ -718,6 +719,386 @@ pub async fn consumer_dyad_on_pfs(
         }
     }
     rec.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Streaming (SST-style) process bodies
+// ---------------------------------------------------------------------------
+
+/// Streaming-group role shared by the publisher/subscriber bodies:
+/// which group, its topology shape, and the step aggregation factor.
+#[derive(Clone, Copy)]
+pub struct StreamRole {
+    /// Group index (the streaming analogue of a pair).
+    pub group: u32,
+    /// Delivery mode of a fan-out group.
+    pub mode: streaming::GroupMode,
+    /// Subscribers per fan-out group.
+    pub fanout: u32,
+    /// Publishers per fan-in group.
+    pub fanin: u32,
+    /// This publisher's leaf index within a fan-in group (0 otherwise).
+    pub leaf: u32,
+    /// MD frames aggregated into one published step.
+    pub agg_frames: u64,
+}
+
+impl StreamRole {
+    /// Steps each publisher of this group emits for `frames` MD frames.
+    pub fn steps(&self, frames: u64) -> u64 {
+        frames.div_ceil(self.agg_frames.max(1))
+    }
+
+    /// Logical step name for `(leaf, step)`; fan-in groups get a
+    /// per-leaf namespace so every publisher owns its own sequence.
+    pub fn step_name(&self, leaf: u32, step: u64) -> String {
+        if self.fanin > 1 {
+            format!("steps/g{:04}/l{leaf:02}/s{step:05}", self.group)
+        } else {
+            format!("steps/g{:04}/s{step:05}", self.group)
+        }
+    }
+
+    /// The ackers whose consumption releases `step`'s window slot:
+    /// every broadcast subscriber, exactly the round-robin assignee of
+    /// a partitioned group, or the fan-in group's single reducer.
+    pub fn step_ackers(&self, step: u64, group_ackers: &[StreamAcker]) -> Vec<StreamAcker> {
+        if self.fanin > 1 || self.mode == streaming::GroupMode::Broadcast {
+            return group_ackers.to_vec();
+        }
+        let a = streaming::partition_assignee(step, self.fanout) as usize;
+        vec![group_ackers[a].clone()]
+    }
+}
+
+/// Streaming publisher process: the SST-style writer side of one group.
+/// Each published step aggregates [`StreamRole::agg_frames`] MD frames;
+/// the bounded in-flight window gates publication on subscriber acks.
+pub async fn publisher_stream(
+    args: ProducerArgs,
+    svc: Rc<streaming::StreamService>,
+    role: StreamRole,
+    group_ackers: Vec<StreamAcker>,
+    rng_stream: u64,
+) -> Profile {
+    let rec = Recorder::traced(
+        &args.ctx,
+        args.tracer.clone(),
+        &format!("producer-{:03}", args.pair),
+    );
+    let mut rng = args.ctx.rng(rng_stream);
+    let mut sched = args
+        .schedule
+        .as_ref()
+        .map(|s| s.generator(args.ctx.rng(rng_stream ^ 0x5C4E)));
+    args.ctx.sleep(args.start_offset).await;
+    let mut publisher = match &args.faults {
+        Some(board) => svc.publisher_faulted(board.clone()),
+        None => svc.publisher(),
+    };
+    let agg = role.agg_frames.max(1);
+    let steps = role.steps(args.frames);
+    let mut frame = 0u64;
+    for step in 0..steps {
+        let in_step = agg.min(args.frames - frame);
+        {
+            let g = rec.region("md_sim");
+            for _ in 0..in_step {
+                let d = md_phase(&args, &mut sched, &mut rng);
+                args.ctx.sleep(d).await;
+            }
+            g.end();
+        }
+        let payload = {
+            let g = rec.region("serialize");
+            args.ctx
+                .sleep(args.serialize_cpu.mul_f64(in_step as f64))
+                .await;
+            let mut p = Payload::new();
+            for k in 0..in_step {
+                p.extend(args.template.frame_segments(frame + k));
+            }
+            g.end();
+            p
+        };
+        frame += in_step;
+        let ackers = role.step_ackers(step, &group_ackers);
+        let name = role.step_name(role.leaf, step);
+        match &args.faults {
+            None => {
+                publisher.publish(&rec, &name, step, payload, &ackers).await;
+            }
+            Some(board) => {
+                // Boxed like the DYAD bodies: keep the recovery state
+                // machine out of fault-free publisher tasks.
+                Box::pin(publish_stream_faulted(
+                    &args,
+                    board,
+                    &mut publisher,
+                    &rec,
+                    &name,
+                    step,
+                    payload,
+                    &ackers,
+                    rng_stream,
+                ))
+                .await;
+            }
+        }
+    }
+    rec.finish()
+}
+
+/// One fault-tolerant streaming publish. Window stalls poll with crash
+/// reclaim and device/broker errors are absorbed inside
+/// [`streaming::StreamPublisher::try_publish`]; whatever outlasts its
+/// budget is re-run here with backoff. A step that is truly unwritable
+/// is tombstoned by the service and surfaces to subscribers as a typed
+/// `StepLost`.
+#[allow(clippy::too_many_arguments)]
+async fn publish_stream_faulted(
+    args: &ProducerArgs,
+    board: &FaultBoard,
+    publisher: &mut streaming::StreamPublisher,
+    rec: &Recorder,
+    name: &str,
+    step: u64,
+    payload: Payload,
+    ackers: &[StreamAcker],
+    rng_stream: u64,
+) {
+    let policy = streaming::stream_retry_policy();
+    let mut frng = args.ctx.rng(rng_stream ^ 0xFA17 ^ step);
+    let mut outer = 0u32;
+    loop {
+        // A crashed node runs nothing: freeze until the restart.
+        board.hold_until_up(args.node).await;
+        match publisher
+            .try_publish(rec, name, step, payload.clone(), ackers, &policy, &mut frng)
+            .await
+        {
+            Ok(()) => break,
+            Err(streaming::StreamError::Storage { .. }) => {
+                // Retry budget exhausted and tombstone published.
+                rec.annotate("produce_failures", 1.0);
+                break;
+            }
+            Err(_) => {
+                outer += 1;
+                if outer >= 64 {
+                    rec.annotate("produce_failures", 1.0);
+                    break;
+                }
+                rec.annotate("produce_outer_retries", 1.0);
+                let pause = policy.backoff(outer.min(9), &mut frng);
+                args.ctx.sleep(pause).await;
+            }
+        }
+    }
+}
+
+/// Streaming fan-out subscriber process: member `sub_idx` of a group of
+/// [`StreamRole::fanout`]. Broadcast members consume every step;
+/// partitioned members consume their round-robin share, acking under
+/// the group's shared session id.
+pub async fn subscriber_stream(
+    args: ConsumerArgs,
+    svc: Rc<streaming::StreamService>,
+    role: StreamRole,
+    sub_idx: u32,
+) -> Profile {
+    let rec = Recorder::traced(
+        &args.ctx,
+        args.tracer.clone(),
+        &format!("consumer-{:03}", args.pair),
+    );
+    let mut rng = args.ctx.rng(args.rng_stream);
+    args.ctx.sleep(args.start_offset).await;
+    // Session id must match what the runner registered on the publisher
+    // node's staging manager (and what the publisher's window waits on).
+    let id = match role.mode {
+        streaming::GroupMode::Broadcast => format!("g{}s{}", role.group, sub_idx),
+        streaming::GroupMode::Partitioned => format!("g{}p", role.group),
+    };
+    let mut session = svc.subscriber(&id);
+    let agg = role.agg_frames.max(1);
+    let steps = role.steps(args.frames);
+    for step in 0..steps {
+        if !streaming::delivers_to(role.mode, step, sub_idx, role.fanout) {
+            continue;
+        }
+        let name = role.step_name(0, step);
+        let data = match &args.faults {
+            None => Some(session.consume_step(&rec, &name).await),
+            Some(board) => {
+                Box::pin(consume_stream_faulted(
+                    &args,
+                    board,
+                    &mut session,
+                    &rec,
+                    &name,
+                    step,
+                ))
+                .await
+            }
+        };
+        // A typed loss has nothing to analyze; move to the next step.
+        let Some(data) = data else { continue };
+        let first = step * agg;
+        let in_step = agg.min(args.frames - first);
+        deserialize_step(&args, &rec, &data, first, in_step).await;
+        {
+            let g = rec.region("analytics");
+            let d = analytics_sleep(&args, &mut rng).mul_f64(in_step as f64);
+            args.ctx.sleep(d).await;
+            g.end();
+        }
+    }
+    rec.finish()
+}
+
+/// One fault-tolerant streaming consume; `salt` keys the backoff-jitter
+/// stream (step index, plus the leaf for reducers). A `StepLost`
+/// tombstone is terminal and yields `None`, counted in the
+/// `frames_lost_observed` metric.
+async fn consume_stream_faulted(
+    args: &ConsumerArgs,
+    board: &FaultBoard,
+    session: &mut streaming::StreamSubscriber,
+    rec: &Recorder,
+    name: &str,
+    salt: u64,
+) -> Option<Payload> {
+    let policy = streaming::stream_retry_policy();
+    let mut frng = args.ctx.rng(args.rng_stream ^ 0xFA17 ^ salt);
+    let mut outer = 0u32;
+    loop {
+        board.hold_until_up(args.node).await;
+        match session.try_consume_step(rec, name).await {
+            Ok(data) => return Some(data),
+            Err(streaming::StreamError::StepLost { .. }) => {
+                rec.annotate("frames_lost_observed", 1.0);
+                return None;
+            }
+            Err(_) => {
+                outer += 1;
+                if outer >= 64 {
+                    rec.annotate("consume_failures", 1.0);
+                    return None;
+                }
+                rec.annotate("consume_outer_retries", 1.0);
+                let pause = policy.backoff(outer.min(9), &mut frng);
+                args.ctx.sleep(pause).await;
+            }
+        }
+    }
+}
+
+/// Streaming fan-in reducer: consumes one step from every leaf
+/// publisher, folds the leaf payloads through the group's binary
+/// reduction tree (one deserialize charge per pairwise merge, byte
+/// conservation asserted at the root), then runs the analytics phase.
+pub async fn reducer_stream(
+    args: ConsumerArgs,
+    svc: Rc<streaming::StreamService>,
+    role: StreamRole,
+) -> Profile {
+    let rec = Recorder::traced(
+        &args.ctx,
+        args.tracer.clone(),
+        &format!("consumer-{:03}", args.pair),
+    );
+    let mut rng = args.ctx.rng(args.rng_stream);
+    args.ctx.sleep(args.start_offset).await;
+    let mut session = svc.subscriber(&format!("g{}r", role.group));
+    let tree = streaming::ReductionTree::new(role.fanin as usize);
+    let agg = role.agg_frames.max(1);
+    let steps = role.steps(args.frames);
+    for step in 0..steps {
+        let mut leaf_bytes: Vec<u64> = Vec::with_capacity(role.fanin as usize);
+        let mut head: Option<Payload> = None;
+        for leaf in 0..role.fanin {
+            let name = role.step_name(leaf, step);
+            let data = match &args.faults {
+                None => Some(session.consume_step(&rec, &name).await),
+                Some(board) => {
+                    Box::pin(consume_stream_faulted(
+                        &args,
+                        board,
+                        &mut session,
+                        &rec,
+                        &name,
+                        step ^ (u64::from(leaf) << 32),
+                    ))
+                    .await
+                }
+            };
+            let Some(data) = data else { continue };
+            leaf_bytes.push(transport::payload_len(&data));
+            if head.is_none() {
+                head = Some(data);
+            }
+        }
+        // Every leaf lost: nothing to reduce for this step index.
+        let Some(head) = head else { continue };
+        let first = step * agg;
+        let in_step = agg.min(args.frames - first);
+        deserialize_step(&args, &rec, &head, first, in_step).await;
+        if leaf_bytes.len() == role.fanin as usize {
+            let g = rec.region("stream_reduce");
+            let total: u64 = leaf_bytes.iter().sum();
+            assert_eq!(
+                tree.combined_bytes(&leaf_bytes),
+                total,
+                "reduction dropped bytes (group {}, step {step})",
+                role.group
+            );
+            args.ctx
+                .sleep(args.deserialize_cpu.mul_f64(tree.merges() as f64))
+                .await;
+            rec.annotate("reduced_steps", 1.0);
+            g.end();
+        } else {
+            // A lost leaf leaves a partial reduction — typed, visible.
+            rec.annotate("partial_reductions", 1.0);
+        }
+        {
+            let g = rec.region("analytics");
+            let d = analytics_sleep(&args, &mut rng).mul_f64(in_step as f64);
+            args.ctx.sleep(d).await;
+            g.end();
+        }
+    }
+    rec.finish()
+}
+
+/// Deserialize a step's leading frame header, charge the CPU cost, and
+/// validate as strictly as the step shape allows: full payload equality
+/// for single-frame steps, header identity for aggregated ones.
+async fn deserialize_step(
+    args: &ConsumerArgs,
+    rec: &Recorder,
+    data: &[Bytes],
+    first_frame: u64,
+    in_step: u64,
+) {
+    let g = rec.region("deserialize");
+    args.ctx
+        .sleep(args.deserialize_cpu.mul_f64(in_step as f64))
+        .await;
+    let header = FrameHeader::decode_segments(data).expect("valid step");
+    assert_eq!(
+        header.step, first_frame,
+        "step head mismatch for group {}",
+        args.pair
+    );
+    if in_step == 1 {
+        assert!(
+            args.template.validate(data, first_frame),
+            "step payload corrupted in transit (frame {first_frame})"
+        );
+    }
+    g.end();
 }
 
 /// Deserialize the header, charge the CPU cost, and assert the frame is

@@ -29,6 +29,8 @@ fn ms(millis: u64) -> SimDuration {
 /// The small workload every scenario runs: 2 pairs, 8 frames, quiet
 /// testbed. XFS cannot split across nodes; the others use the paper's
 /// producer/consumer split so faults can hit either side of the wire.
+/// (For streaming the same split puts publishers on node 0 and every
+/// subscriber on node 1, so the per-class fault sites stay valid.)
 fn base(solution: Solution) -> WorkflowConfig {
     let placement = if solution == Solution::Xfs {
         Placement::SingleNode
@@ -181,6 +183,120 @@ fn xfs_survives_every_fault_class() {
     }
 }
 
+/// Streaming accounting, the M:N generalization of the DYAD check:
+/// every *step delivery* (steps × subscribers per group) ends consumed,
+/// observed lost via a tombstone, or given up with a typed failure —
+/// and no delivery happens twice.
+fn check_streaming_accounting(class: &str, fanout: u32, m: &RunMetrics) {
+    let total = u64::from(PAIRS * fanout) * FRAMES;
+    let accounted =
+        m.streaming.steps_consumed + m.faults.frames_lost_observed + m.faults.consume_failures;
+    assert!(
+        accounted >= total,
+        "streaming/{class}: {accounted} of {total} deliveries accounted for \
+         (consumed {}, lost {}, failures {})",
+        m.streaming.steps_consumed,
+        m.faults.frames_lost_observed,
+        m.faults.consume_failures
+    );
+    assert!(
+        m.streaming.steps_consumed <= total,
+        "streaming/{class}: {} consumes for {total} deliveries — a step was consumed twice",
+        m.streaming.steps_consumed
+    );
+}
+
+/// The streaming backend survives the same per-class matrix, in the
+/// genuinely M:N broadcast shape (1 publisher → 2 subscribers per
+/// group) so the fault windows hit the window/ack machinery too.
+#[test]
+fn streaming_survives_every_fault_class() {
+    const FANOUT: u32 = 2;
+    for (class, kind) in fault_classes(Solution::Streaming) {
+        let wf = base(Solution::Streaming)
+            .with_fanout(FANOUT)
+            .with_faults(FaultConfig::scheduled(vec![FaultEvent {
+                at: ms(1000),
+                kind,
+            }]));
+        let m = run_once(&wf, &Calibration::quiet(), 7);
+        check_common(class, Solution::Streaming, &m);
+        check_streaming_accounting(class, FANOUT, &m);
+    }
+}
+
+/// The PR 10 headline A/B: a node crash takes out every subscriber of
+/// every group mid-campaign while the publishers keep producing into a
+/// small bounded window.
+///
+/// * `reclaim_on_crash = true`: each faulted window sweep drops ack
+///   entries owed by the dead node, so publishers free-run through the
+///   outage and the restarted subscribers drain retained steps.
+/// * `reclaim_on_crash = false`: the window fills and head-of-line
+///   stalls until the restart — strictly more publisher stall time and
+///   never a shorter campaign.
+///
+/// Both legs terminate with full delivery accounting and are
+/// byte-stable per seed.
+#[test]
+fn subscriber_crash_reclaim_beats_head_of_line_stall() {
+    const FANOUT: u32 = 2;
+    let cal = Calibration::quiet();
+    let leg = |reclaim: bool| {
+        base(Solution::Streaming)
+            .with_fanout(FANOUT)
+            // Window 1 and a 3 s outage: at the ~0.8 s frame period the
+            // publishers produce ~4 steps while every subscriber is
+            // down, so an unreclaimed window must head-of-line stall.
+            .with_stream_window(1)
+            .with_window_reclaim(reclaim)
+            .with_faults(FaultConfig::scheduled(vec![FaultEvent {
+                at: ms(1000),
+                // Node 1 hosts every subscriber of both groups.
+                kind: FaultKind::NodeCrash {
+                    node: 1,
+                    down_for: ms(3000),
+                },
+            }]))
+    };
+    let reclaim = run_once(&leg(true), &cal, 7);
+    let stall = run_once(&leg(false), &cal, 7);
+    for (name, m) in [("reclaim", &reclaim), ("stall", &stall)] {
+        assert_eq!(m.faults.crashes, 1, "{name}: crash never fired");
+        assert_eq!(m.faults.restarts, 1, "{name}: node never restarted");
+        check_streaming_accounting(name, FANOUT, m);
+    }
+    assert!(
+        reclaim.streaming.slots_reclaimed > 0,
+        "reclaim leg never reclaimed a slot"
+    );
+    assert_eq!(
+        stall.streaming.slots_reclaimed, 0,
+        "stall leg must not reclaim"
+    );
+    assert!(
+        reclaim.streaming.window_stall_secs < stall.streaming.window_stall_secs,
+        "reclaim stalled {}s, head-of-line {}s — reclaim should stall less",
+        reclaim.streaming.window_stall_secs,
+        stall.streaming.window_stall_secs
+    );
+    assert!(
+        reclaim.makespan <= stall.makespan,
+        "reclaim makespan {:?} worse than head-of-line {:?}",
+        reclaim.makespan,
+        stall.makespan
+    );
+    // Byte-stability of both legs.
+    for (name, wf, m) in [
+        ("reclaim", leg(true), &reclaim),
+        ("stall", leg(false), &stall),
+    ] {
+        let again = run_once(&wf, &cal, 7);
+        assert_eq!(m.makespan, again.makespan, "{name}: makespan drifted");
+        assert_eq!(m.events, again.events, "{name}: event count drifted");
+    }
+}
+
 /// Same seed ⇒ byte-identical generated schedule; different seed ⇒ a
 /// different one (the generator actually uses its seed).
 #[test]
@@ -211,7 +327,12 @@ fn same_seed_gives_bit_identical_fault_schedules() {
 fn same_seed_chaos_runs_produce_byte_identical_reports() {
     let cal = Calibration::quiet();
     for &seed in &SEEDS {
-        for solution in [Solution::Dyad, Solution::Lustre, Solution::Xfs] {
+        for solution in [
+            Solution::Dyad,
+            Solution::Lustre,
+            Solution::Xfs,
+            Solution::Streaming,
+        ] {
             let wf = base(solution).with_faults(FaultConfig::chaos(seed, 1));
             let a = run_once(&wf, &cal, seed);
             assert!(
@@ -353,7 +474,12 @@ fn chaos_generator_with_shard_class_terminates_on_mesh() {
 #[test]
 fn disabled_fault_config_leaves_runs_bit_identical() {
     let cal = Calibration::quiet();
-    for solution in [Solution::Dyad, Solution::Lustre, Solution::Xfs] {
+    for solution in [
+        Solution::Dyad,
+        Solution::Lustre,
+        Solution::Xfs,
+        Solution::Streaming,
+    ] {
         let plain = base(solution);
         let disabled = base(solution).with_faults(FaultConfig {
             events_per_class: 0,
@@ -380,7 +506,12 @@ fn disabled_fault_config_leaves_runs_bit_identical() {
 #[test]
 fn armed_board_with_out_of_window_plan_preserves_makespan() {
     let cal = Calibration::quiet();
-    for solution in [Solution::Dyad, Solution::Lustre, Solution::Xfs] {
+    for solution in [
+        Solution::Dyad,
+        Solution::Lustre,
+        Solution::Xfs,
+        Solution::Streaming,
+    ] {
         let plain = base(solution);
         let late = base(solution).with_faults(FaultConfig::scheduled(vec![FaultEvent {
             at: SimDuration::from_secs_f64(3600.0),

@@ -703,6 +703,9 @@ impl MeshKvsClient {
 /// Either a legacy single-broker client or a mesh client, with one
 /// method surface — so `dyad`, `staging` and the workflow bodies take
 /// `impl Into<KvsHandle>` and never care which plane they run on.
+/// (The size skew between variants is fine: handles are created per
+/// process at setup, never stored in bulk.)
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub enum KvsHandle {
     /// The legacy standalone-broker client.
